@@ -1,0 +1,50 @@
+// Ablation: the value of rate splitting — RASC's distinguishing feature
+// (paper §1: "a distinguishing characteristic of our approach is ...
+// employing two or more instances of the same component on different
+// nodes ... to achieve the desired rate allocation").
+//
+// Compares full min-cost composition against the identical cost model
+// restricted to a single component instance per stage.
+#include <cstdio>
+
+#include "figures_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rasc;
+  util::Flags flags(argc, argv);
+  auto sweep = bench::paper_sweep(flags);
+  // Splitting matters when one stage's rate approaches a single node's
+  // capacity: sweep rates up to and beyond the strongest node's access
+  // bandwidth (narrowed to 300-1200 Kbps here), unless the user asked
+  // for specific values.
+  sweep.rates_kbps = flags.get_double_list("rates", {100, 200, 400, 700});
+  sweep.base.world.net.bw_min_kbps = flags.get_double("bw-min", 300);
+  sweep.base.world.net.bw_max_kbps = flags.get_double("bw-max", 1200);
+  sweep.base.workload.num_requests =
+      int(flags.get_int("requests", 30));
+  flags.finish();
+  sweep.algorithms = {"mincost", "mincost-nosplit"};
+
+  const auto result = exp::run_sweep(sweep);
+  for (const auto& [title, extract] :
+       std::vector<std::pair<std::string,
+                             std::function<double(const exp::RunMetrics&)>>>{
+           {"Ablation(splitting) — requests composed",
+            [](const exp::RunMetrics& m) { return double(m.composed); }},
+           {"Ablation(splitting) — delivered fraction",
+            [](const exp::RunMetrics& m) { return m.delivered_fraction(); }},
+           {"Ablation(splitting) — components per stage",
+            [](const exp::RunMetrics& m) { return m.splitting_degree(); }},
+       }) {
+    exp::print_table(exp::make_table(sweep, result, title, extract));
+  }
+  std::printf(
+      "\nexpectation: as the per-request rate approaches single-node "
+      "capacity, splitting keeps the delivered fraction high (no single "
+      "node is pushed to its limit) while the no-split variant degrades; "
+      "admission counts stay comparable because the shared endpoint "
+      "uplinks, not provider fragmentation, bound the marginal request "
+      "(the per-request admission advantage is exercised directly in "
+      "tests/test_composers.cpp: GreedyWouldRejectWhatSplittingAdmits).\n");
+  return 0;
+}

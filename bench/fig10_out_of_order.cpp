@@ -1,0 +1,14 @@
+// Figure 10: fraction of data units delivered out of order.
+#include "figures_common.hpp"
+
+int main(int argc, char** argv) {
+  return rasc::bench::run_figure(
+      argc, argv, "Figure 10 — fraction delivered out of order",
+      "out-of-order fractions stay low (paper: <= ~4%) for every "
+      "algorithm; see EXPERIMENTS.md for the known deviation in which "
+      "baseline ranks worst",
+      [](const rasc::exp::RunMetrics& m) {
+        return m.out_of_order_fraction();
+      },
+      /*precision=*/4);
+}

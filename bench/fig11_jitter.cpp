@@ -1,0 +1,12 @@
+// Figure 11: average jitter (ms) — how far past the deadline implied by
+// the previous arrival plus the required period units arrive.
+#include "figures_common.hpp"
+
+int main(int argc, char** argv) {
+  return rasc::bench::run_figure(
+      argc, argv, "Figure 11 — average jitter (msec)",
+      "min-cost composition yields several times less jitter than greedy "
+      "(paper: 3-10x) and random (paper: 4-8x)",
+      [](const rasc::exp::RunMetrics& m) { return m.mean_jitter_ms(); },
+      /*precision=*/2);
+}

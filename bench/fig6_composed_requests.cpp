@@ -1,0 +1,14 @@
+// Figure 6: the number of requests each algorithm successfully composed,
+// vs the average requested rate.
+#include "figures_common.hpp"
+
+int main(int argc, char** argv) {
+  return rasc::bench::run_figure(
+      argc, argv,
+      "Figure 6 — requests successfully composed (of 60 submitted)",
+      "min-cost composes many more requests and stays nearly flat in "
+      "rate; greedy and random degrade as the rate grows (they depend on "
+      "the most powerful single node, min-cost on cumulative capacity)",
+      [](const rasc::exp::RunMetrics& m) { return double(m.composed); },
+      /*precision=*/1);
+}

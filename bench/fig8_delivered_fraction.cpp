@@ -1,0 +1,11 @@
+// Figure 8: total fraction of data units delivered (not dropped).
+#include "figures_common.hpp"
+
+int main(int argc, char** argv) {
+  return rasc::bench::run_figure(
+      argc, argv, "Figure 8 — fraction of data units delivered",
+      "min-cost delivers the greatest fraction while handling the most "
+      "load: services too big for one node are split, and heavily loaded "
+      "nodes are bypassed via the drop-ratio cost",
+      [](const rasc::exp::RunMetrics& m) { return m.delivered_fraction(); });
+}

@@ -1,0 +1,80 @@
+// Micro-benchmark: per-node scheduler decision cost vs ready-queue depth,
+// for each policy, plus the simulator event loop itself.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "runtime/scheduler.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rasc;
+
+runtime::ServiceSpec spec() {
+  runtime::ServiceSpec s;
+  s.name = "svc";
+  s.cpu_time_per_unit = sim::msec(2);
+  return s;
+}
+
+void bench_policy(benchmark::State& state, runtime::SchedulingPolicy policy) {
+  const auto depth = std::size_t(state.range(0));
+  runtime::Component component({1, 0, 0}, spec(), 10.0, {{1, 10.0}});
+  util::Xoshiro256 rng(3);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    runtime::Scheduler scheduler(policy, depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+      runtime::ScheduledUnit u;
+      auto du = std::make_shared<runtime::DataUnit>();
+      du->seq = std::int64_t(i);
+      u.unit = du;
+      u.component = &component;
+      u.arrival = rng.uniform_int(0, 1000);
+      u.deadline = u.arrival + rng.uniform_int(1000, 100000);
+      u.exec_time = sim::msec(2);
+      scheduler.enqueue(std::move(u));
+    }
+    state.ResumeTiming();
+    std::vector<runtime::ScheduledUnit> expired;
+    while (auto next = scheduler.dispatch(500, expired)) {
+      benchmark::DoNotOptimize(next->unit->seq);
+    }
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(depth));
+}
+
+void BM_SchedulerLlf(benchmark::State& state) {
+  bench_policy(state, runtime::SchedulingPolicy::kLeastLaxity);
+}
+void BM_SchedulerEdf(benchmark::State& state) {
+  bench_policy(state, runtime::SchedulingPolicy::kEdf);
+}
+void BM_SchedulerFifo(benchmark::State& state) {
+  bench_policy(state, runtime::SchedulingPolicy::kFifo);
+}
+BENCHMARK(BM_SchedulerLlf)->Arg(8)->Arg(64)->Arg(256);
+BENCHMARK(BM_SchedulerEdf)->Arg(64);
+BENCHMARK(BM_SchedulerFifo)->Arg(64);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator(1);
+    int fired = 0;
+    for (int i = 0; i < 10000; ++i) {
+      simulator.call_after(i % 97, [&fired] { ++fired; });
+    }
+    simulator.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Micro-benchmark: SHA-1 throughput (discovery key generation is on the
+// composition path: one hash per service lookup).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "util/sha1.hpp"
+
+namespace {
+
+using namespace rasc;
+
+void BM_Sha1Small(benchmark::State& state) {
+  const std::string msg = "service:video-transcode";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::sha1(msg));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          std::int64_t(msg.size()));
+}
+BENCHMARK(BM_Sha1Small);
+
+void BM_Sha1Bulk(benchmark::State& state) {
+  const std::string data(std::size_t(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::sha1(data));
+  }
+  state.SetBytesProcessed(std::int64_t(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1Bulk)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

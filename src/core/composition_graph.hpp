@@ -1,0 +1,85 @@
+// Construction of the per-substream min-cost flow network (paper §3.5).
+//
+// Layered graph, all quantities normalized to destination-delivered units
+// per second (see plan_math.hpp) and scaled to integral milli-ups:
+//
+//   S --cap: source out-bw--> SO --∞--> [stage 0 candidates] --∞--> ...
+//     ... --∞--> [stage k-1 candidates] --∞--> TI --cap: dest in-bw--> T
+//
+// Each candidate (service instance on a provider node) is split into an
+// in/out vertex pair; the splitting arc carries the node's capacity
+// min(avail_in, avail_out) translated to delivered ups (the paper's
+// r_max(c_i, n)) and costs the node's observed drop ratio scaled by 1e6
+// (the paper's cost_e). Inter-layer arcs are free and uncapacitated: node
+// budgets live on the splitting arcs. The flow solution simultaneously
+// selects components and assigns their rates — the paper's key reduction.
+#pragma once
+
+#include <vector>
+
+#include "flow/graph.hpp"
+#include "runtime/plan.hpp"
+#include "sim/message.hpp"
+
+namespace rasc::core {
+
+/// One provider option for one stage.
+struct CandidateCap {
+  sim::NodeIndex node = sim::kInvalidNode;
+  /// Max delivered ups this instance could carry given the node's
+  /// residual bandwidth (0 => effectively unusable but still modelled).
+  double max_delivered_ups = 0;
+  double drop_ratio = 0;
+  /// Node utilization in [0,1]; used only as an epsilon tie-break (three
+  /// orders of magnitude below the drop-ratio cost) so that among
+  /// equally drop-free candidates the solver prefers less-loaded nodes
+  /// instead of an arbitrary deterministic pile-up.
+  double utilization = 0;
+};
+
+class CompositionGraph {
+ public:
+  /// Flow units are milli-delivered-ups: 1 flow unit = 0.001 units/sec
+  /// delivered, giving 0.1% splitting granularity at paper-scale rates.
+  static constexpr double kScale = 1000.0;
+  /// Drop ratios in [0,1] are scaled to integer costs.
+  static constexpr double kCostScale = 1e6;
+  /// Utilization tie-break scale (kCostScale / 1000).
+  static constexpr double kUtilizationCostScale = 1e3;
+
+  CompositionGraph(const std::vector<std::vector<CandidateCap>>& stages,
+                   double source_cap_delivered_ups,
+                   double dest_cap_delivered_ups,
+                   double demand_delivered_ups);
+
+  flow::Graph& graph() { return graph_; }
+  const flow::Graph& graph() const { return graph_; }
+  flow::NodeId source() const { return source_; }
+  flow::NodeId sink() const { return sink_; }
+  flow::FlowUnit demand() const { return demand_; }
+
+  /// After solving: per-stage (node, delivered ups) shares. Shares smaller
+  /// than `min_share_fraction` of the demand are folded into the stage's
+  /// largest share — micro-slivers would cost a component deployment for
+  /// no benefit.
+  std::vector<std::vector<runtime::Placement>> extract_shares(
+      double min_share_fraction = 0.01) const;
+
+  /// Delivered ups actually carried by candidate (stage, index) in the
+  /// current flow (tests).
+  double candidate_flow_ups(int stage, int index) const;
+
+ private:
+  struct CandidateArcs {
+    sim::NodeIndex node;
+    flow::ArcId through_arc;
+  };
+
+  flow::Graph graph_;
+  flow::NodeId source_ = 0;
+  flow::NodeId sink_ = 0;
+  flow::FlowUnit demand_ = 0;
+  std::vector<std::vector<CandidateArcs>> stage_arcs_;
+};
+
+}  // namespace rasc::core

@@ -1,0 +1,260 @@
+#include "core/coordinator.hpp"
+
+#include <algorithm>
+
+#include "runtime/deploy_messages.hpp"
+#include "util/logging.hpp"
+
+namespace rasc::core {
+
+Coordinator::Coordinator(sim::Simulator& simulator, sim::Network& network,
+                         overlay::PastryNode& pastry,
+                         monitor::StatsAgent& stats,
+                         const runtime::ServiceCatalog& catalog)
+    : simulator_(simulator),
+      network_(network),
+      pastry_(pastry),
+      registry_(pastry),
+      stats_(stats),
+      catalog_(catalog),
+      node_(pastry.addr()) {}
+
+void Coordinator::submit(const ServiceRequest& request, Composer& composer,
+                         sim::SimTime stream_start, sim::SimTime stream_stop,
+                         Callback done) {
+  auto pending = std::make_shared<Pending>();
+  pending->request = request;
+  pending->composer = &composer;
+  pending->submitted_at = simulator_.now();
+  pending->stream_start = stream_start;
+  pending->stream_stop = stream_stop;
+  pending->done = std::move(done);
+  pending->services = request.distinct_services();
+
+  if (auto err = request.validate(); !err.empty()) {
+    pending->compose_result.error = err;
+    finish(pending, false);
+    return;
+  }
+
+  // Phase 1: discovery through the DHT (paper §3.1 step 1). Lookups can
+  // time out when control traffic queues behind saturated access links;
+  // each is retried a couple of times before the request is failed.
+  pending->lookups_outstanding = pending->services.size();
+  for (const auto& service : pending->services) {
+    lookup_with_retry(pending, service, kDiscoveryAttempts);
+  }
+}
+
+void Coordinator::lookup_with_retry(const std::shared_ptr<Pending>& pending,
+                                    const std::string& service,
+                                    int attempts_left) {
+  registry_.lookup(
+      service, [this, pending, service, attempts_left](
+                   bool found, std::vector<sim::NodeIndex> providers) {
+        if ((!found || providers.empty()) && attempts_left > 1) {
+          simulator_.call_after(sim::msec(300),
+                                [this, pending, service, attempts_left] {
+                                  lookup_with_retry(pending, service,
+                                                    attempts_left - 1);
+                                });
+          return;
+        }
+        if (!found || providers.empty()) {
+          pending->lookup_failed = true;
+        } else {
+          pending->provider_addrs[service] = std::move(providers);
+        }
+        if (--pending->lookups_outstanding == 0) {
+          if (pending->lookup_failed) {
+            pending->compose_result.error =
+                "service discovery failed for " + service;
+            finish(pending, false);
+          } else {
+            start_stats_phase(pending);
+          }
+        }
+      });
+}
+
+void Coordinator::start_stats_phase(const std::shared_ptr<Pending>& pending) {
+  // Phase 2: gather utilization from every involved node (§3.1 step 2).
+  std::set<sim::NodeIndex> targets;
+  for (const auto& [service, addrs] : pending->provider_addrs) {
+    (void)service;
+    for (auto a : addrs) targets.insert(a);
+  }
+  targets.insert(pending->request.source);
+  targets.insert(pending->request.destination);
+
+  stats_.query_many(
+      std::vector<sim::NodeIndex>(targets.begin(), targets.end()),
+      [this, pending](std::vector<monitor::NodeStats> stats) {
+        run_composition(pending, std::move(stats));
+      });
+}
+
+void Coordinator::run_composition(const std::shared_ptr<Pending>& pending,
+                                  std::vector<monitor::NodeStats> stats) {
+  // Phase 3: the composition algorithm itself (§3.1 step 3).
+  std::map<sim::NodeIndex, monitor::NodeStats> by_node;
+  for (const auto& s : stats) by_node[s.node] = s;
+
+  ComposeInput input;
+  input.request = pending->request;
+  input.catalog = &catalog_;
+  for (const auto& [service, addrs] : pending->provider_addrs) {
+    auto& list = input.providers[service];
+    for (auto a : addrs) {
+      const auto it = by_node.find(a);
+      if (it != by_node.end()) list.push_back(it->second);
+    }
+    if (list.empty()) {
+      pending->compose_result.error =
+          "no stats from any provider of " + service;
+      finish(pending, false);
+      return;
+    }
+  }
+  const auto src_it = by_node.find(pending->request.source);
+  const auto dst_it = by_node.find(pending->request.destination);
+  if (src_it == by_node.end() || dst_it == by_node.end()) {
+    pending->compose_result.error = "no stats from endpoints";
+    finish(pending, false);
+    return;
+  }
+  input.source_stats = src_it->second;
+  input.destination_stats = dst_it->second;
+
+  pending->compose_result = pending->composer->compose(input);
+  if (!pending->compose_result.admitted) {
+    finish(pending, false);
+    return;
+  }
+  deploy(pending);
+}
+
+std::uint64_t Coordinator::send_deploy(sim::NodeIndex target,
+                                       sim::MessagePtr msg,
+                                       std::int64_t size) {
+  network_.send(node_, target, size, std::move(msg));
+  return deploy_counter_;
+}
+
+void Coordinator::deploy(const std::shared_ptr<Pending>& pending) {
+  // Phase 4: instantiate components, sinks, then the sources (§3.1 step 4).
+  const auto& plan = pending->compose_result.plan;
+
+  for (std::size_t ss = 0; ss < plan.substreams.size(); ++ss) {
+    const auto& sub = plan.substreams[ss];
+    double in_bytes = double(sub.unit_bytes);
+    for (std::size_t st = 0; st < sub.stages.size(); ++st) {
+      const auto& stage = sub.stages[st];
+      // Downstream of this stage: next stage's placements or the sink.
+      std::vector<runtime::Placement> next;
+      if (st + 1 < sub.stages.size()) {
+        next = sub.stages[st + 1].placements;
+      } else {
+        next.push_back(
+            runtime::Placement{plan.destination, sub.rate_units_per_sec});
+      }
+      for (const auto& p : stage.placements) {
+        auto msg = std::make_shared<runtime::DeployComponentMsg>();
+        msg->key = runtime::ComponentKey{plan.app, std::int32_t(ss),
+                                         std::int32_t(st)};
+        msg->service = stage.service;
+        msg->rate_units_per_sec = p.rate_units_per_sec;
+        msg->in_unit_bytes = std::int64_t(in_bytes + 0.5);
+        msg->next = next;
+        msg->request_id = ++deploy_counter_;
+        msg->requester = node_;
+        pending->awaiting_acks.insert(msg->request_id);
+        ack_routing_[msg->request_id] = pending;
+        const auto size = msg->wire_size();
+        network_.send(node_, p.node, size, std::move(msg));
+      }
+      in_bytes *= catalog_.get(stage.service).output_size_factor;
+    }
+
+    // Sink at the destination. `in_bytes` is now the delivered unit size.
+    {
+      auto msg = std::make_shared<runtime::DeploySinkMsg>();
+      msg->app = plan.app;
+      msg->substream = std::int32_t(ss);
+      msg->rate_units_per_sec = sub.rate_units_per_sec;
+      msg->unit_bytes = std::int64_t(in_bytes + 0.5);
+      msg->request_id = ++deploy_counter_;
+      msg->requester = node_;
+      pending->awaiting_acks.insert(msg->request_id);
+      ack_routing_[msg->request_id] = pending;
+      network_.send(node_, plan.destination, runtime::DeploySinkMsg::kBytes,
+                    std::move(msg));
+    }
+  }
+
+  pending->deploy_timeout =
+      simulator_.call_after(kDeployTimeout, [this, pending] {
+        if (pending->awaiting_acks.empty()) return;
+        RASC_LOG(kWarn) << "deploy timed out for app "
+                        << pending->request.app;
+        for (auto rid : pending->awaiting_acks) ack_routing_.erase(rid);
+        pending->awaiting_acks.clear();
+        pending->compose_result.admitted = false;
+        pending->compose_result.error = "deployment timed out";
+        finish(pending, false);
+      });
+}
+
+bool Coordinator::handle_packet(const sim::Packet& packet) {
+  const auto* ack =
+      dynamic_cast<const runtime::DeployAck*>(packet.payload.get());
+  if (ack == nullptr) return false;
+  const auto it = ack_routing_.find(ack->request_id);
+  if (it == ack_routing_.end()) return true;  // stale/timed-out ack
+  auto pending = it->second;
+  ack_routing_.erase(it);
+  pending->awaiting_acks.erase(ack->request_id);
+  if (!ack->ok) pending->any_nack = true;
+
+  if (pending->awaiting_acks.empty()) {
+    simulator_.cancel(pending->deploy_timeout);
+    if (pending->any_nack) {
+      pending->compose_result.admitted = false;
+      pending->compose_result.error = "a deployment was rejected";
+      finish(pending, false);
+      return true;
+    }
+    // All components and sinks are up: start the sources at the app's
+    // source node (fire and forget; the source node is typically us).
+    const auto& plan = pending->compose_result.plan;
+    for (std::size_t ss = 0; ss < plan.substreams.size(); ++ss) {
+      const auto& sub = plan.substreams[ss];
+      auto msg = std::make_shared<runtime::DeploySourceMsg>();
+      msg->app = plan.app;
+      msg->substream = std::int32_t(ss);
+      // The source emits stage-0 *input* units.
+      msg->rate_units_per_sec = sub.stages.front().total_rate();
+      msg->unit_bytes = sub.unit_bytes;
+      msg->first_stage = sub.stages.front().placements;
+      msg->start_at = pending->stream_start;
+      msg->stop_at = pending->stream_stop;
+      msg->request_id = ++deploy_counter_;
+      msg->requester = node_;
+      const auto size = msg->wire_size();
+      network_.send(node_, plan.source, size, std::move(msg));
+    }
+    finish(pending, true);
+  }
+  return true;
+}
+
+void Coordinator::finish(const std::shared_ptr<Pending>& pending,
+                         bool deployed) {
+  (void)deployed;
+  SubmitOutcome outcome;
+  outcome.compose = pending->compose_result;
+  outcome.composition_latency = simulator_.now() - pending->submitted_at;
+  if (pending->done) pending->done(outcome);
+}
+
+}  // namespace rasc::core

@@ -1,0 +1,103 @@
+// Node-side composition coordinator.
+//
+// Runs the full RASC pipeline for a request submitted at this node
+// (paper §3.1): (1) discover providers of each requested service through
+// the Pastry DHT, (2) gather utilization statistics from those nodes over
+// the network, (3) run the composition algorithm, (4) instantiate the
+// components and start the stream. Every step exchanges real messages in
+// the simulation, so composition itself costs time and bandwidth.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/composer.hpp"
+#include "monitor/stats_protocol.hpp"
+#include "overlay/pastry_node.hpp"
+#include "overlay/registry.hpp"
+#include "runtime/node_runtime.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rasc::core {
+
+struct SubmitOutcome {
+  ComposeResult compose;
+  /// Time from submission until the stream was fully deployed (or the
+  /// request failed).
+  sim::SimDuration composition_latency = 0;
+};
+
+class Coordinator {
+ public:
+  using Callback = std::function<void(const SubmitOutcome&)>;
+
+  static constexpr sim::SimDuration kDeployTimeout = sim::msec(5000);
+  /// DHT lookup attempts per service before the request is rejected.
+  static constexpr int kDiscoveryAttempts = 3;
+
+  Coordinator(sim::Simulator& simulator, sim::Network& network,
+              overlay::PastryNode& pastry, monitor::StatsAgent& stats,
+              const runtime::ServiceCatalog& catalog);
+
+  /// Composes and deploys `request` using `composer`. The stream runs
+  /// [stream_start, stream_stop). `done` fires once deployment completes
+  /// or the request is rejected.
+  void submit(const ServiceRequest& request, Composer& composer,
+              sim::SimTime stream_start, sim::SimTime stream_stop,
+              Callback done);
+
+  /// Consumes DeployAck packets addressed to this coordinator.
+  bool handle_packet(const sim::Packet& packet);
+
+  /// The node this coordinator lives on.
+  sim::NodeIndex node() const { return node_; }
+
+ private:
+  struct Pending {
+    ServiceRequest request;
+    Composer* composer = nullptr;
+    sim::SimTime submitted_at = 0;
+    sim::SimTime stream_start = 0;
+    sim::SimTime stream_stop = 0;
+    Callback done;
+
+    std::vector<std::string> services;
+    std::size_t lookups_outstanding = 0;
+    std::map<std::string, std::vector<sim::NodeIndex>> provider_addrs;
+    bool lookup_failed = false;
+
+    ComposeResult compose_result;
+    std::set<std::uint64_t> awaiting_acks;
+    bool any_nack = false;
+    sim::EventId deploy_timeout = 0;
+  };
+
+  void lookup_with_retry(const std::shared_ptr<Pending>& pending,
+                         const std::string& service, int attempts_left);
+  void start_stats_phase(const std::shared_ptr<Pending>& pending);
+  void run_composition(const std::shared_ptr<Pending>& pending,
+                       std::vector<monitor::NodeStats> stats);
+  void deploy(const std::shared_ptr<Pending>& pending);
+  void finish(const std::shared_ptr<Pending>& pending, bool deployed);
+  std::uint64_t send_deploy(sim::NodeIndex target, sim::MessagePtr msg,
+                            std::int64_t size);
+
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  overlay::PastryNode& pastry_;
+  overlay::ServiceRegistry registry_;
+  monitor::StatsAgent& stats_;
+  const runtime::ServiceCatalog& catalog_;
+  sim::NodeIndex node_;
+
+  std::uint64_t deploy_counter_ = 0;
+  // ack request id -> owning pending request
+  std::map<std::uint64_t, std::shared_ptr<Pending>> ack_routing_;
+};
+
+}  // namespace rasc::core

@@ -1,0 +1,93 @@
+#include "core/greedy_composer.hpp"
+
+#include <limits>
+
+#include "core/plan_math.hpp"
+
+namespace rasc::core {
+
+ComposeResult GreedyComposer::compose(const ComposeInput& input) {
+  ComposeResult result;
+  if (auto err = input.request.validate(); !err.empty()) {
+    result.error = err;
+    return result;
+  }
+  if (input.catalog == nullptr) {
+    result.error = "no service catalog";
+    return result;
+  }
+
+  ResidualTracker tracker(input);
+  const auto& req = input.request;
+  std::vector<std::vector<std::vector<runtime::Placement>>> all_shares;
+
+  for (std::size_t ss = 0; ss < req.substreams.size(); ++ss) {
+    const auto& sub = req.substreams[ss];
+    const SubstreamMath math(sub, *input.catalog, req.unit_bytes);
+    const double demand = math.delivered_ups(sub.rate_kbps);
+    const int k = math.num_stages();
+
+    // Endpoint capacity checks.
+    if (tracker.avail_out_kbps(req.source) < math.wire_in_kbps(0, demand)) {
+      result.error = "source lacks output bandwidth";
+      return result;
+    }
+    if (tracker.avail_in_kbps(req.destination) <
+        math.wire_in_kbps(k, demand)) {
+      result.error = "destination lacks input bandwidth";
+      return result;
+    }
+
+    auto shares =
+        std::vector<std::vector<runtime::Placement>>(std::size_t(k));
+    for (int st = 0; st < k; ++st) {
+      const auto it = input.providers.find(sub.services[std::size_t(st)]);
+      if (it == input.providers.end() || it->second.empty()) {
+        result.error = "no providers for service " +
+                       sub.services[std::size_t(st)];
+        return result;
+      }
+      const double need_in = math.wire_in_kbps(st, demand);
+      const double need_out = math.wire_out_kbps(st, demand);
+      const double need_cpu =
+          math.in_ups(st, demand) * math.cpu_secs_per_in_unit(st);
+
+      // Smallest observed drop ratio among providers with capacity; ties
+      // broken uniformly at random.
+      double best_drop = std::numeric_limits<double>::infinity();
+      std::vector<sim::NodeIndex> tied;
+      for (const auto& stats : it->second) {
+        if (tracker.avail_in_kbps(stats.node) < need_in) continue;
+        if (tracker.avail_out_kbps(stats.node) < need_out) continue;
+        if (tracker.avail_cpu_fraction(stats.node) < need_cpu) continue;
+        const double drop = tracker.drop_ratio(stats.node);
+        if (drop < best_drop) {
+          best_drop = drop;
+          tied.assign(1, stats.node);
+        } else if (drop == best_drop) {
+          tied.push_back(stats.node);
+        }
+      }
+      const sim::NodeIndex best =
+          tied.empty() ? sim::kInvalidNode
+                       : tied[std::size_t(rng_.uniform_int(
+                             0, std::int64_t(tied.size()) - 1))];
+      if (best == sim::kInvalidNode) {
+        result.error = "no provider with capacity for service " +
+                       sub.services[std::size_t(st)];
+        return result;
+      }
+      shares[std::size_t(st)].push_back(runtime::Placement{best, demand});
+      tracker.consume(best, need_in, need_out, need_cpu);
+    }
+    tracker.consume(req.source, 0, math.wire_in_kbps(0, demand));
+    tracker.consume(req.destination, math.wire_in_kbps(k, demand), 0);
+    all_shares.push_back(std::move(shares));
+  }
+
+  result.plan = build_app_plan(req, *input.catalog, all_shares);
+  result.admitted = true;
+  return result;
+}
+
+}  // namespace rasc::core

@@ -1,0 +1,29 @@
+// Greedy baseline (paper §4.1): one component per service, placed on the
+// provider with the smallest observed drop ratio that still has the
+// bandwidth capacity for the full substream rate. The paper's critique:
+// "in a single composition, it only calculates the miss ratio once", so it
+// keeps piling components onto low-drop nodes until they saturate.
+#pragma once
+
+#include "core/composer.hpp"
+#include "util/rng.hpp"
+
+namespace rasc::core {
+
+class GreedyComposer final : public Composer {
+ public:
+  /// Ties on the smallest drop ratio are broken uniformly at random among
+  /// the tied feasible providers (the paper leaves ties unspecified; a
+  /// fixed-index tie-break would deterministically pile every early
+  /// request onto one node, which no real deployment does).
+  explicit GreedyComposer(util::Xoshiro256 rng = util::Xoshiro256(0x97eed))
+      : rng_(rng) {}
+
+  const char* name() const override { return "greedy"; }
+  ComposeResult compose(const ComposeInput& input) override;
+
+ private:
+  util::Xoshiro256 rng_;
+};
+
+}  // namespace rasc::core

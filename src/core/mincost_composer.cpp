@@ -1,0 +1,234 @@
+#include "core/mincost_composer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/composition_graph.hpp"
+#include "core/plan_math.hpp"
+#include "flow/ssp.hpp"
+#include "util/logging.hpp"
+
+namespace rasc::core {
+
+namespace {
+
+/// Per-node wire-bandwidth usage of a candidate share set within one
+/// substream (for the repair pass).
+struct NodeUsage {
+  double in_kbps = 0;
+  double out_kbps = 0;
+  double cpu_fraction = 0;
+};
+
+std::map<sim::NodeIndex, NodeUsage> usage_of(
+    const std::vector<std::vector<runtime::Placement>>& shares,
+    const SubstreamMath& math) {
+  std::map<sim::NodeIndex, NodeUsage> usage;
+  for (std::size_t st = 0; st < shares.size(); ++st) {
+    for (const auto& p : shares[st]) {
+      auto& u = usage[p.node];
+      u.in_kbps += math.wire_in_kbps(int(st), p.rate_units_per_sec);
+      u.out_kbps += math.wire_out_kbps(int(st), p.rate_units_per_sec);
+      u.cpu_fraction += math.in_ups(int(st), p.rate_units_per_sec) *
+                        math.cpu_secs_per_in_unit(int(st));
+    }
+  }
+  return usage;
+}
+
+}  // namespace
+
+ComposeResult MinCostComposer::compose(const ComposeInput& input) {
+  ComposeResult result;
+  if (auto err = input.request.validate(); !err.empty()) {
+    result.error = err;
+    return result;
+  }
+  if (input.catalog == nullptr) {
+    result.error = "no service catalog";
+    return result;
+  }
+
+  ResidualTracker tracker(input);
+  const auto& req = input.request;
+  std::vector<std::vector<std::vector<runtime::Placement>>> all_shares;
+  all_shares.reserve(req.substreams.size());
+
+  for (std::size_t ss = 0; ss < req.substreams.size(); ++ss) {
+    const auto& sub = req.substreams[ss];
+    const SubstreamMath math(sub, *input.catalog, req.unit_bytes);
+    const double demand = math.delivered_ups(sub.rate_kbps);
+    const int k = math.num_stages();
+
+    // Candidate capacities from residual availability.
+    auto stages = std::vector<std::vector<CandidateCap>>(std::size_t(k));
+    // Per (stage, candidate) multiplicative tightening factor used by the
+    // repair loop.
+    auto tighten = std::vector<std::vector<double>>(std::size_t(k));
+    for (int st = 0; st < k; ++st) {
+      const auto it = input.providers.find(sub.services[std::size_t(st)]);
+      if (it == input.providers.end() || it->second.empty()) {
+        result.error = "no providers for service " +
+                       sub.services[std::size_t(st)];
+        return result;
+      }
+      for (const auto& stats : it->second) {
+        CandidateCap cand;
+        cand.node = stats.node;
+        cand.max_delivered_ups = math.max_delivered_ups(
+            st,
+            tracker.avail_in_kbps(stats.node) * options_.utilization_target,
+            tracker.avail_out_kbps(stats.node) * options_.utilization_target,
+            options_.consider_cpu
+                ? tracker.avail_cpu_fraction(stats.node) *
+                      options_.utilization_target
+                : -1.0);
+        cand.drop_ratio = tracker.drop_ratio(stats.node);
+        const double cap_total =
+            stats.capacity_in_kbps + stats.capacity_out_kbps;
+        if (cap_total > 0) {
+          cand.utilization = 1.0 - (tracker.avail_in_kbps(stats.node) +
+                                    tracker.avail_out_kbps(stats.node)) /
+                                       cap_total;
+        }
+        stages[std::size_t(st)].push_back(cand);
+        tighten[std::size_t(st)].push_back(1.0);
+      }
+    }
+
+    const double src_cap =
+        tracker.avail_out_kbps(req.source) / math.wire_in_kbps(0, 1.0);
+    const double dest_cap =
+        tracker.avail_in_kbps(req.destination) / math.wire_in_kbps(k, 1.0);
+
+    std::vector<std::vector<runtime::Placement>> shares;
+    bool accepted = false;
+
+    if (options_.single_instance_per_stage) {
+      // Ablation mode: same cost model, but each stage must fit on one
+      // node (cheapest candidate able to carry the full demand).
+      if (src_cap < demand || dest_cap < demand) {
+        result.error = "endpoint capacity short (no-split mode)";
+        return result;
+      }
+      shares.assign(std::size_t(k), {});
+      for (int st = 0; st < k; ++st) {
+        const CandidateCap* best = nullptr;
+        for (const auto& cand : stages[std::size_t(st)]) {
+          if (cand.max_delivered_ups < demand) continue;
+          if (best == nullptr ||
+              std::make_pair(cand.drop_ratio, cand.utilization) <
+                  std::make_pair(best->drop_ratio, best->utilization)) {
+            best = &cand;
+          }
+        }
+        if (best == nullptr) {
+          result.error = "no single node can carry stage " +
+                         std::to_string(st) + " (no-split mode)";
+          return result;
+        }
+        shares[std::size_t(st)].push_back(
+            runtime::Placement{best->node, demand});
+      }
+      accepted = true;
+    }
+
+    for (int iter = 0;
+         !accepted && iter < options_.max_repair_iterations; ++iter) {
+      // Apply tightening factors.
+      auto caps = stages;
+      for (int st = 0; st < k; ++st) {
+        for (std::size_t j = 0; j < caps[std::size_t(st)].size(); ++j) {
+          caps[std::size_t(st)][j].max_delivered_ups *=
+              tighten[std::size_t(st)][j];
+        }
+      }
+      CompositionGraph cg(caps, src_cap, dest_cap, demand);
+      const auto solved = flow::min_cost_flow_ssp(
+          cg.graph(), cg.source(), cg.sink(), cg.demand());
+      if (!solved.feasible) {
+        std::ostringstream os;
+        os << "insufficient capacity for substream " << ss << ": routed "
+           << solved.flow << "/" << demand * CompositionGraph::kScale
+           << " (src_cap=" << src_cap << " dest_cap=" << dest_cap << ")";
+        result.error = os.str();
+        return result;
+      }
+      // Repair runs on the raw (unfolded) flow decomposition: folding
+      // slivers first would shuffle rate between candidates and keep the
+      // loop from converging. Folding is applied once a solution passes.
+      const auto raw_shares = cg.extract_shares(0.0);
+
+      // Repair: does any physical node exceed its residual budget because
+      // it hosts instances at several stages of this substream?
+      const auto usage = usage_of(raw_shares, math);
+      bool violated = false;
+      for (const auto& [node, u] : usage) {
+        const double ai =
+            tracker.avail_in_kbps(node) * options_.utilization_target;
+        const double ao =
+            tracker.avail_out_kbps(node) * options_.utilization_target;
+        double factor = 1.0;
+        if (u.in_kbps > ai * 1.02) factor = std::min(factor, ai / u.in_kbps);
+        if (u.out_kbps > ao * 1.02) {
+          factor = std::min(factor, ao / u.out_kbps);
+        }
+        if (factor < 1.0) {
+          violated = true;
+          // Tighten each of the node's *used* instances to its current
+          // share scaled by the factor — this pins the node's total next
+          // round to <= its budget, so the loop converges in O(1)
+          // iterations instead of geometrically.
+          for (int st = 0; st < k; ++st) {
+            // Shares are in delivered ups, same units as candidate caps.
+            double share_delivered = 0;
+            for (const auto& p : raw_shares[std::size_t(st)]) {
+              if (p.node == node) share_delivered = p.rate_units_per_sec;
+            }
+            if (share_delivered <= 0) continue;
+            for (std::size_t j = 0; j < stages[std::size_t(st)].size();
+                 ++j) {
+              if (stages[std::size_t(st)][j].node != node) continue;
+              const double original =
+                  stages[std::size_t(st)][j].max_delivered_ups;
+              if (original <= 0) continue;
+              const double target = share_delivered * factor;
+              tighten[std::size_t(st)][j] = std::min(
+                  tighten[std::size_t(st)][j], target / original);
+            }
+          }
+        }
+      }
+      if (!violated) {
+        shares = cg.extract_shares(options_.min_share_fraction);
+        result.objective += solved.cost;
+        accepted = true;
+        break;
+      }
+      RASC_LOG(kDebug) << "mincost repair iteration " << iter
+                       << " for substream " << ss;
+    }
+    if (!accepted) {
+      result.error = "capacity repair failed for substream " +
+                     std::to_string(ss);
+      return result;
+    }
+
+    // Algorithm 1: "Update the node capacities" before the next substream.
+    for (const auto& [node, u] : usage_of(shares, math)) {
+      tracker.consume(node, u.in_kbps, u.out_kbps, u.cpu_fraction);
+    }
+    tracker.consume(req.source, 0, math.wire_in_kbps(0, demand));
+    tracker.consume(req.destination, math.wire_in_kbps(k, demand), 0);
+
+    all_shares.push_back(std::move(shares));
+  }
+
+  result.plan = build_app_plan(req, *input.catalog, all_shares);
+  result.admitted = true;
+  return result;
+}
+
+}  // namespace rasc::core

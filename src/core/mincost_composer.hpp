@@ -1,0 +1,44 @@
+// RASC's minimum-cost composition algorithm (paper §3.5, Algorithm 1).
+//
+// Per substream: build the layered flow network from discovered providers
+// and monitored residual capacities, solve min-cost flow for exactly the
+// required rate, read component selection AND per-component rate split off
+// the flow, then update residual capacities before the next substream.
+// A bounded repair loop tightens per-node capacity when one physical node
+// serves several stages of the same substream (see DESIGN.md).
+#pragma once
+
+#include "core/composer.hpp"
+
+namespace rasc::core {
+
+class MinCostComposer final : public Composer {
+ public:
+  struct Options {
+    /// Shares below this fraction of the substream demand are folded into
+    /// the largest placement of the stage.
+    double min_share_fraction = 0.02;
+    /// Max iterations of the per-node capacity repair loop.
+    int max_repair_iterations = 10;
+    /// Headroom factor applied to availabilities (1.0 = use everything).
+    double utilization_target = 1.0;
+    /// Ablation switch: restrict every stage to a single component
+    /// instance (still cost-driven placement, but no rate splitting).
+    /// Isolates the contribution of the paper's distinguishing feature.
+    bool single_instance_per_stage = false;
+    /// Multi-resource composition (the paper's §6 future work): also
+    /// constrain candidate rates by the hosting node's CPU availability.
+    bool consider_cpu = true;
+  };
+
+  MinCostComposer() = default;
+  explicit MinCostComposer(Options options) : options_(options) {}
+
+  const char* name() const override { return "mincost"; }
+  ComposeResult compose(const ComposeInput& input) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace rasc::core

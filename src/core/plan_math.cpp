@@ -1,0 +1,163 @@
+#include "core/plan_math.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/composer.hpp"
+
+namespace rasc::core {
+
+double wire_kbps(double ups, double unit_bytes) {
+  return ups * (unit_bytes + double(sim::Network::kFrameOverheadBytes)) *
+         8.0 / 1000.0;
+}
+
+double payload_kbps(double ups, double unit_bytes) {
+  return ups * unit_bytes * 8.0 / 1000.0;
+}
+
+SubstreamMath::SubstreamMath(const Substream& substream,
+                             const runtime::ServiceCatalog& catalog,
+                             std::int64_t source_unit_bytes) {
+  const int k = int(substream.services.size());
+  ratio_.reserve(std::size_t(k));
+  in_bytes_.resize(std::size_t(k) + 1);
+  in_per_delivered_.resize(std::size_t(k) + 1);
+
+  in_bytes_[0] = double(source_unit_bytes);
+  for (int i = 0; i < k; ++i) {
+    const auto& spec = catalog.get(substream.services[std::size_t(i)]);
+    assert(spec.rate_ratio > 0);
+    ratio_.push_back(spec.rate_ratio);
+    cpu_secs_.push_back(sim::to_seconds(spec.cpu_time_per_unit));
+    in_bytes_[std::size_t(i) + 1] =
+        in_bytes_[std::size_t(i)] * spec.output_size_factor;
+  }
+  // Walk backwards: one delivered unit requires 1/prod_{j>=i} R_j units
+  // entering stage i.
+  in_per_delivered_[std::size_t(k)] = 1.0;
+  for (int i = k - 1; i >= 0; --i) {
+    in_per_delivered_[std::size_t(i)] =
+        in_per_delivered_[std::size_t(i) + 1] / ratio_[std::size_t(i)];
+  }
+}
+
+double SubstreamMath::delivered_ups(double rate_kbps) const {
+  const double dest_bytes = in_bytes_.back();
+  assert(dest_bytes > 0);
+  return rate_kbps * 1000.0 / (8.0 * dest_bytes);
+}
+
+double SubstreamMath::wire_in_kbps(int stage, double delivered) const {
+  return wire_kbps(in_ups(stage, delivered), in_unit_bytes(stage));
+}
+
+double SubstreamMath::wire_out_kbps(int stage, double delivered) const {
+  // Output of stage i is the input of stage i+1.
+  return wire_kbps(in_ups(stage + 1, delivered), in_unit_bytes(stage + 1));
+}
+
+double SubstreamMath::max_delivered_ups(int stage, double avail_in_kbps,
+                                        double avail_out_kbps,
+                                        double avail_cpu_fraction) const {
+  // Solve wire_in_kbps(stage, d) <= avail_in, wire_out <= avail_out and
+  // (optionally) cpu_secs * in_ups <= avail_cpu.
+  const double per_in =
+      wire_in_kbps(stage, 1.0);  // wire Kbps per delivered ups (linear)
+  const double per_out = wire_out_kbps(stage, 1.0);
+  double d = 1e18;
+  if (per_in > 0) d = std::min(d, avail_in_kbps / per_in);
+  if (per_out > 0) d = std::min(d, avail_out_kbps / per_out);
+  if (avail_cpu_fraction >= 0) {
+    const double per_cpu =
+        cpu_secs_per_in_unit(stage) * in_units_per_delivered(stage);
+    if (per_cpu > 0) d = std::min(d, avail_cpu_fraction / per_cpu);
+  }
+  return std::max(d, 0.0);
+}
+
+runtime::AppPlan build_app_plan(
+    const ServiceRequest& request, const runtime::ServiceCatalog& catalog,
+    const std::vector<std::vector<std::vector<runtime::Placement>>>&
+        delivered_shares) {
+  assert(delivered_shares.size() == request.substreams.size());
+  runtime::AppPlan plan;
+  plan.app = request.app;
+  plan.source = request.source;
+  plan.destination = request.destination;
+
+  for (std::size_t ss = 0; ss < request.substreams.size(); ++ss) {
+    const auto& sub = request.substreams[ss];
+    const SubstreamMath math(sub, catalog, request.unit_bytes);
+
+    runtime::SubstreamPlan sp;
+    sp.unit_bytes = request.unit_bytes;
+    sp.rate_units_per_sec = math.delivered_ups(sub.rate_kbps);
+
+    const auto& stage_shares = delivered_shares[ss];
+    assert(stage_shares.size() == sub.services.size());
+    for (std::size_t st = 0; st < stage_shares.size(); ++st) {
+      runtime::StagePlan stage;
+      stage.service = sub.services[st];
+      for (const auto& share : stage_shares[st]) {
+        runtime::Placement p;
+        p.node = share.node;
+        // Convert the delivered-ups share to this instance's input rate.
+        p.rate_units_per_sec =
+            math.in_ups(int(st), share.rate_units_per_sec);
+        stage.placements.push_back(p);
+      }
+      sp.stages.push_back(std::move(stage));
+    }
+    plan.substreams.push_back(std::move(sp));
+  }
+  return plan;
+}
+
+ResidualTracker::ResidualTracker(const ComposeInput& input,
+                                 double headroom) {
+  auto note = [this, headroom](const monitor::NodeStats& s) {
+    if (s.node < 0) return;
+    auto& e = entries_[s.node];  // last writer wins; snapshots agree
+    e.avail_in = s.available_in_kbps() * headroom;
+    e.avail_out = s.available_out_kbps() * headroom;
+    e.avail_cpu = s.available_cpu_fraction() * headroom;
+    e.drop_ratio = s.drop_ratio;
+  };
+  for (const auto& [service, stats] : input.providers) {
+    (void)service;
+    for (const auto& s : stats) note(s);
+  }
+  note(input.source_stats);
+  note(input.destination_stats);
+}
+
+double ResidualTracker::avail_in_kbps(sim::NodeIndex node) const {
+  const auto it = entries_.find(node);
+  return it == entries_.end() ? 0.0 : it->second.avail_in;
+}
+
+double ResidualTracker::avail_out_kbps(sim::NodeIndex node) const {
+  const auto it = entries_.find(node);
+  return it == entries_.end() ? 0.0 : it->second.avail_out;
+}
+
+double ResidualTracker::drop_ratio(sim::NodeIndex node) const {
+  const auto it = entries_.find(node);
+  return it == entries_.end() ? 1.0 : it->second.drop_ratio;
+}
+
+double ResidualTracker::avail_cpu_fraction(sim::NodeIndex node) const {
+  const auto it = entries_.find(node);
+  return it == entries_.end() ? 0.0 : it->second.avail_cpu;
+}
+
+void ResidualTracker::consume(sim::NodeIndex node, double in_kbps,
+                              double out_kbps, double cpu_fraction) {
+  auto& e = entries_[node];
+  e.avail_in = std::max(0.0, e.avail_in - in_kbps);
+  e.avail_out = std::max(0.0, e.avail_out - out_kbps);
+  e.avail_cpu = std::max(0.0, e.avail_cpu - cpu_fraction);
+}
+
+}  // namespace rasc::core

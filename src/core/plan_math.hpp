@@ -1,0 +1,91 @@
+// Rate arithmetic shared by all composers.
+//
+// The paper formulates composition in data-unit rates with per-component
+// rate ratios R (§2.2) and reduces to min-cost flow when R = 1, noting LP
+// for the general case. Because substreams are linear chains and R depends
+// only on the service, the cumulative downstream gain of each stage is a
+// per-layer constant — so we normalize every quantity to
+// *destination-delivered units per second* and the R ≠ 1 case becomes a
+// standard min-cost flow too (see DESIGN.md). This header centralizes that
+// normalization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/request.hpp"
+#include "runtime/plan.hpp"
+#include "runtime/service.hpp"
+#include "sim/network.hpp"
+
+namespace rasc::core {
+
+/// Wire rate (Kbps, including per-packet framing) of `ups` units/sec of
+/// `unit_bytes` each.
+double wire_kbps(double ups, double unit_bytes);
+
+/// Payload rate (Kbps, no framing).
+double payload_kbps(double ups, double unit_bytes);
+
+/// Per-substream derived quantities.
+class SubstreamMath {
+ public:
+  SubstreamMath(const Substream& substream,
+                const runtime::ServiceCatalog& catalog,
+                std::int64_t source_unit_bytes);
+
+  int num_stages() const { return int(ratio_.size()); }
+
+  /// Size of units entering stage i (bytes); i == num_stages() gives the
+  /// delivered unit size at the destination.
+  double in_unit_bytes(int stage) const { return in_bytes_[std::size_t(stage)]; }
+
+  /// Units entering stage i per unit delivered at the destination
+  /// (= 1 / prod_{j >= i} R_j).
+  double in_units_per_delivered(int stage) const {
+    return in_per_delivered_[std::size_t(stage)];
+  }
+
+  /// Delivered units/sec required for a delivery rate of `rate_kbps`
+  /// payload at the destination.
+  double delivered_ups(double rate_kbps) const;
+
+  /// Input units/sec at stage i when carrying `delivered` delivered
+  /// units/sec.
+  double in_ups(int stage, double delivered) const {
+    return delivered * in_units_per_delivered(stage);
+  }
+
+  /// Input / output wire Kbps of stage i at `delivered` delivered ups.
+  double wire_in_kbps(int stage, double delivered) const;
+  double wire_out_kbps(int stage, double delivered) const;
+
+  /// CPU seconds consumed per *input* unit at stage i.
+  double cpu_secs_per_in_unit(int stage) const {
+    return cpu_secs_[std::size_t(stage)];
+  }
+
+  /// Maximum delivered ups a component instance of stage i can carry on a
+  /// node with the given available bandwidth and CPU (the paper's
+  /// r_max(c_i, n) = min_j A_j / u_j in normalized units). Pass
+  /// avail_cpu_fraction < 0 to ignore the CPU constraint.
+  double max_delivered_ups(int stage, double avail_in_kbps,
+                           double avail_out_kbps,
+                           double avail_cpu_fraction = -1.0) const;
+
+ private:
+  std::vector<double> ratio_;             // R per stage
+  std::vector<double> cpu_secs_;          // CPU secs per input unit
+  std::vector<double> in_bytes_;          // size(num_stages + 1)
+  std::vector<double> in_per_delivered_;  // size(num_stages + 1)
+};
+
+/// Builds the runtime execution plan from per-substream, per-stage shares
+/// expressed in delivered ups. `shares[ss][stage]` lists (node, delivered
+/// ups) pairs; placements are converted to per-instance *input* ups.
+runtime::AppPlan build_app_plan(
+    const ServiceRequest& request, const runtime::ServiceCatalog& catalog,
+    const std::vector<std::vector<std::vector<runtime::Placement>>>&
+        delivered_shares);
+
+}  // namespace rasc::core

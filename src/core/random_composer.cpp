@@ -1,0 +1,82 @@
+#include "core/random_composer.hpp"
+
+#include "core/plan_math.hpp"
+
+namespace rasc::core {
+
+ComposeResult RandomComposer::compose(const ComposeInput& input) {
+  ComposeResult result;
+  if (auto err = input.request.validate(); !err.empty()) {
+    result.error = err;
+    return result;
+  }
+  if (input.catalog == nullptr) {
+    result.error = "no service catalog";
+    return result;
+  }
+
+  ResidualTracker tracker(input);
+  const auto& req = input.request;
+  std::vector<std::vector<std::vector<runtime::Placement>>> all_shares;
+
+  for (std::size_t ss = 0; ss < req.substreams.size(); ++ss) {
+    const auto& sub = req.substreams[ss];
+    const SubstreamMath math(sub, *input.catalog, req.unit_bytes);
+    const double demand = math.delivered_ups(sub.rate_kbps);
+    const int k = math.num_stages();
+
+    if (tracker.avail_out_kbps(req.source) < math.wire_in_kbps(0, demand)) {
+      result.error = "source lacks output bandwidth";
+      return result;
+    }
+    if (tracker.avail_in_kbps(req.destination) <
+        math.wire_in_kbps(k, demand)) {
+      result.error = "destination lacks input bandwidth";
+      return result;
+    }
+
+    auto shares =
+        std::vector<std::vector<runtime::Placement>>(std::size_t(k));
+    for (int st = 0; st < k; ++st) {
+      const auto it = input.providers.find(sub.services[std::size_t(st)]);
+      if (it == input.providers.end() || it->second.empty()) {
+        result.error = "no providers for service " +
+                       sub.services[std::size_t(st)];
+        return result;
+      }
+      const double need_in = math.wire_in_kbps(st, demand);
+      const double need_out = math.wire_out_kbps(st, demand);
+
+      // Placement is blind (the paper's random baseline "does not take
+      // into account the capacity of the nodes when composing"); only a
+      // coarse sanity check rejects picks with essentially no capacity
+      // left at all, after a few retries.
+      sim::NodeIndex chosen = sim::kInvalidNode;
+      for (int attempt = 0; attempt < attempts_; ++attempt) {
+        const auto& pick = it->second[std::size_t(rng_.uniform_int(
+            0, std::int64_t(it->second.size()) - 1))];
+        if (tracker.avail_in_kbps(pick.node) > 0.1 * need_in &&
+            tracker.avail_out_kbps(pick.node) > 0.1 * need_out) {
+          chosen = pick.node;
+          break;
+        }
+      }
+      if (chosen == sim::kInvalidNode) {
+        result.error = "random picks lacked capacity for service " +
+                       sub.services[std::size_t(st)];
+        return result;
+      }
+      shares[std::size_t(st)].push_back(runtime::Placement{chosen, demand});
+      tracker.consume(chosen, need_in, need_out);
+    }
+    tracker.consume(req.source, 0, math.wire_in_kbps(0, demand));
+    tracker.consume(req.destination, math.wire_in_kbps(k, demand), 0);
+    all_shares.push_back(std::move(shares));
+  }
+
+  result.plan = build_app_plan(req, *input.catalog, all_shares);
+  result.admitted = true;
+  return result;
+}
+
+}  // namespace rasc::core

@@ -1,0 +1,26 @@
+// Random baseline (paper §4.1): one component per service, provider chosen
+// uniformly at random — placement ignores load and drop feedback entirely;
+// only a bandwidth admission check is applied to the picked node (both
+// baselines "considered the bandwidth capacity of the nodes").
+#pragma once
+
+#include "core/composer.hpp"
+#include "util/rng.hpp"
+
+namespace rasc::core {
+
+class RandomComposer final : public Composer {
+ public:
+  /// `attempts`: how many random picks per stage before giving up.
+  explicit RandomComposer(util::Xoshiro256 rng, int attempts = 3)
+      : rng_(rng), attempts_(attempts) {}
+
+  const char* name() const override { return "random"; }
+  ComposeResult compose(const ComposeInput& input) override;
+
+ private:
+  util::Xoshiro256 rng_;
+  int attempts_;
+};
+
+}  // namespace rasc::core

@@ -1,0 +1,41 @@
+#include "core/request.hpp"
+
+#include <algorithm>
+
+namespace rasc::core {
+
+std::vector<std::string> ServiceRequest::distinct_services() const {
+  std::vector<std::string> out;
+  for (const auto& ss : substreams) {
+    for (const auto& s : ss.services) {
+      if (std::find(out.begin(), out.end(), s) == out.end()) {
+        out.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+double ServiceRequest::total_rate_kbps() const {
+  double total = 0;
+  for (const auto& ss : substreams) total += ss.rate_kbps;
+  return total;
+}
+
+std::string ServiceRequest::validate() const {
+  if (source < 0) return "invalid source node";
+  if (destination < 0) return "invalid destination node";
+  if (unit_bytes <= 0) return "unit_bytes must be positive";
+  if (substreams.empty()) return "request has no substreams";
+  for (std::size_t i = 0; i < substreams.size(); ++i) {
+    if (substreams[i].rate_kbps <= 0) {
+      return "substream " + std::to_string(i) + " has non-positive rate";
+    }
+    if (substreams[i].services.empty()) {
+      return "substream " + std::to_string(i) + " has no services";
+    }
+  }
+  return {};
+}
+
+}  // namespace rasc::core

@@ -1,0 +1,44 @@
+// Service request model (paper §2.2).
+//
+// A request carries a service request graph G_req — here a set of linear
+// substreams, each a chain of services between the common source and
+// destination — and the rate requirement vector r_req (one delivery rate
+// per substream, in Kbps at the destination).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/data_unit.hpp"
+#include "sim/message.hpp"
+
+namespace rasc::core {
+
+struct Substream {
+  /// Services applied in order between source and destination.
+  std::vector<std::string> services;
+  /// Required delivery rate at the destination, Kbps.
+  double rate_kbps = 0;
+};
+
+struct ServiceRequest {
+  runtime::AppId app = 0;
+  sim::NodeIndex source = sim::kInvalidNode;
+  sim::NodeIndex destination = sim::kInvalidNode;
+  /// Size of one data unit at the source (application-defined, §2.1).
+  std::int64_t unit_bytes = 1250;
+  std::vector<Substream> substreams;
+
+  /// All distinct service names across substreams, in first-seen order.
+  std::vector<std::string> distinct_services() const;
+
+  /// Total requested delivery rate (sum over substreams), Kbps.
+  double total_rate_kbps() const;
+
+  /// Validation: non-empty substreams, positive rates, valid endpoints.
+  /// Returns an error description or empty string when valid.
+  std::string validate() const;
+};
+
+}  // namespace rasc::core

@@ -1,0 +1,215 @@
+#include "core/supervisor.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "runtime/deploy_messages.hpp"
+#include "util/logging.hpp"
+
+namespace rasc::core {
+
+AppSupervisor::AppSupervisor(sim::Simulator& simulator,
+                             sim::Network& network, Coordinator& coordinator,
+                             Composer& composer, Params params)
+    : simulator_(simulator),
+      network_(network),
+      coordinator_(coordinator),
+      composer_(composer),
+      params_(params),
+      node_(coordinator.node()) {}
+
+AppSupervisor::AppSupervisor(sim::Simulator& simulator,
+                             sim::Network& network, Coordinator& coordinator,
+                             Composer& composer)
+    : AppSupervisor(simulator, network, coordinator, composer, Params()) {}
+
+AppSupervisor::~AppSupervisor() {
+  for (auto& [app, w] : watched_) {
+    (void)app;
+    simulator_.cancel(w->timer);
+    simulator_.cancel(w->probe_timeout_event);
+  }
+}
+
+void AppSupervisor::watch(const ServiceRequest& request,
+                          const runtime::AppPlan& plan,
+                          sim::SimTime stream_stop, EventCallback events) {
+  auto w = std::make_unique<Watched>();
+  w->request = request;
+  w->plan = plan;
+  w->stream_stop = stream_stop;
+  w->events = std::move(events);
+  for (const auto& sub : plan.substreams) {
+    w->expected_ups += sub.rate_units_per_sec;
+  }
+  const auto app = plan.app;
+  watched_[app] = std::move(w);
+  schedule_check(app);
+}
+
+void AppSupervisor::forget(runtime::AppId app) {
+  const auto it = watched_.find(app);
+  if (it == watched_.end()) return;
+  simulator_.cancel(it->second->timer);
+  simulator_.cancel(it->second->probe_timeout_event);
+  watched_.erase(it);
+}
+
+void AppSupervisor::schedule_check(runtime::AppId app) {
+  const auto it = watched_.find(app);
+  if (it == watched_.end()) return;
+  if (simulator_.now() + params_.check_interval >= it->second->stream_stop) {
+    // The stream is about to end naturally; stop supervising.
+    watched_.erase(it);
+    return;
+  }
+  it->second->timer = simulator_.call_after(params_.check_interval,
+                                            [this, app] { run_check(app); });
+}
+
+void AppSupervisor::run_check(runtime::AppId app) {
+  const auto it = watched_.find(app);
+  if (it == watched_.end()) return;
+  Watched& w = *it->second;
+
+  const std::uint64_t rid = ++probe_counter_;
+  w.pending_probe = rid;
+  probe_routing_[rid] = app;
+  auto probe = std::make_shared<runtime::SinkHealthRequest>();
+  probe->app = app;
+  probe->request_id = rid;
+  probe->requester = node_;
+  network_.send(node_, w.plan.destination,
+                runtime::SinkHealthRequest::kBytes, std::move(probe));
+
+  w.probe_timeout_event =
+      simulator_.call_after(params_.probe_timeout, [this, app, rid] {
+        const auto wit = watched_.find(app);
+        if (wit == watched_.end() || wit->second->pending_probe != rid) {
+          return;
+        }
+        probe_routing_.erase(rid);
+        wit->second->pending_probe = 0;
+        // An unreachable destination is at least as bad as starvation.
+        strike(app);
+      });
+}
+
+bool AppSupervisor::handle_packet(const sim::Packet& packet) {
+  const auto* reply =
+      dynamic_cast<const runtime::SinkHealthReply*>(packet.payload.get());
+  if (reply == nullptr) return false;
+  const auto route = probe_routing_.find(reply->request_id);
+  if (route == probe_routing_.end()) return true;  // stale
+  const auto app = route->second;
+  probe_routing_.erase(route);
+  const auto it = watched_.find(app);
+  if (it == watched_.end()) return true;
+  Watched& w = *it->second;
+  if (w.pending_probe != reply->request_id) return true;
+  simulator_.cancel(w.probe_timeout_event);
+  w.pending_probe = 0;
+  on_probe_result(app, reply->delivered);
+  return true;
+}
+
+void AppSupervisor::on_probe_result(runtime::AppId app,
+                                    std::int64_t delivered) {
+  const auto it = watched_.find(app);
+  if (it == watched_.end()) return;
+  Watched& w = *it->second;
+  if (delivered < 0) {
+    // No sink at the destination (teardown raced us): treat as starved.
+    strike(app);
+    return;
+  }
+  const double expected_units =
+      w.expected_ups * sim::to_seconds(params_.check_interval);
+  const auto progress = double(delivered - w.last_delivered);
+  w.last_delivered = delivered;
+  if (progress < params_.min_progress_fraction * expected_units) {
+    strike(app);
+    return;
+  }
+  w.strikes = 0;
+  schedule_check(app);
+}
+
+void AppSupervisor::strike(runtime::AppId app) {
+  const auto it = watched_.find(app);
+  if (it == watched_.end()) return;
+  Watched& w = *it->second;
+  if (++w.strikes < params_.strikes_to_recover) {
+    schedule_check(app);
+    return;
+  }
+  recover(app);
+}
+
+void AppSupervisor::teardown_everywhere(const Watched& w,
+                                        runtime::AppId app) {
+  std::set<sim::NodeIndex> nodes{w.plan.source, w.plan.destination};
+  for (const auto& sub : w.plan.substreams) {
+    for (const auto& stage : sub.stages) {
+      for (const auto& p : stage.placements) nodes.insert(p.node);
+    }
+  }
+  for (const auto n : nodes) {
+    auto td = std::make_shared<runtime::TeardownAppMsg>();
+    td->app = app;
+    network_.send(node_, n, runtime::TeardownAppMsg::kBytes, std::move(td));
+  }
+}
+
+void AppSupervisor::recover(runtime::AppId app) {
+  const auto it = watched_.find(app);
+  if (it == watched_.end()) return;
+  // Move the record out: the watch for the old id ends here.
+  auto w = std::move(it->second);
+  watched_.erase(it);
+
+  if (params_.max_recoveries > 0 &&
+      w->recoveries >= params_.max_recoveries) {
+    if (w->events) {
+      w->events(Event{Event::Kind::kGaveUp, app, 0});
+    }
+    return;
+  }
+
+  RASC_LOG(kInfo) << "supervisor: app " << app
+                  << " starving; tearing down and re-composing";
+  teardown_everywhere(*w, app);
+  if (w->events) {
+    w->events(Event{Event::Kind::kRecovering, app, 0});
+  }
+
+  ServiceRequest retry = w->request;
+  retry.app = next_recovered_app_++;
+  const auto recoveries = w->recoveries + 1;
+  const auto stream_stop = w->stream_stop;
+  auto events = w->events;
+
+  // Small settle delay so teardowns land before fresh stats are gathered.
+  simulator_.call_after(sim::msec(300), [this, retry, recoveries,
+                                         stream_stop, events, app] {
+    coordinator_.submit(
+        retry, composer_, /*stream_start=*/0, stream_stop,
+        [this, retry, recoveries, stream_stop, events,
+         app](const SubmitOutcome& outcome) {
+          if (!outcome.compose.admitted) {
+            if (events) {
+              events(Event{Event::Kind::kRecoveryFailed, app, retry.app});
+            }
+            return;
+          }
+          if (events) {
+            events(Event{Event::Kind::kRecovered, app, retry.app});
+          }
+          // Keep watching under the new identity.
+          watch(retry, outcome.compose.plan, stream_stop, events);
+          watched_[retry.app]->recoveries = recoveries;
+        });
+  });
+}
+
+}  // namespace rasc::core

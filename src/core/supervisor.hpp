@@ -1,0 +1,107 @@
+// Application supervisor: the "dynamic" in dynamic rate allocation.
+//
+// The paper's system "allocates and adjusts the rates of the streams based
+// on the available processing capacity of the nodes" (§1). Composition
+// reacts to current conditions; the supervisor closes the loop *after*
+// admission: it periodically probes the destination's delivery progress
+// and, when a stream starves (component host failed, or placements became
+// hopelessly congested), tears the application down everywhere and
+// re-composes it from fresh statistics — typically landing on different,
+// healthier nodes.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "core/coordinator.hpp"
+
+namespace rasc::core {
+
+class AppSupervisor {
+ public:
+  struct Params {
+    /// Health-probe period.
+    sim::SimDuration check_interval = sim::sec(2);
+    /// A check is a strike when delivery progress since the previous
+    /// check is below this fraction of the expected unit count.
+    double min_progress_fraction = 0.3;
+    /// Consecutive strikes (or probe timeouts) before recovery.
+    int strikes_to_recover = 2;
+    /// Probe timeout.
+    sim::SimDuration probe_timeout = sim::msec(1500);
+    /// Maximum recoveries per application (0 = unlimited).
+    int max_recoveries = 3;
+  };
+
+  /// Events reported to the owner.
+  struct Event {
+    enum class Kind { kRecovering, kRecovered, kRecoveryFailed, kGaveUp };
+    Kind kind;
+    runtime::AppId old_app = 0;
+    runtime::AppId new_app = 0;
+  };
+  using EventCallback = std::function<void(const Event&)>;
+
+  AppSupervisor(sim::Simulator& simulator, sim::Network& network,
+                Coordinator& coordinator, Composer& composer,
+                Params params);
+  AppSupervisor(sim::Simulator& simulator, sim::Network& network,
+                Coordinator& coordinator, Composer& composer);
+  ~AppSupervisor();
+
+  AppSupervisor(const AppSupervisor&) = delete;
+  AppSupervisor& operator=(const AppSupervisor&) = delete;
+
+  /// Starts supervising an admitted application. `request` is the original
+  /// request (re-submitted under a fresh app id on recovery); `plan` the
+  /// deployed execution graph (its nodes receive the teardown);
+  /// `stream_stop` the time the stream is expected to end (supervision
+  /// stops then).
+  void watch(const ServiceRequest& request, const runtime::AppPlan& plan,
+             sim::SimTime stream_stop, EventCallback events);
+
+  /// Stops supervising (e.g., the owner tore the app down itself).
+  void forget(runtime::AppId app);
+
+  /// Consumes SinkHealthReply packets; false for anything else.
+  bool handle_packet(const sim::Packet& packet);
+
+  std::size_t watched_count() const { return watched_.size(); }
+
+ private:
+  struct Watched {
+    ServiceRequest request;
+    runtime::AppPlan plan;
+    sim::SimTime stream_stop = 0;
+    EventCallback events;
+    double expected_ups = 0;  // total delivered units/sec across substreams
+    std::int64_t last_delivered = 0;
+    int strikes = 0;
+    int recoveries = 0;
+    sim::EventId timer = 0;
+    std::uint64_t pending_probe = 0;  // request id awaiting reply
+    sim::EventId probe_timeout_event = 0;
+  };
+
+  void schedule_check(runtime::AppId app);
+  void run_check(runtime::AppId app);
+  void on_probe_result(runtime::AppId app, std::int64_t delivered);
+  void strike(runtime::AppId app);
+  void recover(runtime::AppId app);
+  void teardown_everywhere(const Watched& w, runtime::AppId app);
+
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  Coordinator& coordinator_;
+  Composer& composer_;
+  Params params_;
+  sim::NodeIndex node_;
+
+  std::map<runtime::AppId, std::unique_ptr<Watched>> watched_;
+  std::map<std::uint64_t, runtime::AppId> probe_routing_;
+  std::uint64_t probe_counter_ = 0;
+  runtime::AppId next_recovered_app_ = 1'000'000;  // fresh id space
+};
+
+}  // namespace rasc::core

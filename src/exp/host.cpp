@@ -1,0 +1,46 @@
+#include "exp/host.hpp"
+
+#include "util/logging.hpp"
+
+namespace rasc::exp {
+
+Host::Host(sim::Simulator& simulator, sim::Network& network,
+           overlay::PastryNode& pastry,
+           const runtime::ServiceCatalog& catalog,
+           monitor::NodeMonitor::Params monitor_params,
+           runtime::NodeRuntime::Params runtime_params) {
+  const sim::NodeIndex node = pastry.addr();
+  monitor_ = std::make_unique<monitor::NodeMonitor>(simulator, network, node,
+                                                    monitor_params);
+  stats_ = std::make_unique<monitor::StatsAgent>(simulator, network, node,
+                                                 *monitor_);
+  runtime_ = std::make_unique<runtime::NodeRuntime>(
+      simulator, network, node, *monitor_, catalog, runtime_params);
+  coordinator_ = std::make_unique<core::Coordinator>(
+      simulator, network, pastry, *stats_, catalog);
+  recovery_composer_ = std::make_unique<core::MinCostComposer>();
+  supervisor_ = std::make_unique<core::AppSupervisor>(
+      simulator, network, *coordinator_, *recovery_composer_);
+
+  // Data units tail-dropped at this node's port queues are congestion
+  // losses this node caused: they feed the drop-ratio the composers see.
+  monitor::NodeMonitor* monitor = monitor_.get();
+  network.set_drop_handler(
+      node, [monitor](const sim::Packet& packet, bool outgoing) {
+        (void)outgoing;
+        if (dynamic_cast<const runtime::DataUnit*>(packet.payload.get())) {
+          monitor->on_unit_dropped();
+        }
+      });
+}
+
+void Host::handle_packet(const sim::Packet& packet) {
+  if (stats_->handle_packet(packet)) return;
+  if (runtime_->handle_packet(packet)) return;
+  if (coordinator_->handle_packet(packet)) return;
+  if (supervisor_->handle_packet(packet)) return;
+  RASC_LOG(kWarn) << "host " << packet.dst << ": unhandled packet kind "
+                  << (packet.payload ? packet.payload->kind() : "null");
+}
+
+}  // namespace rasc::exp

@@ -1,0 +1,47 @@
+// A Host bundles everything that lives on one simulated node: the resource
+// monitor, the stats agent, the stream runtime and the composition
+// coordinator. It is the per-node packet demultiplexer installed as the
+// overlay's fallback handler (overlay traffic is consumed upstream).
+#pragma once
+
+#include <memory>
+
+#include "core/coordinator.hpp"
+#include "core/mincost_composer.hpp"
+#include "core/supervisor.hpp"
+#include "monitor/node_monitor.hpp"
+#include "monitor/stats_protocol.hpp"
+#include "overlay/builder.hpp"
+#include "runtime/node_runtime.hpp"
+
+namespace rasc::exp {
+
+class Host {
+ public:
+  Host(sim::Simulator& simulator, sim::Network& network,
+       overlay::PastryNode& pastry, const runtime::ServiceCatalog& catalog,
+       monitor::NodeMonitor::Params monitor_params,
+       runtime::NodeRuntime::Params runtime_params);
+
+  monitor::NodeMonitor& monitor() { return *monitor_; }
+  monitor::StatsAgent& stats_agent() { return *stats_; }
+  runtime::NodeRuntime& runtime() { return *runtime_; }
+  core::Coordinator& coordinator() { return *coordinator_; }
+  const runtime::NodeRuntime& runtime() const { return *runtime_; }
+  /// Supervisor bound to this node's coordinator, recomposing starved
+  /// applications with min-cost composition.
+  core::AppSupervisor& supervisor() { return *supervisor_; }
+
+  /// Non-overlay packet entry point (install as Overlay fallback).
+  void handle_packet(const sim::Packet& packet);
+
+ private:
+  std::unique_ptr<monitor::NodeMonitor> monitor_;
+  std::unique_ptr<monitor::StatsAgent> stats_;
+  std::unique_ptr<runtime::NodeRuntime> runtime_;
+  std::unique_ptr<core::Coordinator> coordinator_;
+  std::unique_ptr<core::MinCostComposer> recovery_composer_;
+  std::unique_ptr<core::AppSupervisor> supervisor_;
+};
+
+}  // namespace rasc::exp

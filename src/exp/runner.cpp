@@ -1,0 +1,107 @@
+#include "exp/runner.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/greedy_composer.hpp"
+#include "core/mincost_composer.hpp"
+#include "core/random_composer.hpp"
+#include "util/logging.hpp"
+
+namespace rasc::exp {
+
+namespace {
+
+std::unique_ptr<core::Composer> make_composer(const std::string& name,
+                                              util::Xoshiro256 rng) {
+  if (name == "mincost") return std::make_unique<core::MinCostComposer>();
+  if (name == "mincost-nosplit") {
+    core::MinCostComposer::Options options;
+    options.single_instance_per_stage = true;
+    return std::make_unique<core::MinCostComposer>(options);
+  }
+  if (name == "mincost-nocpu") {
+    core::MinCostComposer::Options options;
+    options.consider_cpu = false;
+    return std::make_unique<core::MinCostComposer>(options);
+  }
+  if (name == "greedy") return std::make_unique<core::GreedyComposer>(rng);
+  if (name == "random") {
+    return std::make_unique<core::RandomComposer>(rng);
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+}  // namespace
+
+RunMetrics run_experiment(const RunConfig& config) {
+  World world(config.world);
+  auto& simulator = world.simulator();
+
+  auto workload_rng = simulator.rng().split(0x776f726b /* "work" */);
+  const auto requests = generate_workload(
+      config.workload, world.service_names(), world.size(), workload_rng);
+
+  auto composer = make_composer(config.algorithm,
+                                simulator.rng().split(0x636f6d70 /*comp*/));
+
+  RunMetrics metrics;
+  metrics.requests = int(requests.size());
+
+  const sim::SimTime t0 = simulator.now();
+  const sim::SimTime last_submit =
+      t0 + sim::SimDuration(requests.size()) * config.submit_gap;
+  const sim::SimTime stream_stop =
+      last_submit + config.steady_duration;
+  const sim::SimTime run_end = stream_stop + config.drain;
+
+  // Submit each request from its source node's coordinator, staggered.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const auto& request = requests[i];
+    const sim::SimTime when = t0 + sim::SimDuration(i) * config.submit_gap;
+    simulator.call_at(when, [&world, &metrics, &request, &composer,
+                             stream_stop] {
+      auto& coordinator =
+          world.host(std::size_t(request.source)).coordinator();
+      coordinator.submit(
+          request, *composer, /*stream_start=*/0, stream_stop,
+          [&metrics, &request](const core::SubmitOutcome& outcome) {
+            if (outcome.compose.admitted) {
+              ++metrics.composed;
+              metrics.components +=
+                  std::int64_t(outcome.compose.plan.component_count());
+              for (const auto& sub : outcome.compose.plan.substreams) {
+                metrics.stages += std::int64_t(sub.stages.size());
+              }
+            } else {
+              RASC_LOG(kDebug)
+                  << "app " << request.app
+                  << " rejected: " << outcome.compose.error;
+            }
+          });
+    });
+  }
+
+  simulator.run_until(run_end);
+
+  // Collect per-node counters and sink statistics.
+  for (std::size_t n = 0; n < world.size(); ++n) {
+    const auto& rt = world.host(n).runtime();
+    metrics.emitted += rt.total_emitted();
+    const auto sink = rt.aggregate_sink_stats();
+    metrics.delivered += sink.delivered;
+    metrics.timely += sink.timely;
+    metrics.out_of_order += sink.out_of_order;
+    metrics.delay_ms.merge(sink.delay_ms);
+    metrics.jitter_ms.merge(sink.jitter_ms);
+    metrics.drops_queue_full += rt.units_dropped_queue_full();
+    metrics.drops_deadline += rt.units_dropped_deadline();
+    metrics.unroutable += rt.units_unroutable();
+    metrics.drops_network +=
+        world.network().out_queue_drops(sim::NodeIndex(n)) +
+        world.network().in_queue_drops(sim::NodeIndex(n));
+  }
+  return metrics;
+}
+
+}  // namespace rasc::exp

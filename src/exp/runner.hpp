@@ -1,0 +1,75 @@
+// Single-run experiment driver: build a world, submit a workload through
+// the distributed pipeline (discovery -> stats -> composition ->
+// deployment -> streaming), and collect the paper's §4.2 metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "exp/workload.hpp"
+#include "exp/world.hpp"
+#include "util/summary_stats.hpp"
+
+namespace rasc::exp {
+
+struct RunConfig {
+  WorldConfig world;
+  WorkloadConfig workload;
+  /// "mincost" (RASC), "greedy" or "random".
+  std::string algorithm = "mincost";
+  /// Gap between consecutive request submissions.
+  sim::SimDuration submit_gap = sim::msec(800);
+  /// How long streams keep running after the last submission.
+  sim::SimDuration steady_duration = sim::sec(20);
+  /// Drain margin: sources stop this long before measurement ends so
+  /// in-flight units can land.
+  sim::SimDuration drain = sim::sec(3);
+};
+
+struct RunMetrics {
+  int requests = 0;
+  int composed = 0;
+
+  std::int64_t emitted = 0;
+  std::int64_t delivered = 0;
+  std::int64_t timely = 0;
+  std::int64_t out_of_order = 0;
+
+  util::SummaryStats delay_ms;
+  util::SummaryStats jitter_ms;
+
+  /// Components instantiated across all admitted requests and the number
+  /// of service stages they implement; components/stages > 1 means rate
+  /// splitting happened (greedy and random are exactly 1).
+  std::int64_t components = 0;
+  std::int64_t stages = 0;
+  std::int64_t drops_queue_full = 0;
+  std::int64_t drops_deadline = 0;
+  std::int64_t unroutable = 0;
+  /// Packets tail-dropped at access-link port queues (all kinds).
+  std::int64_t drops_network = 0;
+
+  double composed_fraction() const {
+    return requests ? double(composed) / requests : 0;
+  }
+  double delivered_fraction() const {
+    return emitted ? double(delivered) / double(emitted) : 0;
+  }
+  double timely_fraction() const {
+    return delivered ? double(timely) / double(delivered) : 0;
+  }
+  double out_of_order_fraction() const {
+    return delivered ? double(out_of_order) / double(delivered) : 0;
+  }
+  double mean_delay_ms() const { return delay_ms.mean(); }
+  double mean_jitter_ms() const { return jitter_ms.mean(); }
+  /// Average component instances per service stage (1.0 = no splitting).
+  double splitting_degree() const {
+    return stages ? double(components) / double(stages) : 0;
+  }
+};
+
+/// Runs one full experiment. Deterministic in `config` (including seeds).
+RunMetrics run_experiment(const RunConfig& config);
+
+}  // namespace rasc::exp

@@ -1,0 +1,86 @@
+#include "exp/sweep.hpp"
+
+#include <mutex>
+#include <sstream>
+
+#include "util/thread_pool.hpp"
+
+namespace rasc::exp {
+
+double SweepResult::mean(
+    const std::string& algorithm, double rate,
+    const std::function<double(const RunMetrics&)>& extract) const {
+  const auto it = cells.find({algorithm, rate});
+  if (it == cells.end() || it->second.empty()) return 0;
+  double total = 0;
+  for (const auto& m : it->second) total += extract(m);
+  return total / double(it->second.size());
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  struct Cell {
+    std::string algorithm;
+    double rate;
+    int rep;
+  };
+  std::vector<Cell> cells;
+  for (const auto& algorithm : config.algorithms) {
+    for (double rate : config.rates_kbps) {
+      for (int rep = 0; rep < config.repetitions; ++rep) {
+        cells.push_back(Cell{algorithm, rate, rep});
+      }
+    }
+  }
+
+  SweepResult result;
+  // Pre-size the per-cell vectors so workers write disjoint slots.
+  for (const auto& algorithm : config.algorithms) {
+    for (double rate : config.rates_kbps) {
+      result.cells[{algorithm, rate}].resize(
+          std::size_t(config.repetitions));
+    }
+  }
+
+  util::ThreadPool pool(config.threads);
+  std::mutex result_mutex;
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    RunConfig run = config.base;
+    run.algorithm = cell.algorithm;
+    run.workload.avg_rate_kbps = cell.rate;
+    // Same world per repetition across algorithms and rates.
+    run.world.seed = config.base_seed + std::uint64_t(cell.rep) * 7919;
+    const RunMetrics metrics = run_experiment(run);
+    std::scoped_lock lock(result_mutex);
+    result.cells[{cell.algorithm, cell.rate}][std::size_t(cell.rep)] =
+        metrics;
+  });
+  return result;
+}
+
+SeriesTable make_table(
+    const SweepConfig& config, const SweepResult& result,
+    const std::string& title,
+    const std::function<double(const RunMetrics&)>& extract, int precision) {
+  SeriesTable table;
+  table.title = title;
+  table.row_header = "algorithm";
+  table.col_header = "average rate (Kb/sec)";
+  table.precision = precision;
+  for (double rate : config.rates_kbps) {
+    std::ostringstream os;
+    os << rate;
+    table.col_labels.push_back(os.str());
+  }
+  for (const auto& algorithm : config.algorithms) {
+    table.row_labels.push_back(algorithm);
+    std::vector<double> row;
+    for (double rate : config.rates_kbps) {
+      row.push_back(result.mean(algorithm, rate, extract));
+    }
+    table.values.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace rasc::exp

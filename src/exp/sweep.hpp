@@ -1,0 +1,46 @@
+// Parallel parameter sweeps: (algorithm × rate × repetition) cells run as
+// independent Simulator instances on a thread pool. Repetition k of every
+// (algorithm, rate) cell shares the same world seed so all algorithms face
+// identical topologies and workloads, mirroring the paper's 5-run
+// averaging on the same PlanetLab slice.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/table.hpp"
+
+namespace rasc::exp {
+
+struct SweepConfig {
+  RunConfig base;
+  std::vector<std::string> algorithms{"mincost", "greedy", "random"};
+  std::vector<double> rates_kbps{50, 100, 150, 200};
+  int repetitions = 5;
+  std::uint64_t base_seed = 42;
+  /// 0 = all hardware threads.
+  std::size_t threads = 0;
+};
+
+struct SweepResult {
+  /// results[(algorithm, rate)] = metrics per repetition.
+  std::map<std::pair<std::string, double>, std::vector<RunMetrics>> cells;
+
+  /// Mean of `extract` over repetitions of one cell.
+  double mean(const std::string& algorithm, double rate,
+              const std::function<double(const RunMetrics&)>& extract) const;
+};
+
+SweepResult run_sweep(const SweepConfig& config);
+
+/// Convenience: build a SeriesTable (rows = algorithms, cols = rates) for
+/// one extracted metric.
+SeriesTable make_table(const SweepConfig& config, const SweepResult& result,
+                       const std::string& title,
+                       const std::function<double(const RunMetrics&)>& extract,
+                       int precision = 3);
+
+}  // namespace rasc::exp

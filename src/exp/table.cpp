@@ -1,0 +1,65 @@
+#include "exp/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace rasc::exp {
+
+namespace {
+
+std::string format_value(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void print_table(const SeriesTable& table) {
+  std::printf("\n== %s ==\n", table.title.c_str());
+  // Column widths.
+  std::size_t label_width = table.row_header.size();
+  for (const auto& r : table.row_labels) {
+    label_width = std::max(label_width, r.size());
+  }
+  std::vector<std::size_t> widths;
+  for (std::size_t c = 0; c < table.col_labels.size(); ++c) {
+    std::size_t w = table.col_labels[c].size();
+    for (std::size_t r = 0; r < table.row_labels.size(); ++r) {
+      w = std::max(w,
+                   format_value(table.values[r][c], table.precision).size());
+    }
+    widths.push_back(w);
+  }
+  std::printf("%-*s", int(label_width + 2), table.row_header.c_str());
+  for (std::size_t c = 0; c < table.col_labels.size(); ++c) {
+    std::printf("  %*s", int(widths[c]), table.col_labels[c].c_str());
+  }
+  std::printf("   <- %s\n", table.col_header.c_str());
+  for (std::size_t r = 0; r < table.row_labels.size(); ++r) {
+    std::printf("%-*s", int(label_width + 2), table.row_labels[r].c_str());
+    for (std::size_t c = 0; c < table.col_labels.size(); ++c) {
+      std::printf("  %*s", int(widths[c]),
+                  format_value(table.values[r][c], table.precision).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void write_csv(const SeriesTable& table, const std::string& path) {
+  util::CsvWriter csv(path);
+  std::vector<std::string> header{table.row_header};
+  header.insert(header.end(), table.col_labels.begin(),
+                table.col_labels.end());
+  csv.row(header);
+  for (std::size_t r = 0; r < table.row_labels.size(); ++r) {
+    csv.numeric_row(table.row_labels[r], table.values[r]);
+  }
+}
+
+}  // namespace rasc::exp

@@ -1,0 +1,28 @@
+// Fixed-width series tables printed by the figure benchmarks, mirroring
+// the paper's figure axes: one row per algorithm, one column per average
+// rate. Optionally mirrored to CSV for re-plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rasc::exp {
+
+struct SeriesTable {
+  std::string title;
+  std::string row_header;     // e.g. "algorithm"
+  std::string col_header;     // e.g. "avg rate (Kb/s)"
+  std::vector<std::string> col_labels;
+  std::vector<std::string> row_labels;
+  /// values[row][col]
+  std::vector<std::vector<double>> values;
+  int precision = 3;
+};
+
+/// Renders the table to stdout.
+void print_table(const SeriesTable& table);
+
+/// Writes the table as CSV (first column = row label).
+void write_csv(const SeriesTable& table, const std::string& path);
+
+}  // namespace rasc::exp

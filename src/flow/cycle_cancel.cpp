@@ -1,0 +1,111 @@
+#include "flow/cycle_cancel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <vector>
+
+namespace rasc::flow {
+
+namespace {
+
+/// BFS augmentation until `demand` routed or no augmenting path remains.
+FlowUnit max_flow_bfs(Graph& g, NodeId source, NodeId sink,
+                      FlowUnit demand) {
+  FlowUnit routed = 0;
+  const auto n = std::size_t(g.num_nodes());
+  std::vector<ArcId> parent(n);
+  while (routed < demand) {
+    std::fill(parent.begin(), parent.end(), ArcId(-1));
+    std::deque<NodeId> queue{source};
+    parent[std::size_t(source)] = -2;
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      for (ArcId a : g.out_arcs(u)) {
+        const auto& arc = g.raw(a);
+        if (arc.cap <= 0 || parent[std::size_t(arc.head)] != -1) continue;
+        parent[std::size_t(arc.head)] = a;
+        if (arc.head == sink) {
+          found = true;
+          break;
+        }
+        queue.push_back(arc.head);
+      }
+    }
+    if (!found) break;
+    FlowUnit bottleneck = demand - routed;
+    for (NodeId v = sink; v != source; v = g.tail(parent[std::size_t(v)])) {
+      bottleneck = std::min(bottleneck, g.raw(parent[std::size_t(v)]).cap);
+    }
+    for (NodeId v = sink; v != source; v = g.tail(parent[std::size_t(v)])) {
+      g.push(parent[std::size_t(v)], bottleneck);
+    }
+    routed += bottleneck;
+  }
+  return routed;
+}
+
+/// Finds a negative-cost cycle in the residual graph via Bellman–Ford with
+/// a virtual super-source. Returns the cycle as arc ids, or empty.
+std::vector<ArcId> find_negative_cycle(const Graph& g) {
+  const auto n = std::size_t(g.num_nodes());
+  std::vector<Cost> dist(n, 0);  // virtual source connects to all at cost 0
+  std::vector<ArcId> parent(n, -1);
+  NodeId touched = -1;
+  for (std::size_t round = 0; round < n; ++round) {
+    touched = -1;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (ArcId a : g.out_arcs(u)) {
+        const auto& arc = g.raw(a);
+        if (arc.cap <= 0) continue;
+        if (dist[std::size_t(u)] + arc.cost < dist[std::size_t(arc.head)]) {
+          dist[std::size_t(arc.head)] = dist[std::size_t(u)] + arc.cost;
+          parent[std::size_t(arc.head)] = a;
+          touched = arc.head;
+        }
+      }
+    }
+    if (touched < 0) return {};  // converged, no negative cycle
+  }
+  // `touched` is on or reachable from a negative cycle; walk back n steps
+  // to land inside the cycle, then collect it.
+  NodeId v = touched;
+  for (std::size_t i = 0; i < n; ++i) v = g.tail(parent[std::size_t(v)]);
+  std::vector<ArcId> cycle;
+  NodeId u = v;
+  do {
+    const ArcId a = parent[std::size_t(u)];
+    cycle.push_back(a);
+    u = g.tail(a);
+  } while (u != v);
+  return cycle;
+}
+
+}  // namespace
+
+SolveResult min_cost_flow_cycle_cancel(Graph& graph, NodeId source,
+                                       NodeId sink, FlowUnit demand) {
+  assert(source != sink);
+  SolveResult result;
+  result.flow = max_flow_bfs(graph, source, sink, demand);
+  result.feasible = (result.flow == demand);
+
+  for (;;) {
+    const auto cycle = find_negative_cycle(graph);
+    if (cycle.empty()) break;
+    FlowUnit bottleneck = kInfiniteCap;
+    for (ArcId a : cycle) {
+      bottleneck = std::min(bottleneck, graph.raw(a).cap);
+    }
+    assert(bottleneck > 0);
+    for (ArcId a : cycle) graph.push(a, bottleneck);
+  }
+
+  result.cost = graph.total_cost();
+  return result;
+}
+
+}  // namespace rasc::flow

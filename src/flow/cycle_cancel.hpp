@@ -1,0 +1,20 @@
+// Cycle-cancelling min-cost flow (Klein's algorithm).
+//
+// Deliberately independent of the SSP solver: it first routes a maximum
+// feasible flow ignoring costs (BFS augmentation, Edmonds–Karp style), then
+// repeatedly cancels negative-cost residual cycles found by Bellman–Ford.
+// It is slower but structurally different, which makes it a strong
+// cross-check: the property tests assert both solvers reach the same
+// objective on random instances.
+#pragma once
+
+#include "flow/graph.hpp"
+#include "flow/ssp.hpp"
+
+namespace rasc::flow {
+
+/// Same contract as min_cost_flow_ssp.
+SolveResult min_cost_flow_cycle_cancel(Graph& graph, NodeId source,
+                                       NodeId sink, FlowUnit demand);
+
+}  // namespace rasc::flow

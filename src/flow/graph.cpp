@@ -1,0 +1,52 @@
+#include "flow/graph.hpp"
+
+#include <cassert>
+
+namespace rasc::flow {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return NodeId(adjacency_.size() - 1);
+}
+
+NodeId Graph::add_nodes(std::int32_t n) {
+  const NodeId first = NodeId(adjacency_.size());
+  adjacency_.resize(adjacency_.size() + std::size_t(n));
+  return first;
+}
+
+ArcId Graph::add_arc(NodeId tail, NodeId head, FlowUnit cap, Cost cost) {
+  assert(tail >= 0 && tail < num_nodes());
+  assert(head >= 0 && head < num_nodes());
+  assert(cap >= 0);
+  const ArcId id = ArcId(arcs_.size());
+  arcs_.push_back(RawArc{head, cap, cost});
+  arcs_.push_back(RawArc{tail, 0, -cost});
+  adjacency_[std::size_t(tail)].push_back(id);
+  adjacency_[std::size_t(head)].push_back(id + 1);
+  original_cap_.push_back(cap);
+  return id;
+}
+
+void Graph::push(ArcId a, FlowUnit amount) {
+  assert(amount >= 0 && amount <= arcs_[std::size_t(a)].cap);
+  arcs_[std::size_t(a)].cap -= amount;
+  arcs_[std::size_t(a ^ 1)].cap += amount;
+}
+
+void Graph::clear_flow() {
+  for (std::size_t k = 0; k < original_cap_.size(); ++k) {
+    arcs_[2 * k].cap = original_cap_[k];
+    arcs_[2 * k + 1].cap = 0;
+  }
+}
+
+Cost Graph::total_cost() const {
+  Cost total = 0;
+  for (std::int32_t k = 0; k < num_arcs(); ++k) {
+    total += flow(ArcId(2 * k)) * cost(ArcId(2 * k));
+  }
+  return total;
+}
+
+}  // namespace rasc::flow

@@ -1,0 +1,75 @@
+// Residual flow network.
+//
+// Arcs are stored in forward/backward pairs (arc 2k is the k-th forward arc,
+// arc 2k+1 its residual twin); `cap` holds *residual* capacity, so pushing
+// flow just moves capacity between twins. Costs and capacities are int64:
+// the composer scales drop ratios by 1e6 and rates to integral Kbps, which
+// keeps all arithmetic exact (paper §3.5 costs are drop ratios in [0,1]).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rasc::flow {
+
+using NodeId = std::int32_t;
+using ArcId = std::int32_t;
+using FlowUnit = std::int64_t;
+using Cost = std::int64_t;
+
+constexpr FlowUnit kInfiniteCap = INT64_MAX / 4;
+
+class Graph {
+ public:
+  /// Adds one node; returns its id (dense, starting at 0).
+  NodeId add_node();
+
+  /// Adds `n` nodes; returns the id of the first.
+  NodeId add_nodes(std::int32_t n);
+
+  /// Adds a directed arc tail->head with capacity `cap` >= 0 and per-unit
+  /// cost `cost` (may be negative). Returns the forward ArcId (always even).
+  ArcId add_arc(NodeId tail, NodeId head, FlowUnit cap, Cost cost);
+
+  std::int32_t num_nodes() const { return std::int32_t(adjacency_.size()); }
+  std::int32_t num_arcs() const { return std::int32_t(arcs_.size()) / 2; }
+
+  /// Flow currently routed on forward arc `a` (= residual cap of its twin).
+  FlowUnit flow(ArcId a) const { return arcs_[std::size_t(a ^ 1)].cap; }
+
+  /// Original capacity of forward arc `a`.
+  FlowUnit capacity(ArcId a) const {
+    return arcs_[std::size_t(a)].cap + arcs_[std::size_t(a ^ 1)].cap;
+  }
+
+  Cost cost(ArcId a) const { return arcs_[std::size_t(a)].cost; }
+  NodeId head(ArcId a) const { return arcs_[std::size_t(a)].head; }
+  NodeId tail(ArcId a) const { return arcs_[std::size_t(a ^ 1)].head; }
+
+  /// Removes all flow (restores residual capacities to original).
+  void clear_flow();
+
+  /// Total cost of the current flow assignment (sum over forward arcs).
+  Cost total_cost() const;
+
+  // --- Low-level residual access (solvers and validator) ---
+  struct RawArc {
+    NodeId head;
+    FlowUnit cap;  // residual capacity
+    Cost cost;
+  };
+  const RawArc& raw(ArcId a) const { return arcs_[std::size_t(a)]; }
+  const std::vector<ArcId>& out_arcs(NodeId n) const {
+    return adjacency_[std::size_t(n)];
+  }
+  /// Pushes `amount` along residual arc `a` (reduces its residual capacity,
+  /// grows the twin's). Requires amount <= raw(a).cap.
+  void push(ArcId a, FlowUnit amount);
+
+ private:
+  std::vector<RawArc> arcs_;
+  std::vector<std::vector<ArcId>> adjacency_;
+  std::vector<FlowUnit> original_cap_;  // per forward arc, for clear_flow()
+};
+
+}  // namespace rasc::flow

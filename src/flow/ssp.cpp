@@ -1,0 +1,129 @@
+#include "flow/ssp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace rasc::flow {
+
+namespace {
+
+constexpr Cost kInfCost = std::numeric_limits<Cost>::max() / 4;
+
+/// Bellman–Ford from `source` to initialize potentials when negative-cost
+/// arcs exist. Returns false if a negative cycle is reachable (caller
+/// treats this as a precondition violation).
+bool bellman_ford_potentials(const Graph& g, NodeId source,
+                             std::vector<Cost>& pi) {
+  const auto n = std::size_t(g.num_nodes());
+  pi.assign(n, kInfCost);
+  pi[std::size_t(source)] = 0;
+  for (std::size_t round = 0; round < n; ++round) {
+    bool changed = false;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (pi[std::size_t(u)] >= kInfCost) continue;
+      for (ArcId a : g.out_arcs(u)) {
+        const auto& arc = g.raw(a);
+        if (arc.cap <= 0) continue;
+        const Cost nd = pi[std::size_t(u)] + arc.cost;
+        if (nd < pi[std::size_t(arc.head)]) {
+          pi[std::size_t(arc.head)] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return true;
+    if (round + 1 == n && changed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SolveResult min_cost_flow_ssp(Graph& graph, NodeId source, NodeId sink,
+                              FlowUnit demand) {
+  assert(source != sink);
+  assert(demand >= 0);
+  const auto n = std::size_t(graph.num_nodes());
+
+  bool has_negative = false;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (ArcId a : graph.out_arcs(u)) {
+      if (graph.raw(a).cap > 0 && graph.raw(a).cost < 0) {
+        has_negative = true;
+        break;
+      }
+    }
+    if (has_negative) break;
+  }
+
+  std::vector<Cost> pi(n, 0);
+  if (has_negative) {
+    const bool ok = bellman_ford_potentials(graph, source, pi);
+    assert(ok && "negative cycle in composition graph");
+    (void)ok;
+    // Unreachable nodes keep a large-but-finite potential so reduced costs
+    // stay well-defined; they can never lie on an s-t path anyway.
+    for (auto& p : pi) {
+      if (p >= kInfCost) p = kInfCost;
+    }
+  }
+
+  SolveResult result;
+  std::vector<Cost> dist(n);
+  std::vector<ArcId> parent_arc(n);
+
+  while (result.flow < demand) {
+    // Dijkstra on reduced costs.
+    dist.assign(n, kInfCost);
+    parent_arc.assign(n, -1);
+    using QEntry = std::pair<Cost, NodeId>;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> pq;
+    dist[std::size_t(source)] = 0;
+    pq.emplace(0, source);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[std::size_t(u)]) continue;
+      for (ArcId a : graph.out_arcs(u)) {
+        const auto& arc = graph.raw(a);
+        if (arc.cap <= 0) continue;
+        const Cost reduced =
+            arc.cost + pi[std::size_t(u)] - pi[std::size_t(arc.head)];
+        assert(reduced >= 0 && "reduced cost must be nonnegative");
+        const Cost nd = d + reduced;
+        if (nd < dist[std::size_t(arc.head)]) {
+          dist[std::size_t(arc.head)] = nd;
+          parent_arc[std::size_t(arc.head)] = a;
+          pq.emplace(nd, arc.head);
+        }
+      }
+    }
+    if (dist[std::size_t(sink)] >= kInfCost) break;  // sink unreachable
+
+    // Update potentials; cap unreached nodes at dist[sink] to keep all
+    // residual reduced costs nonnegative after augmentation.
+    const Cost dt = dist[std::size_t(sink)];
+    for (std::size_t v = 0; v < n; ++v) {
+      pi[v] += std::min(dist[v], dt);
+    }
+
+    // Bottleneck along the shortest path.
+    FlowUnit push_amount = demand - result.flow;
+    for (NodeId v = sink; v != source; v = graph.tail(parent_arc[std::size_t(v)])) {
+      push_amount = std::min(push_amount, graph.raw(parent_arc[std::size_t(v)]).cap);
+    }
+    for (NodeId v = sink; v != source; v = graph.tail(parent_arc[std::size_t(v)])) {
+      graph.push(parent_arc[std::size_t(v)], push_amount);
+    }
+    result.flow += push_amount;
+  }
+
+  result.cost = graph.total_cost();
+  result.feasible = (result.flow == demand);
+  return result;
+}
+
+}  // namespace rasc::flow

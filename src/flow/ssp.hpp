@@ -1,0 +1,30 @@
+// Successive-shortest-path min-cost flow with Johnson potentials.
+//
+// This is the production solver RASC's composer calls (paper §3.5 reduces
+// rate-splitting composition to min-cost flow and cites Edmonds–Karp and
+// Goldberg). Composition graphs have nonnegative costs (drop ratios), so
+// each augmentation is a pure Dijkstra; a Bellman–Ford bootstrap handles
+// negative costs for generality (and for the random property tests).
+#pragma once
+
+#include <cstdint>
+
+#include "flow/graph.hpp"
+
+namespace rasc::flow {
+
+struct SolveResult {
+  FlowUnit flow = 0;  // amount actually routed (<= demand)
+  Cost cost = 0;      // total cost of that flow
+  /// True iff the full demand was routed.
+  bool feasible = false;
+};
+
+/// Routes up to `demand` units from `source` to `sink` at minimum cost.
+/// The flow is left on `graph` (query via Graph::flow). When the network
+/// cannot carry the full demand, the result carries the max routable amount
+/// (still at min cost for that amount) and feasible == false.
+SolveResult min_cost_flow_ssp(Graph& graph, NodeId source, NodeId sink,
+                              FlowUnit demand);
+
+}  // namespace rasc::flow

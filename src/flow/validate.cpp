@@ -1,0 +1,73 @@
+#include "flow/validate.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace rasc::flow {
+
+std::optional<std::string> validate_flow(const Graph& graph, NodeId source,
+                                         NodeId sink,
+                                         FlowUnit expected_flow) {
+  std::vector<FlowUnit> net(std::size_t(graph.num_nodes()), 0);
+  for (std::int32_t k = 0; k < graph.num_arcs(); ++k) {
+    const ArcId a = ArcId(2 * k);
+    const FlowUnit f = graph.flow(a);
+    if (f < 0) {
+      std::ostringstream os;
+      os << "arc " << a << " has negative flow " << f;
+      return os.str();
+    }
+    if (f > graph.capacity(a)) {
+      std::ostringstream os;
+      os << "arc " << a << " flow " << f << " exceeds capacity "
+         << graph.capacity(a);
+      return os.str();
+    }
+    net[std::size_t(graph.tail(a))] += f;
+    net[std::size_t(graph.head(a))] -= f;
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (v == source || v == sink) continue;
+    if (net[std::size_t(v)] != 0) {
+      std::ostringstream os;
+      os << "conservation violated at node " << v << ": net out-flow "
+         << net[std::size_t(v)];
+      return os.str();
+    }
+  }
+  if (net[std::size_t(source)] != expected_flow) {
+    std::ostringstream os;
+    os << "source emits " << net[std::size_t(source)] << ", expected "
+       << expected_flow;
+    return os.str();
+  }
+  if (net[std::size_t(sink)] != -expected_flow) {
+    std::ostringstream os;
+    os << "sink absorbs " << -net[std::size_t(sink)] << ", expected "
+       << expected_flow;
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+bool has_negative_residual_cycle(const Graph& graph) {
+  const auto n = std::size_t(graph.num_nodes());
+  std::vector<Cost> dist(n, 0);
+  for (std::size_t round = 0; round < n; ++round) {
+    bool changed = false;
+    for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+      for (ArcId a : graph.out_arcs(u)) {
+        const auto& arc = graph.raw(a);
+        if (arc.cap <= 0) continue;
+        if (dist[std::size_t(u)] + arc.cost < dist[std::size_t(arc.head)]) {
+          dist[std::size_t(arc.head)] = dist[std::size_t(u)] + arc.cost;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+}  // namespace rasc::flow

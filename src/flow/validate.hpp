@@ -1,0 +1,26 @@
+// Structural and optimality validation of a solved flow.
+//
+// Used by tests and (in debug builds) by the composer after every solve:
+// conservation at every interior node, capacity bounds on every arc, and
+// min-cost optimality via the absence of negative residual cycles.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "flow/graph.hpp"
+
+namespace rasc::flow {
+
+/// Returns std::nullopt when the flow on `graph` is a valid s-t flow of
+/// value `expected_flow`; otherwise a human-readable description of the
+/// first violation found.
+std::optional<std::string> validate_flow(const Graph& graph, NodeId source,
+                                         NodeId sink,
+                                         FlowUnit expected_flow);
+
+/// True iff the residual graph contains a negative-cost cycle (i.e., the
+/// current flow is NOT min-cost for its value).
+bool has_negative_residual_cycle(const Graph& graph);
+
+}  // namespace rasc::flow

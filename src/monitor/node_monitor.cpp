@@ -1,0 +1,71 @@
+#include "monitor/node_monitor.hpp"
+
+namespace rasc::monitor {
+
+NodeMonitor::NodeMonitor(sim::Simulator& simulator, sim::Network& network,
+                         sim::NodeIndex node)
+    : NodeMonitor(simulator, network, node, Params()) {}
+
+NodeMonitor::NodeMonitor(sim::Simulator& simulator, sim::Network& network,
+                         sim::NodeIndex node, Params params)
+    : simulator_(simulator),
+      network_(network),
+      node_(node),
+      params_(params),
+      in_kbps_window_(params.bandwidth_window),
+      out_kbps_window_(params.bandwidth_window),
+      cpu_window_(params.bandwidth_window),
+      outcomes_(params.outcome_window) {
+  last_bytes_in_ = network_.bytes_received(node_);
+  last_bytes_out_ = network_.bytes_sent(node_);
+  sample_event_ = simulator_.call_after(params_.sample_period,
+                                        [this] { sample_bandwidth(); });
+}
+
+NodeMonitor::~NodeMonitor() {
+  stopped_ = true;
+  simulator_.cancel(sample_event_);
+}
+
+void NodeMonitor::sample_bandwidth() {
+  if (stopped_) return;
+  const std::int64_t in_now = network_.bytes_received(node_);
+  const std::int64_t out_now = network_.bytes_sent(node_);
+  const double secs = sim::to_seconds(params_.sample_period);
+  // bytes -> kilobits: *8/1000.
+  in_kbps_window_.add(double(in_now - last_bytes_in_) * 8.0 / 1000.0 / secs);
+  out_kbps_window_.add(double(out_now - last_bytes_out_) * 8.0 / 1000.0 /
+                       secs);
+  cpu_window_.add(sim::to_seconds(cpu_busy_accum_) / secs);
+  cpu_busy_accum_ = 0;
+  last_bytes_in_ = in_now;
+  last_bytes_out_ = out_now;
+  sample_event_ = simulator_.call_after(params_.sample_period,
+                                        [this] { sample_bandwidth(); });
+}
+
+void NodeMonitor::on_unit_processed() { outcomes_.record(false); }
+
+void NodeMonitor::on_unit_dropped() { outcomes_.record(true); }
+
+NodeStats NodeMonitor::snapshot() const {
+  NodeStats s;
+  s.node = node_;
+  const auto& cap = network_.topology().nodes[std::size_t(node_)];
+  s.capacity_in_kbps = cap.bw_in_kbps;
+  s.capacity_out_kbps = cap.bw_out_kbps;
+  s.used_in_kbps = in_kbps_window_.mean();
+  s.used_out_kbps = out_kbps_window_.mean();
+  s.cpu_used_fraction = cpu_window_.mean();
+  s.drop_ratio = outcomes_.ratio();
+  if (params_.advertise_reservations) {
+    s.reserved_in_kbps = reserved_in_kbps_;
+    s.reserved_out_kbps = reserved_out_kbps_;
+    s.cpu_reserved_fraction = reserved_cpu_fraction_;
+  }
+  s.ready_queue_length = queue_length_;
+  s.taken_at = simulator_.now();
+  return s;
+}
+
+}  // namespace rasc::monitor

@@ -1,0 +1,28 @@
+#include "monitor/rate_meter.hpp"
+
+#include <algorithm>
+
+namespace rasc::monitor {
+
+void RateMeter::record(sim::SimTime when) {
+  times_.push_back(when);
+  if (times_.size() > window_) times_.pop_front();
+}
+
+double RateMeter::rate_per_sec(sim::SimTime now) const {
+  if (times_.size() < 2) return 0.0;
+  // Stretch the observation span to `now` so a silenced stream decays
+  // instead of reporting its last-known rate forever.
+  const sim::SimDuration span =
+      std::max(times_.back(), now) - times_.front();
+  if (span <= 0) return 0.0;
+  return double(times_.size() - 1) * 1e6 / double(span);
+}
+
+sim::SimDuration RateMeter::mean_period(sim::SimTime now) const {
+  const double rate = rate_per_sec(now);
+  if (rate <= 0) return 0;
+  return sim::SimDuration(1e6 / rate);
+}
+
+}  // namespace rasc::monitor

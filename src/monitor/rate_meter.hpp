@@ -1,0 +1,39 @@
+// Arrival-rate estimation from recent event timestamps.
+//
+// Used for two things from the paper: the scheduler infers each
+// component's period p_ci from its observed arrival rate (§3.2 item 2),
+// and nodes infer their available bandwidth from observed unit rates.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "sim/time.hpp"
+
+namespace rasc::monitor {
+
+class RateMeter {
+ public:
+  /// Keeps the `window` most recent event timestamps.
+  explicit RateMeter(std::size_t window = 32) : window_(window ? window : 2) {}
+
+  void record(sim::SimTime when);
+
+  /// Events per second estimated over the retained window; decays toward 0
+  /// when no events have arrived recently (the denominator stretches to
+  /// `now`). Returns 0 with fewer than 2 events.
+  double rate_per_sec(sim::SimTime now) const;
+
+  /// Mean inter-arrival gap in microseconds (the period p_ci); 0 with
+  /// fewer than 2 events.
+  sim::SimDuration mean_period(sim::SimTime now) const;
+
+  std::size_t count() const { return times_.size(); }
+  void clear() { times_.clear(); }
+
+ private:
+  std::size_t window_;
+  std::deque<sim::SimTime> times_;
+};
+
+}  // namespace rasc::monitor

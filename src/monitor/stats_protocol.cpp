@@ -1,0 +1,79 @@
+#include "monitor/stats_protocol.hpp"
+
+#include <memory>
+
+namespace rasc::monitor {
+
+StatsAgent::StatsAgent(sim::Simulator& simulator, sim::Network& network,
+                       sim::NodeIndex node, const NodeMonitor& local_monitor)
+    : simulator_(simulator),
+      network_(network),
+      node_(node),
+      monitor_(local_monitor) {}
+
+bool StatsAgent::handle_packet(const sim::Packet& packet) {
+  const auto* payload = packet.payload.get();
+  if (const auto* req = dynamic_cast<const StatsRequest*>(payload)) {
+    auto reply = std::make_shared<StatsReply>();
+    reply->request_id = req->request_id;
+    reply->stats = monitor_.snapshot();
+    network_.send(node_, req->requester, StatsReply::kBytes,
+                  std::move(reply));
+    return true;
+  }
+  if (const auto* reply = dynamic_cast<const StatsReply*>(payload)) {
+    const auto it = pending_.find(reply->request_id);
+    if (it != pending_.end()) {
+      simulator_.cancel(it->second.timeout_event);
+      auto cb = std::move(it->second.done);
+      pending_.erase(it);
+      if (cb) cb(true, reply->stats);
+    }
+    return true;
+  }
+  return false;
+}
+
+void StatsAgent::query(sim::NodeIndex target, QueryCallback done) {
+  const std::uint64_t rid = ++counter_;
+  auto req = std::make_shared<StatsRequest>();
+  req->request_id = rid;
+  req->requester = node_;
+
+  Pending pending;
+  pending.done = std::move(done);
+  pending.timeout_event = simulator_.call_after(kTimeout, [this, rid] {
+    const auto it = pending_.find(rid);
+    if (it == pending_.end()) return;
+    auto cb = std::move(it->second.done);
+    pending_.erase(it);
+    if (cb) cb(false, NodeStats{});
+  });
+  pending_.emplace(rid, std::move(pending));
+
+  network_.send(node_, target, StatsRequest::kBytes, std::move(req));
+}
+
+void StatsAgent::query_many(const std::vector<sim::NodeIndex>& targets,
+                            MultiQueryCallback done) {
+  if (targets.empty()) {
+    done({});
+    return;
+  }
+  struct Gather {
+    std::vector<NodeStats> results;
+    std::size_t outstanding;
+    MultiQueryCallback done;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->outstanding = targets.size();
+  gather->done = std::move(done);
+  for (sim::NodeIndex t : targets) {
+    query(t, [gather](bool ok, const NodeStats& stats) {
+      if (ok) gather->results.push_back(stats);
+      if (--gather->outstanding == 0) gather->done(std::move(gather->results));
+    });
+  }
+}
+
+}  // namespace rasc::monitor

@@ -1,0 +1,91 @@
+// Fixed-size sliding windows over the most recent h samples.
+//
+// Paper §3.2: "To avoid miscalculations caused by transient behavior, we
+// average the statistics over a window of size h, including the latest data
+// units received." These windows are the h-sample averages used everywhere
+// monitoring feeds the composer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rasc::monitor {
+
+/// Ring buffer keeping the last `capacity` numeric samples with O(1)
+/// insertion and O(1) running sum.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity)
+      : capacity_(capacity ? capacity : 1) {
+    samples_.reserve(capacity_);
+  }
+
+  void add(double x) {
+    if (samples_.size() < capacity_) {
+      samples_.push_back(x);
+      sum_ += x;
+      return;
+    }
+    sum_ += x - samples_[next_];
+    samples_[next_] = x;
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return samples_.size() == capacity_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return samples_.empty() ? 0.0 : sum_ / double(samples_.size());
+  }
+
+  void clear() {
+    samples_.clear();
+    sum_ = 0;
+    next_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<double> samples_;
+  std::size_t next_ = 0;  // replacement cursor once full
+  double sum_ = 0;
+};
+
+/// Windowed ratio of "bad" outcomes (e.g., dropped / total) over the last
+/// `capacity` outcomes.
+class OutcomeWindow {
+ public:
+  explicit OutcomeWindow(std::size_t capacity) : window_(capacity) {}
+
+  void record(bool bad) { window_.add(bad ? 1.0 : 0.0); }
+
+  /// Fraction of bad outcomes in the window; 0 when empty.
+  double ratio() const { return window_.mean(); }
+  std::size_t count() const { return window_.count(); }
+  void clear() { window_.clear(); }
+
+ private:
+  SlidingWindow window_;
+};
+
+/// Exponentially-weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x) {
+    value_ = seeded_ ? alpha_ * x + (1 - alpha_) * value_ : x;
+    seeded_ = true;
+  }
+
+  double value() const { return value_; }
+  bool seeded() const { return seeded_; }
+
+ private:
+  double alpha_;
+  double value_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace rasc::monitor

@@ -1,0 +1,45 @@
+// Convenience construction of a whole overlay inside one simulation.
+//
+// Nodes join sequentially (the experiment scenarios build the overlay
+// before any stream traffic starts, as the paper's deployment does); each
+// join runs to completion before the next begins, so joins always see a
+// consistent ring.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "overlay/pastry_node.hpp"
+
+namespace rasc::overlay {
+
+/// The built overlay: one PastryNode per simulated host, with network
+/// handlers installed that feed overlay packets to the PastryNode and
+/// anything else to a per-node fallback (installed by upper layers).
+class Overlay {
+ public:
+  using Fallback = std::function<void(const sim::Packet&)>;
+
+  PastryNode& at(std::size_t i) { return *nodes_[i]; }
+  const PastryNode& at(std::size_t i) const { return *nodes_[i]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Installs the handler for non-overlay packets arriving at node `i`
+  /// (stream data units, stats queries, ...).
+  void set_fallback(std::size_t i, Fallback fallback);
+
+ private:
+  friend Overlay build_overlay(sim::Simulator&, sim::Network&, std::size_t);
+
+  std::vector<std::unique_ptr<PastryNode>> nodes_;
+  std::vector<std::shared_ptr<Fallback>> fallbacks_;
+};
+
+/// Builds and joins an overlay of `count` nodes over `network` (which must
+/// have at least `count` hosts). Runs the simulator until all joins
+/// complete; throws std::runtime_error if a join times out.
+Overlay build_overlay(sim::Simulator& simulator, sim::Network& network,
+                      std::size_t count);
+
+}  // namespace rasc::overlay

@@ -1,0 +1,63 @@
+#include "overlay/node_id.hpp"
+
+namespace rasc::overlay {
+
+int NodeId128::digit(int i) const {
+  // Digits 0..15 come from hi, 16..31 from lo; digit 0 is the topmost
+  // nibble of hi.
+  const std::uint64_t word = i < 16 ? hi : lo;
+  const int shift = 60 - 4 * (i & 15);
+  return int((word >> shift) & 0xF);
+}
+
+int NodeId128::shared_prefix_len(const NodeId128& other) const {
+  for (int i = 0; i < kNumDigits; ++i) {
+    if (digit(i) != other.digit(i)) return i;
+  }
+  return kNumDigits;
+}
+
+NodeId128 NodeId128::ring_sub(const NodeId128& other) const {
+  NodeId128 out;
+  out.lo = lo - other.lo;
+  const std::uint64_t borrow = (lo < other.lo) ? 1 : 0;
+  out.hi = hi - other.hi - borrow;
+  return out;
+}
+
+NodeId128 NodeId128::ring_distance(const NodeId128& other) const {
+  const NodeId128 forward = ring_sub(other);
+  const NodeId128 backward = other.ring_sub(*this);
+  return forward < backward ? forward : backward;
+}
+
+bool NodeId128::closer_to(const NodeId128& target,
+                          const NodeId128& other) const {
+  const NodeId128 da = ring_distance(target);
+  const NodeId128 db = other.ring_distance(target);
+  if (da != db) return da < db;
+  return *this < other;
+}
+
+std::string NodeId128::to_hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(kNumDigits);
+  for (int i = 0; i < kNumDigits; ++i) out.push_back(kHex[digit(i)]);
+  return out;
+}
+
+NodeId128 NodeId128::from_digest(const util::Sha1Digest& d) {
+  NodeId128 id;
+  for (int i = 0; i < 8; ++i) {
+    id.hi = (id.hi << 8) | d[std::size_t(i)];
+    id.lo = (id.lo << 8) | d[std::size_t(i + 8)];
+  }
+  return id;
+}
+
+NodeId128 NodeId128::hash_of(std::string_view s) {
+  return from_digest(util::sha1(s));
+}
+
+}  // namespace rasc::overlay

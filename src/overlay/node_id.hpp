@@ -1,0 +1,57 @@
+// 128-bit Pastry identifiers.
+//
+// Pastry (Rowstron & Druschel, Middleware 2001) assigns each node and each
+// object a 128-bit id; routing resolves one base-2^b digit per hop (we use
+// b = 4, so ids are 32 hex digits and the routing table has 32 rows × 16
+// columns). Ids are derived from SHA-1 digests (paper §3.3).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/sha1.hpp"
+
+namespace rasc::overlay {
+
+/// Digits per id and values per digit for b = 4.
+constexpr int kIdBits = 128;
+constexpr int kDigitBits = 4;
+constexpr int kNumDigits = kIdBits / kDigitBits;  // 32
+constexpr int kDigitValues = 1 << kDigitBits;     // 16
+
+/// An unsigned 128-bit identifier on the Pastry ring.
+struct NodeId128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend auto operator<=>(const NodeId128&, const NodeId128&) = default;
+
+  /// Digit `i` (0 = most significant nibble).
+  int digit(int i) const;
+
+  /// Number of leading base-16 digits shared with `other` (0..32).
+  int shared_prefix_len(const NodeId128& other) const;
+
+  /// `this - other` mod 2^128 (ring arithmetic).
+  NodeId128 ring_sub(const NodeId128& other) const;
+
+  /// Circular distance: min(a-b, b-a) mod 2^128.
+  NodeId128 ring_distance(const NodeId128& other) const;
+
+  /// True if `this` is clockwise-closer to `target` than `other` is; ties
+  /// broken toward the numerically smaller id (total order for
+  /// determinism).
+  bool closer_to(const NodeId128& target, const NodeId128& other) const;
+
+  std::string to_hex() const;
+
+  /// Id from a SHA-1 digest (first 16 bytes, big-endian).
+  static NodeId128 from_digest(const util::Sha1Digest& d);
+
+  /// Id by hashing an arbitrary string (object keys, service names).
+  static NodeId128 hash_of(std::string_view s);
+};
+
+}  // namespace rasc::overlay

@@ -1,0 +1,35 @@
+#include "overlay/registry.hpp"
+
+#include <charconv>
+
+namespace rasc::overlay {
+
+NodeId128 ServiceRegistry::key_for(const std::string& service_name) {
+  return NodeId128::hash_of("service:" + service_name);
+}
+
+void ServiceRegistry::register_provider(const std::string& service_name,
+                                        sim::NodeIndex provider,
+                                        PastryNode::PutCallback done) {
+  node_.dht_put(key_for(service_name), std::to_string(provider),
+                /*append=*/true, std::move(done));
+}
+
+void ServiceRegistry::lookup(const std::string& service_name,
+                             LookupCallback done) {
+  node_.dht_get(
+      key_for(service_name),
+      [done = std::move(done)](bool found, std::vector<std::string> values) {
+        std::vector<sim::NodeIndex> providers;
+        providers.reserve(values.size());
+        for (const auto& v : values) {
+          sim::NodeIndex idx = sim::kInvalidNode;
+          const auto [ptr, ec] =
+              std::from_chars(v.data(), v.data() + v.size(), idx);
+          if (ec == std::errc() && idx >= 0) providers.push_back(idx);
+        }
+        done(found, std::move(providers));
+      });
+}
+
+}  // namespace rasc::overlay

@@ -1,0 +1,38 @@
+// Service registry on top of the DHT (paper §3.3).
+//
+// Providers of a service register under SHA-1(service name); a querying
+// node retrieves the provider list with one routed lookup. This is exactly
+// the component-discovery mechanism RASC layers on Pastry.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "overlay/pastry_node.hpp"
+
+namespace rasc::overlay {
+
+class ServiceRegistry {
+ public:
+  using LookupCallback =
+      std::function<void(bool found, std::vector<sim::NodeIndex> providers)>;
+
+  explicit ServiceRegistry(PastryNode& node) : node_(node) {}
+
+  /// Registers `provider` as offering `service_name`.
+  void register_provider(const std::string& service_name,
+                         sim::NodeIndex provider,
+                         PastryNode::PutCallback done);
+
+  /// Looks up all registered providers of `service_name`.
+  void lookup(const std::string& service_name, LookupCallback done);
+
+  /// DHT key for a service name (exposed for tests).
+  static NodeId128 key_for(const std::string& service_name);
+
+ private:
+  PastryNode& node_;
+};
+
+}  // namespace rasc::overlay

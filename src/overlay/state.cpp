@@ -1,0 +1,145 @@
+#include "overlay/state.hpp"
+
+#include <algorithm>
+
+namespace rasc::overlay {
+
+namespace {
+
+/// Ascending ring-offset comparator around `self` in direction dir.
+struct ByOffset {
+  NodeId128 self;
+  bool clockwise;
+  bool operator()(const PeerRef& a, const PeerRef& b) const {
+    const NodeId128 da =
+        clockwise ? a.id.ring_sub(self) : self.ring_sub(a.id);
+    const NodeId128 db =
+        clockwise ? b.id.ring_sub(self) : self.ring_sub(b.id);
+    if (da != db) return da < db;
+    return a.id < b.id;
+  }
+};
+
+}  // namespace
+
+bool LeafSet::insert(const PeerRef& peer) {
+  if (peer.id == self_) return false;
+  if (contains(peer.addr)) return false;
+  // A peer belongs to the side it is nearer on; when exactly antipodal we
+  // put it clockwise (deterministic).
+  const NodeId128 cw_off = peer.id.ring_sub(self_);
+  const NodeId128 ccw_off = self_.ring_sub(peer.id);
+  auto& side = (cw_off <= ccw_off) ? cw_ : ccw_;
+  const bool clockwise = (cw_off <= ccw_off);
+  side.push_back(peer);
+  std::sort(side.begin(), side.end(), ByOffset{self_, clockwise});
+  if (side.size() > kHalf) {
+    const bool evicted_new = (side.back().addr == peer.addr);
+    side.pop_back();
+    if (evicted_new) return false;
+  }
+  return true;
+}
+
+bool LeafSet::remove(sim::NodeIndex addr) {
+  auto drop = [addr](std::vector<PeerRef>& v) {
+    const auto it = std::find_if(v.begin(), v.end(), [addr](const PeerRef& p) {
+      return p.addr == addr;
+    });
+    if (it == v.end()) return false;
+    v.erase(it);
+    return true;
+  };
+  const bool a = drop(cw_);
+  const bool b = drop(ccw_);
+  return a || b;
+}
+
+bool LeafSet::contains(sim::NodeIndex addr) const {
+  auto has = [addr](const std::vector<PeerRef>& v) {
+    return std::any_of(v.begin(), v.end(), [addr](const PeerRef& p) {
+      return p.addr == addr;
+    });
+  };
+  return has(cw_) || has(ccw_);
+}
+
+bool LeafSet::covers(const NodeId128& key) const {
+  if (cw_.empty() && ccw_.empty()) return true;
+  // Range spans from the farthest ccw leaf to the farthest cw leaf.
+  const NodeId128 key_cw = key.ring_sub(self_);
+  const NodeId128 key_ccw = self_.ring_sub(key);
+  const NodeId128 max_cw =
+      cw_.empty() ? NodeId128{} : cw_.back().id.ring_sub(self_);
+  const NodeId128 max_ccw =
+      ccw_.empty() ? NodeId128{} : self_.ring_sub(ccw_.back().id);
+  // Key is in range if its offset on either side is within that side's
+  // farthest leaf.
+  if (key_cw <= key_ccw) return key_cw <= max_cw;
+  return key_ccw <= max_ccw;
+}
+
+PeerRef LeafSet::closest(const NodeId128& key,
+                         sim::NodeIndex self_addr) const {
+  PeerRef best{self_, self_addr};
+  for (const auto* side : {&cw_, &ccw_}) {
+    for (const PeerRef& p : *side) {
+      if (p.id.closer_to(key, best.id)) best = p;
+    }
+  }
+  return best;
+}
+
+std::vector<PeerRef> LeafSet::all() const {
+  std::vector<PeerRef> out = cw_;
+  out.insert(out.end(), ccw_.begin(), ccw_.end());
+  return out;
+}
+
+bool RoutingTable::insert(const PeerRef& peer) {
+  if (peer.id == self_) return false;
+  const int row = self_.shared_prefix_len(peer.id);
+  if (row >= kNumDigits) return false;  // identical id
+  const int col = peer.id.digit(row);
+  auto& s = slots_[slot(row, col)];
+  if (s && s->addr == peer.addr) return false;
+  if (s && !(peer.id < s->id)) return false;  // deterministic keep-smaller
+  s = peer;
+  return true;
+}
+
+bool RoutingTable::remove(sim::NodeIndex addr) {
+  bool removed = false;
+  for (auto& s : slots_) {
+    if (s && s->addr == addr) {
+      s.reset();
+      removed = true;
+    }
+  }
+  return removed;
+}
+
+std::optional<PeerRef> RoutingTable::entry(int row, int col) const {
+  if (row < 0 || row >= kNumDigits || col < 0 || col >= kDigitValues) {
+    return std::nullopt;
+  }
+  return slots_[slot(row, col)];
+}
+
+std::vector<PeerRef> RoutingTable::all() const {
+  std::vector<PeerRef> out;
+  for (const auto& s : slots_) {
+    if (s) out.push_back(*s);
+  }
+  return out;
+}
+
+std::size_t RoutingTable::size() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_) {
+    if (s) ++n;
+  }
+  return n;
+}
+
+}  // namespace rasc::overlay

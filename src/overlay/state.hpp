@@ -1,0 +1,100 @@
+// Pastry per-node routing state: routing table + leaf set.
+//
+// We implement the two structures Pastry routing correctness depends on.
+// The proximity-based neighborhood set (an optimization for locality-aware
+// table maintenance) is deliberately omitted: RASC only relies on reachable
+// O(log N) routing and correct root selection, both of which come from the
+// leaf set + routing table. Documented in DESIGN.md.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "overlay/node_id.hpp"
+#include "sim/message.hpp"
+
+namespace rasc::overlay {
+
+/// A known peer: overlay id + underlay address.
+struct PeerRef {
+  NodeId128 id;
+  sim::NodeIndex addr = sim::kInvalidNode;
+
+  friend bool operator==(const PeerRef&, const PeerRef&) = default;
+};
+
+/// The leaf set: the L/2 numerically closest peers on each side of the
+/// ring. With L=8 and small overlays it may hold every node, which matches
+/// Pastry behaviour (routing then resolves in one hop).
+class LeafSet {
+ public:
+  static constexpr std::size_t kHalf = 4;  // L/2 per side (L = 8)
+
+  explicit LeafSet(NodeId128 self) : self_(self) {}
+
+  /// Inserts a peer; keeps only the kHalf closest per side. Returns true
+  /// if the peer is now in the set.
+  bool insert(const PeerRef& peer);
+
+  /// Removes a peer by address. Returns true if something was removed.
+  bool remove(sim::NodeIndex addr);
+
+  bool contains(sim::NodeIndex addr) const;
+
+  /// True if `key` falls within [leftmost leaf, rightmost leaf] on the
+  /// ring (the Pastry "leaf set range" test). Always true when the set
+  /// spans the whole ring or is empty (then self is the best we know).
+  bool covers(const NodeId128& key) const;
+
+  /// The peer (or self, represented by addr == self_addr) numerically
+  /// closest to `key` among self and all leaves.
+  PeerRef closest(const NodeId128& key, sim::NodeIndex self_addr) const;
+
+  /// All leaves, clockwise side then counterclockwise side.
+  std::vector<PeerRef> all() const;
+
+  std::size_t size() const { return cw_.size() + ccw_.size(); }
+  const std::vector<PeerRef>& clockwise() const { return cw_; }
+  const std::vector<PeerRef>& counterclockwise() const { return ccw_; }
+
+ private:
+  NodeId128 self_;
+  // Sorted by ring distance from self (ascending), at most kHalf each.
+  std::vector<PeerRef> cw_;   // ids clockwise of self (id - self small)
+  std::vector<PeerRef> ccw_;  // ids counterclockwise (self - id small)
+};
+
+/// The prefix-routing table: kNumDigits rows × kDigitValues columns.
+/// Row r holds peers sharing exactly r leading digits with self; the
+/// column is the peer's digit at position r.
+class RoutingTable {
+ public:
+  explicit RoutingTable(NodeId128 self) : self_(self) {}
+
+  /// Inserts a peer into its (row, col) slot if the slot is empty or the
+  /// new peer wins the deterministic tiebreak (smaller id). Self and
+  /// duplicates are ignored. Returns true if the table changed.
+  bool insert(const PeerRef& peer);
+
+  bool remove(sim::NodeIndex addr);
+
+  /// Entry for routing a key whose first mismatch with self is at `row`
+  /// and whose digit there is `col`.
+  std::optional<PeerRef> entry(int row, int col) const;
+
+  /// Every populated entry (for join-state transfer and tests).
+  std::vector<PeerRef> all() const;
+
+  std::size_t size() const;
+
+ private:
+  static std::size_t slot(int row, int col) {
+    return std::size_t(row) * kDigitValues + std::size_t(col);
+  }
+
+  NodeId128 self_;
+  std::vector<std::optional<PeerRef>> slots_ =
+      std::vector<std::optional<PeerRef>>(kNumDigits * kDigitValues);
+};
+
+}  // namespace rasc::overlay

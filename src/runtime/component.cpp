@@ -1,0 +1,83 @@
+#include "runtime/component.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rasc::runtime {
+
+Component::Component(ComponentKey key, ServiceSpec spec,
+                     double planned_rate_ups,
+                     std::vector<Placement> next_placements)
+    : key_(key),
+      spec_(std::move(spec)),
+      planned_rate_ups_(planned_rate_ups),
+      next_placements_(std::move(next_placements)) {
+  assert(!next_placements_.empty() && "component needs a downstream");
+  if (next_placements_.size() > 1) {
+    std::vector<double> weights;
+    weights.reserve(next_placements_.size());
+    for (const auto& p : next_placements_) {
+      weights.push_back(p.rate_units_per_sec);
+    }
+    wrr_.emplace(std::move(weights));
+  }
+}
+
+sim::SimTime Component::on_arrival(sim::SimTime now) {
+  ++arrived_;
+  arrivals_.record(now);
+  return now + current_period(now);
+}
+
+sim::SimDuration Component::current_period(sim::SimTime now) const {
+  // Paper §3.4: the scheduler infers the period from the observed arrival
+  // rate. Until the meter warms up, fall back to the allocation.
+  const sim::SimDuration measured = arrivals_.mean_period(now);
+  if (measured > 0) return measured;
+  if (planned_rate_ups_ > 0) return sim::SimDuration(1e6 / planned_rate_ups_);
+  return sim::msec(100);  // conservative default
+}
+
+void Component::on_executed(sim::SimDuration actual) {
+  exec_time_us_.add(double(actual));
+}
+
+sim::SimDuration Component::expected_exec_time() const {
+  if (exec_time_us_.seeded()) {
+    return sim::SimDuration(exec_time_us_.value());
+  }
+  return spec_.cpu_time_per_unit;
+}
+
+std::size_t Component::pick_target() {
+  return wrr_ ? wrr_->next() : 0;
+}
+
+std::vector<ComponentOutput> Component::process(const DataUnit& in) {
+  ++processed_;
+  std::vector<ComponentOutput> outputs;
+
+  ratio_credit_ += spec_.rate_ratio;
+  const int emit = int(std::floor(ratio_credit_));
+  ratio_credit_ -= emit;
+  if (emit <= 0) return outputs;
+
+  const auto out_bytes = std::int64_t(
+      std::llround(double(in.size_bytes) * spec_.output_size_factor));
+  const bool preserve_seq = (spec_.rate_ratio == 1.0) && (emit == 1);
+
+  outputs.reserve(std::size_t(emit));
+  for (int i = 0; i < emit; ++i) {
+    const auto& target = next_placements_[pick_target()];
+    ComponentOutput out;
+    out.target = target.node;
+    out.unit = in;  // copies app/substream/created_at
+    out.unit.stage = in.stage + 1;
+    out.unit.size_bytes = out_bytes > 0 ? out_bytes : 1;
+    out.unit.seq = preserve_seq ? in.seq : out_seq_++;
+    outputs.push_back(out);
+  }
+  return outputs;
+}
+
+}  // namespace rasc::runtime

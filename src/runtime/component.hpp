@@ -1,0 +1,107 @@
+// A component: the running instance of a service on a node, bound to one
+// application substream stage (paper §2.1).
+//
+// The component tracks its observed arrival rate (to infer the period p_ci
+// the scheduler uses for deadlines, §3.4), applies the service's rate
+// ratio via a credit accumulator, and partitions its output over the next
+// stage's instances with smooth WRR.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "monitor/rate_meter.hpp"
+#include "monitor/window.hpp"
+#include "runtime/data_unit.hpp"
+#include "runtime/plan.hpp"
+#include "runtime/service.hpp"
+#include "runtime/wrr.hpp"
+#include "sim/time.hpp"
+
+namespace rasc::runtime {
+
+struct ComponentKey {
+  AppId app = 0;
+  std::int32_t substream = 0;
+  std::int32_t stage = 0;
+
+  friend auto operator<=>(const ComponentKey&, const ComponentKey&) = default;
+};
+
+struct ComponentKeyHash {
+  std::size_t operator()(const ComponentKey& k) const {
+    std::size_t h = std::hash<std::int64_t>()(k.app);
+    h = h * 1000003u + std::size_t(k.substream);
+    h = h * 1000003u + std::size_t(k.stage);
+    return h;
+  }
+};
+
+/// An output produced by processing one input unit.
+struct ComponentOutput {
+  sim::NodeIndex target = sim::kInvalidNode;
+  DataUnit unit;
+};
+
+class Component {
+ public:
+  /// `next_placements`: where stage+1 instances live (or the single
+  /// destination sink placement when this is the last stage).
+  Component(ComponentKey key, ServiceSpec spec, double planned_rate_ups,
+            std::vector<Placement> next_placements);
+
+  const ComponentKey& key() const { return key_; }
+  const ServiceSpec& spec() const { return spec_; }
+
+  /// Records a unit arrival and returns the deadline the scheduler should
+  /// use: expected arrival of the next unit, arr + p_ci (paper §3.4).
+  sim::SimTime on_arrival(sim::SimTime now);
+
+  /// Processes one input unit and emits 0..k outputs according to the
+  /// rate ratio credit. Outputs preserve the input's seq when the ratio is
+  /// exactly 1 (so downstream order accounting stays exact); otherwise a
+  /// per-component output counter assigns fresh sequence numbers.
+  std::vector<ComponentOutput> process(const DataUnit& in);
+
+  void count_drop() { ++dropped_; }
+
+  // --- Statistics (feed the per-node monitor & tests) ---
+  std::int64_t arrived() const { return arrived_; }
+  std::int64_t processed() const { return processed_; }
+  std::int64_t dropped() const { return dropped_; }
+  double planned_rate() const { return planned_rate_ups_; }
+
+  /// Observed arrival period; falls back to the planned rate until enough
+  /// samples exist.
+  sim::SimDuration current_period(sim::SimTime now) const;
+
+  /// Records an actual execution duration (paper §3.2: "the average
+  /// running time t_ci of a data unit processed by c_i, averaged over
+  /// data units processed recently").
+  void on_executed(sim::SimDuration actual);
+
+  /// Expected execution time for the next unit: the observed average,
+  /// seeded with the service's nominal cost.
+  sim::SimDuration expected_exec_time() const;
+
+ private:
+  std::size_t pick_target();
+
+  ComponentKey key_;
+  ServiceSpec spec_;
+  double planned_rate_ups_;
+  std::vector<Placement> next_placements_;
+  std::optional<WeightedRoundRobin> wrr_;  // absent when single target
+  monitor::RateMeter arrivals_;
+  monitor::Ewma exec_time_us_{0.2};
+  double ratio_credit_ = 0;
+  std::int64_t out_seq_ = 0;
+  std::int64_t arrived_ = 0;
+  std::int64_t processed_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace rasc::runtime

@@ -1,0 +1,97 @@
+// Deployment protocol messages.
+//
+// After composing an execution graph, the coordinator instantiates it by
+// messaging every involved node (paper §3.1 step 4: "Instantiate the
+// respective components and run the stream processing application").
+// Deployment costs real simulated time and bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/component.hpp"
+#include "runtime/plan.hpp"
+#include "sim/message.hpp"
+
+namespace rasc::runtime {
+
+struct DeployComponentMsg final : sim::Message {
+  const char* kind() const override { return "runtime.deploy_component"; }
+  ComponentKey key;
+  std::string service;
+  double rate_units_per_sec = 0;   // allocation for this instance
+  std::int64_t in_unit_bytes = 0;  // input unit size at this stage
+  std::vector<Placement> next;     // stage+1 instances or the sink
+  std::uint64_t request_id = 0;
+  sim::NodeIndex requester = sim::kInvalidNode;
+
+  std::int64_t wire_size() const {
+    return 96 + std::int64_t(next.size()) * 16;
+  }
+};
+
+struct DeploySinkMsg final : sim::Message {
+  const char* kind() const override { return "runtime.deploy_sink"; }
+  AppId app = 0;
+  std::int32_t substream = 0;
+  double rate_units_per_sec = 0;
+  std::int64_t unit_bytes = 0;
+  std::uint64_t request_id = 0;
+  sim::NodeIndex requester = sim::kInvalidNode;
+  static constexpr std::int64_t kBytes = 64;
+};
+
+struct DeploySourceMsg final : sim::Message {
+  const char* kind() const override { return "runtime.deploy_source"; }
+  AppId app = 0;
+  std::int32_t substream = 0;
+  double rate_units_per_sec = 0;
+  std::int64_t unit_bytes = 0;
+  std::vector<Placement> first_stage;
+  sim::SimTime start_at = 0;
+  sim::SimTime stop_at = 0;
+  std::uint64_t request_id = 0;
+  sim::NodeIndex requester = sim::kInvalidNode;
+
+  std::int64_t wire_size() const {
+    return 96 + std::int64_t(first_stage.size()) * 16;
+  }
+};
+
+struct DeployAck final : sim::Message {
+  const char* kind() const override { return "runtime.deploy_ack"; }
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  static constexpr std::int64_t kBytes = 16;
+};
+
+/// Tears down every component/sink/source of an application on the
+/// receiving node (failure recovery and re-composition).
+struct TeardownAppMsg final : sim::Message {
+  const char* kind() const override { return "runtime.teardown_app"; }
+  AppId app = 0;
+  static constexpr std::int64_t kBytes = 16;
+};
+
+/// Queries the destination node for an application's delivery progress
+/// (used by the supervisor's liveness checks).
+struct SinkHealthRequest final : sim::Message {
+  const char* kind() const override { return "runtime.sink_health_req"; }
+  AppId app = 0;
+  std::uint64_t request_id = 0;
+  sim::NodeIndex requester = sim::kInvalidNode;
+  static constexpr std::int64_t kBytes = 24;
+};
+
+struct SinkHealthReply final : sim::Message {
+  const char* kind() const override { return "runtime.sink_health_reply"; }
+  AppId app = 0;
+  std::uint64_t request_id = 0;
+  /// Units delivered so far across the app's substreams at this node;
+  /// -1 when no sink for the app exists here.
+  std::int64_t delivered = -1;
+  static constexpr std::int64_t kBytes = 32;
+};
+
+}  // namespace rasc::runtime

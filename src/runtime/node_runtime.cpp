@@ -1,0 +1,318 @@
+#include "runtime/node_runtime.hpp"
+
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace rasc::runtime {
+
+NodeRuntime::NodeRuntime(sim::Simulator& simulator, sim::Network& network,
+                         sim::NodeIndex node,
+                         monitor::NodeMonitor& node_monitor,
+                         const ServiceCatalog& catalog)
+    : NodeRuntime(simulator, network, node, node_monitor, catalog,
+                  Params()) {}
+
+NodeRuntime::NodeRuntime(sim::Simulator& simulator, sim::Network& network,
+                         sim::NodeIndex node,
+                         monitor::NodeMonitor& node_monitor,
+                         const ServiceCatalog& catalog, Params params)
+    : simulator_(simulator),
+      network_(network),
+      node_(node),
+      monitor_(node_monitor),
+      catalog_(catalog),
+      params_(params),
+      scheduler_(params.policy, params.max_ready_queue),
+      exec_rng_(simulator.rng().split(0x65786563u ^ std::uint64_t(node))) {}
+
+double NodeRuntime::reservation_kbps(double rate_ups,
+                                     std::int64_t unit_bytes) const {
+  const double wire_bytes =
+      double(unit_bytes + sim::Network::kFrameOverheadBytes);
+  return rate_ups * wire_bytes * 8.0 / 1000.0;
+}
+
+bool NodeRuntime::handle_packet(const sim::Packet& packet) {
+  const auto& payload = packet.payload;
+  if (auto unit = std::dynamic_pointer_cast<const DataUnit>(payload)) {
+    on_data_unit(unit);
+    return true;
+  }
+  if (const auto* dc =
+          dynamic_cast<const DeployComponentMsg*>(payload.get())) {
+    bool ok = true;
+    try {
+      deploy_component(dc->key, dc->service, dc->rate_units_per_sec,
+                       dc->in_unit_bytes, dc->next);
+    } catch (const std::exception& e) {
+      RASC_LOG(kWarn) << "node " << node_
+                      << ": component deploy failed: " << e.what();
+      ok = false;
+    }
+    send_ack(dc->requester, dc->request_id, ok);
+    return true;
+  }
+  if (const auto* ds = dynamic_cast<const DeploySinkMsg*>(payload.get())) {
+    deploy_sink(ds->app, ds->substream, ds->rate_units_per_sec,
+                ds->unit_bytes);
+    send_ack(ds->requester, ds->request_id, true);
+    return true;
+  }
+  if (const auto* src =
+          dynamic_cast<const DeploySourceMsg*>(payload.get())) {
+    deploy_source(src->app, src->substream, src->rate_units_per_sec,
+                  src->unit_bytes, src->first_stage, src->start_at,
+                  src->stop_at);
+    send_ack(src->requester, src->request_id, true);
+    return true;
+  }
+  if (const auto* td = dynamic_cast<const TeardownAppMsg*>(payload.get())) {
+    teardown_app(td->app);
+    return true;
+  }
+  if (const auto* hq =
+          dynamic_cast<const SinkHealthRequest*>(payload.get())) {
+    auto reply = std::make_shared<SinkHealthReply>();
+    reply->app = hq->app;
+    reply->request_id = hq->request_id;
+    std::int64_t delivered = -1;
+    for (const auto& [key, sink] : sinks_) {
+      if (key.first != hq->app) continue;
+      if (delivered < 0) delivered = 0;
+      delivered += sink.stats().delivered;
+    }
+    reply->delivered = delivered;
+    network_.send(node_, hq->requester, SinkHealthReply::kBytes,
+                  std::move(reply));
+    return true;
+  }
+  return false;
+}
+
+void NodeRuntime::send_ack(sim::NodeIndex to, std::uint64_t request_id,
+                           bool ok) {
+  auto ack = std::make_shared<DeployAck>();
+  ack->request_id = request_id;
+  ack->ok = ok;
+  network_.send(node_, to, DeployAck::kBytes, std::move(ack));
+}
+
+void NodeRuntime::deploy_component(const ComponentKey& key,
+                                   const std::string& service,
+                                   double rate_units_per_sec,
+                                   std::int64_t in_unit_bytes,
+                                   std::vector<Placement> next) {
+  const ServiceSpec& spec = catalog_.get(service);
+  const std::int64_t out_unit_bytes = std::int64_t(
+      double(in_unit_bytes) * spec.output_size_factor + 0.5);
+  const double in_kbps = reservation_kbps(rate_units_per_sec, in_unit_bytes);
+  const double out_kbps = reservation_kbps(
+      rate_units_per_sec * spec.rate_ratio, out_unit_bytes);
+
+  // CPU fraction: rate x mean service time (the requirement vector's
+  // second coordinate in the paper's model).
+  const double cpu_fraction =
+      rate_units_per_sec * sim::to_seconds(spec.cpu_time_per_unit);
+
+  auto component = std::make_unique<Component>(key, spec, rate_units_per_sec,
+                                               std::move(next));
+  components_[key] = std::move(component);
+  component_reservations_[key] = {in_kbps, out_kbps};
+  component_cpu_reservations_[key] = cpu_fraction;
+  monitor_.add_reservation(in_kbps, out_kbps);
+  monitor_.add_cpu_reservation(cpu_fraction);
+}
+
+void NodeRuntime::deploy_sink(AppId app, std::int32_t substream,
+                              double rate_units_per_sec,
+                              std::int64_t unit_bytes) {
+  const auto key = std::make_pair(app, substream);
+  sinks_.emplace(key, StreamSink(rate_units_per_sec,
+                                 params_.timely_tolerance_periods));
+  const double in_kbps = reservation_kbps(rate_units_per_sec, unit_bytes);
+  sink_reservations_[key] = in_kbps;
+  monitor_.add_reservation(in_kbps, 0);
+}
+
+void NodeRuntime::deploy_source(AppId app, std::int32_t substream,
+                                double rate_units_per_sec,
+                                std::int64_t unit_bytes,
+                                std::vector<Placement> first_stage,
+                                sim::SimTime start_at, sim::SimTime stop_at) {
+  const auto key = std::make_pair(app, substream);
+  auto source = std::make_unique<StreamSource>(
+      simulator_, network_, node_, app, substream, rate_units_per_sec,
+      unit_bytes, std::move(first_stage));
+  source->run(start_at, stop_at);
+  const double out_kbps = reservation_kbps(rate_units_per_sec, unit_bytes);
+  sources_[key] = std::move(source);
+  source_reservations_[key] = out_kbps;
+  monitor_.add_reservation(0, out_kbps);
+}
+
+void NodeRuntime::teardown_app(AppId app) {
+  for (auto it = components_.begin(); it != components_.end();) {
+    if (it->first.app == app) {
+      const auto res = component_reservations_.find(it->first);
+      if (res != component_reservations_.end()) {
+        monitor_.add_reservation(-res->second.first, -res->second.second);
+        component_reservations_.erase(res);
+      }
+      const auto cpu = component_cpu_reservations_.find(it->first);
+      if (cpu != component_cpu_reservations_.end()) {
+        monitor_.add_cpu_reservation(-cpu->second);
+        component_cpu_reservations_.erase(cpu);
+      }
+      it = components_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = sinks_.begin(); it != sinks_.end();) {
+    if (it->first.first == app) {
+      const auto res = sink_reservations_.find(it->first);
+      if (res != sink_reservations_.end()) {
+        monitor_.add_reservation(-res->second, 0);
+        sink_reservations_.erase(res);
+      }
+      it = sinks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = sources_.begin(); it != sources_.end();) {
+    if (it->first.first == app) {
+      it->second->stop();
+      const auto res = source_reservations_.find(it->first);
+      if (res != source_reservations_.end()) {
+        monitor_.add_reservation(0, -res->second);
+        source_reservations_.erase(res);
+      }
+      it = sources_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::int64_t NodeRuntime::total_emitted() const {
+  std::int64_t total = 0;
+  for (const auto& [key, source] : sources_) {
+    (void)key;
+    total += source->emitted();
+  }
+  return total;
+}
+
+SinkStats NodeRuntime::aggregate_sink_stats() const {
+  SinkStats total;
+  for (const auto& [key, sink] : sinks_) {
+    (void)key;
+    total.merge(sink.stats());
+  }
+  return total;
+}
+
+const Component* NodeRuntime::find_component(const ComponentKey& key) const {
+  const auto it = components_.find(key);
+  return it == components_.end() ? nullptr : it->second.get();
+}
+
+const StreamSink* NodeRuntime::find_sink(AppId app,
+                                         std::int32_t substream) const {
+  const auto it = sinks_.find({app, substream});
+  return it == sinks_.end() ? nullptr : &it->second;
+}
+
+const StreamSource* NodeRuntime::find_source(AppId app,
+                                             std::int32_t substream) const {
+  const auto it = sources_.find({app, substream});
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+void NodeRuntime::on_data_unit(
+    const std::shared_ptr<const DataUnit>& unit) {
+  ++units_received_;
+
+  // Destined for a sink hosted here?
+  const auto sink_it = sinks_.find({unit->app, unit->substream});
+  const ComponentKey key{unit->app, unit->substream, unit->stage};
+  const auto comp_it = components_.find(key);
+
+  if (comp_it == components_.end()) {
+    if (sink_it != sinks_.end()) {
+      sink_it->second.on_unit(*unit, simulator_.now());
+    } else {
+      ++units_unroutable_;
+      monitor_.on_unit_dropped();
+    }
+    return;
+  }
+
+  Component& component = *comp_it->second;
+  ScheduledUnit scheduled;
+  scheduled.unit = unit;
+  scheduled.component = &component;
+  scheduled.arrival = simulator_.now();
+  scheduled.deadline = component.on_arrival(simulator_.now());
+  // Laxity uses the *observed* average running time (paper §3.2), not
+  // the nominal service cost.
+  scheduled.exec_time = component.expected_exec_time();
+
+  if (!scheduler_.enqueue(std::move(scheduled))) {
+    ++dropped_queue_full_;
+    component.count_drop();
+    monitor_.on_unit_dropped();
+    return;
+  }
+  monitor_.on_queue_length(std::int64_t(scheduler_.size()));
+  maybe_dispatch();
+}
+
+void NodeRuntime::maybe_dispatch() {
+  if (cpu_busy_) return;
+  std::vector<ScheduledUnit> expired;
+  auto next = scheduler_.dispatch(simulator_.now(), expired);
+  for (auto& e : expired) {
+    ++dropped_deadline_;
+    e.component->count_drop();
+    monitor_.on_unit_dropped();
+  }
+  monitor_.on_queue_length(std::int64_t(scheduler_.size()));
+  if (!next) return;
+  cpu_busy_ = true;
+  // The actual execution time varies around the nominal service cost.
+  const auto& spec = next->component->spec();
+  sim::SimDuration actual = spec.cpu_time_per_unit;
+  if (spec.cpu_time_jitter > 0) {
+    actual = sim::SimDuration(
+        double(actual) *
+        exec_rng_.uniform_double(1.0 - spec.cpu_time_jitter,
+                                 1.0 + spec.cpu_time_jitter));
+  }
+  if (actual < 1) actual = 1;
+  simulator_.call_after(
+      actual, [this, actual, job = std::move(*next)]() mutable {
+        finish_unit(std::move(job), actual);
+      });
+}
+
+void NodeRuntime::finish_unit(ScheduledUnit scheduled,
+                              sim::SimDuration actual) {
+  cpu_busy_ = false;
+  ++units_processed_;
+  monitor_.on_unit_processed();
+  monitor_.on_cpu_busy(actual);
+  scheduled.component->on_executed(actual);
+
+  auto outputs = scheduled.component->process(*scheduled.unit);
+  for (auto& out : outputs) {
+    auto msg = std::make_shared<DataUnit>(out.unit);
+    const auto size = msg->size_bytes;
+    network_.send(node_, out.target, size, std::move(msg));
+  }
+  maybe_dispatch();
+}
+
+}  // namespace rasc::runtime

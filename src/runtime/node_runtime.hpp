@@ -1,0 +1,128 @@
+// Per-node stream-processing runtime.
+//
+// Hosts the components deployed on a simulated node, runs the single-CPU
+// scheduler loop (paper §3.4), forwards processed units downstream, hosts
+// destination sinks and stream sources, and feeds the resource monitor
+// (drops, queue length, reservations).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "monitor/node_monitor.hpp"
+#include "runtime/component.hpp"
+#include "runtime/deploy_messages.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/service.hpp"
+#include "runtime/sink.hpp"
+#include "runtime/source.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rasc::runtime {
+
+class NodeRuntime {
+ public:
+  struct Params {
+    SchedulingPolicy policy = SchedulingPolicy::kLeastLaxity;
+    std::size_t max_ready_queue = 64;
+    /// Tolerance used by sinks for the "flawless delivery" metric.
+    double timely_tolerance_periods = 1.0;
+  };
+
+  NodeRuntime(sim::Simulator& simulator, sim::Network& network,
+              sim::NodeIndex node, monitor::NodeMonitor& node_monitor,
+              const ServiceCatalog& catalog, Params params);
+  NodeRuntime(sim::Simulator& simulator, sim::Network& network,
+              sim::NodeIndex node, monitor::NodeMonitor& node_monitor,
+              const ServiceCatalog& catalog);
+
+  /// Handles data units and deployment messages; false for anything else.
+  bool handle_packet(const sim::Packet& packet);
+
+  // --- Local deployment API (the message handlers call these; tests and
+  // oracle-mode experiments may call them directly) ---
+
+  /// Instantiates a component. Reserves input and output bandwidth with
+  /// the monitor. Throws std::out_of_range for an unknown service.
+  void deploy_component(const ComponentKey& key, const std::string& service,
+                        double rate_units_per_sec,
+                        std::int64_t in_unit_bytes,
+                        std::vector<Placement> next);
+
+  void deploy_sink(AppId app, std::int32_t substream,
+                   double rate_units_per_sec, std::int64_t unit_bytes);
+
+  void deploy_source(AppId app, std::int32_t substream,
+                     double rate_units_per_sec, std::int64_t unit_bytes,
+                     std::vector<Placement> first_stage,
+                     sim::SimTime start_at, sim::SimTime stop_at);
+
+  /// Removes all state of `app` on this node and releases reservations.
+  void teardown_app(AppId app);
+
+  // --- Introspection ---
+  const Component* find_component(const ComponentKey& key) const;
+  const StreamSink* find_sink(AppId app, std::int32_t substream) const;
+  const StreamSource* find_source(AppId app, std::int32_t substream) const;
+  std::size_t component_count() const { return components_.size(); }
+
+  /// Sum of units emitted by every source hosted on this node.
+  std::int64_t total_emitted() const;
+  /// Merged stats of every sink hosted on this node.
+  SinkStats aggregate_sink_stats() const;
+
+  std::int64_t units_received() const { return units_received_; }
+  std::int64_t units_dropped_queue_full() const {
+    return dropped_queue_full_;
+  }
+  std::int64_t units_dropped_deadline() const { return dropped_deadline_; }
+  std::int64_t units_processed() const { return units_processed_; }
+  /// Units addressed to a component/sink this node does not host (stale
+  /// plans, failures). They are dropped and counted.
+  std::int64_t units_unroutable() const { return units_unroutable_; }
+
+  sim::NodeIndex node() const { return node_; }
+
+ private:
+  void on_data_unit(const std::shared_ptr<const DataUnit>& unit);
+  void maybe_dispatch();
+  void finish_unit(ScheduledUnit scheduled, sim::SimDuration actual);
+  void send_ack(sim::NodeIndex to, std::uint64_t request_id, bool ok);
+  double reservation_kbps(double rate_ups, std::int64_t unit_bytes) const;
+
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  sim::NodeIndex node_;
+  monitor::NodeMonitor& monitor_;
+  const ServiceCatalog& catalog_;
+  Params params_;
+  Scheduler scheduler_;
+  bool cpu_busy_ = false;
+  util::Xoshiro256 exec_rng_;
+
+  std::unordered_map<ComponentKey, std::unique_ptr<Component>,
+                     ComponentKeyHash>
+      components_;
+  // Reservation (in,out) per component for teardown bookkeeping.
+  std::unordered_map<ComponentKey, std::pair<double, double>,
+                     ComponentKeyHash>
+      component_reservations_;
+  std::unordered_map<ComponentKey, double, ComponentKeyHash>
+      component_cpu_reservations_;
+  std::map<std::pair<AppId, std::int32_t>, StreamSink> sinks_;
+  std::map<std::pair<AppId, std::int32_t>, double> sink_reservations_;
+  std::map<std::pair<AppId, std::int32_t>, std::unique_ptr<StreamSource>>
+      sources_;
+  std::map<std::pair<AppId, std::int32_t>, double> source_reservations_;
+
+  std::int64_t units_received_ = 0;
+  std::int64_t dropped_queue_full_ = 0;
+  std::int64_t dropped_deadline_ = 0;
+  std::int64_t units_processed_ = 0;
+  std::int64_t units_unroutable_ = 0;
+};
+
+}  // namespace rasc::runtime

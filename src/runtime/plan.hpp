@@ -1,0 +1,62 @@
+// Execution plans: the output of composition, the input of deployment.
+//
+// An AppPlan is the paper's "execution graph": the mapping of a service
+// request graph onto overlay nodes, possibly with *several* components per
+// service (rate splitting), each with the rate share the composer assigned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/data_unit.hpp"
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace rasc::runtime {
+
+/// One component instance: which node hosts it and what fraction of the
+/// substream's rate flows through it (units per second).
+struct Placement {
+  sim::NodeIndex node = sim::kInvalidNode;
+  double rate_units_per_sec = 0;
+};
+
+/// All instances of one service layer of a substream.
+struct StagePlan {
+  std::string service;
+  std::vector<Placement> placements;
+
+  double total_rate() const {
+    double r = 0;
+    for (const auto& p : placements) r += p.rate_units_per_sec;
+    return r;
+  }
+};
+
+/// One substream: a linear chain of stages from source to destination.
+struct SubstreamPlan {
+  /// Delivery rate requirement at the destination, in units/second.
+  double rate_units_per_sec = 0;
+  /// Size of one data unit at the source.
+  std::int64_t unit_bytes = 0;
+  std::vector<StagePlan> stages;
+};
+
+/// The full execution graph of one application.
+struct AppPlan {
+  AppId app = 0;
+  sim::NodeIndex source = sim::kInvalidNode;
+  sim::NodeIndex destination = sim::kInvalidNode;
+  std::vector<SubstreamPlan> substreams;
+
+  /// Number of distinct components across all substreams and stages.
+  std::size_t component_count() const {
+    std::size_t n = 0;
+    for (const auto& ss : substreams) {
+      for (const auto& st : ss.stages) n += st.placements.size();
+    }
+    return n;
+  }
+};
+
+}  // namespace rasc::runtime

@@ -1,0 +1,62 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+
+namespace rasc::runtime {
+
+const char* to_string(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::kLeastLaxity:
+      return "llf";
+    case SchedulingPolicy::kFifo:
+      return "fifo";
+    case SchedulingPolicy::kEdf:
+      return "edf";
+  }
+  return "?";
+}
+
+bool Scheduler::enqueue(ScheduledUnit unit) {
+  if (queue_.size() >= max_queue_) return false;
+  queue_.push_back(std::move(unit));
+  return true;
+}
+
+std::optional<ScheduledUnit> Scheduler::dispatch(
+    sim::SimTime now, std::vector<ScheduledUnit>& expired) {
+  if (policy_ != SchedulingPolicy::kFifo) {
+    // Drop units that will certainly miss (negative laxity, §3.4).
+    auto dead = std::partition(
+        queue_.begin(), queue_.end(),
+        [now](const ScheduledUnit& u) { return u.laxity(now) >= 0; });
+    for (auto it = dead; it != queue_.end(); ++it) {
+      expired.push_back(std::move(*it));
+    }
+    queue_.erase(dead, queue_.end());
+  }
+  if (queue_.empty()) return std::nullopt;
+
+  std::size_t best = 0;
+  switch (policy_) {
+    case SchedulingPolicy::kLeastLaxity:
+      for (std::size_t i = 1; i < queue_.size(); ++i) {
+        if (queue_[i].laxity(now) < queue_[best].laxity(now)) best = i;
+      }
+      break;
+    case SchedulingPolicy::kEdf:
+      for (std::size_t i = 1; i < queue_.size(); ++i) {
+        if (queue_[i].deadline < queue_[best].deadline) best = i;
+      }
+      break;
+    case SchedulingPolicy::kFifo:
+      for (std::size_t i = 1; i < queue_.size(); ++i) {
+        if (queue_[i].arrival < queue_[best].arrival) best = i;
+      }
+      break;
+  }
+  ScheduledUnit out = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + std::ptrdiff_t(best));
+  return out;
+}
+
+}  // namespace rasc::runtime

@@ -1,0 +1,70 @@
+// Per-node data-unit scheduler (paper §3.4).
+//
+// The node keeps a single ready queue of data units across all its
+// components. The paper's policy: each unit carries a deadline equal to
+// the expected arrival of its successor; at each decision point, units
+// with negative laxity L = deadline - now - t_ci are dropped (they would
+// miss anyway and only add load), and among the rest the unit with the
+// smallest laxity runs first. FIFO and EDF are provided for the ablation
+// study.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "runtime/component.hpp"
+#include "runtime/data_unit.hpp"
+#include "sim/time.hpp"
+
+namespace rasc::runtime {
+
+enum class SchedulingPolicy {
+  kLeastLaxity,  // the paper's policy
+  kFifo,
+  kEdf,
+};
+
+const char* to_string(SchedulingPolicy policy);
+
+struct ScheduledUnit {
+  std::shared_ptr<const DataUnit> unit;
+  Component* component = nullptr;
+  sim::SimTime arrival = 0;
+  sim::SimTime deadline = 0;
+  sim::SimDuration exec_time = 0;  // the component's t_ci
+
+  sim::SimDuration laxity(sim::SimTime now) const {
+    return deadline - now - exec_time;
+  }
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulingPolicy policy, std::size_t max_queue = 64)
+      : policy_(policy), max_queue_(max_queue) {}
+
+  /// Enqueues a unit; returns false (and does not take it) when the ready
+  /// queue is at capacity — the caller counts a drop.
+  bool enqueue(ScheduledUnit unit);
+
+  /// Chooses the next unit to run at `now` per the policy. Units that can
+  /// no longer meet their deadline are moved into `expired` (LLF/EDF
+  /// only; FIFO never inspects deadlines). Returns nullopt when nothing
+  /// runnable remains.
+  std::optional<ScheduledUnit> dispatch(sim::SimTime now,
+                                        std::vector<ScheduledUnit>& expired);
+
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+  SchedulingPolicy policy() const { return policy_; }
+  std::size_t max_queue() const { return max_queue_; }
+
+ private:
+  SchedulingPolicy policy_;
+  std::size_t max_queue_;
+  std::vector<ScheduledUnit> queue_;  // small (<= max_queue), linear scans
+};
+
+}  // namespace rasc::runtime

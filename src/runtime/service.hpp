@@ -1,0 +1,68 @@
+// Service specifications and the service catalog.
+//
+// A service is "a function that defines the processing of a finite amount
+// of input data" (paper §2.1): aggregation, filtering, transcoding, ...
+// A component is a running instance of a service on a node, operating on
+// individual data units.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rasc::runtime {
+
+struct ServiceSpec {
+  std::string name;
+
+  /// Mean CPU time to process one data unit (the scheduler's t_ci).
+  sim::SimDuration cpu_time_per_unit = sim::msec(2);
+
+  /// Rate ratio R_ci = out-rate / in-rate (paper §2.2). 1 for filters and
+  /// transforms that keep cadence; <1 for down-samplers; >1 for expanders.
+  double rate_ratio = 1.0;
+
+  /// Output unit size as a fraction of the input unit size (e.g. a
+  /// transcoder that halves the bitrate has 0.5).
+  double output_size_factor = 1.0;
+
+  /// Per-unit execution-time variability: actual times are drawn
+  /// uniformly from cpu_time_per_unit * [1-j, 1+j]. Real services are not
+  /// constant-time, which is why the paper's monitor reports the
+  /// *average observed* running time (§3.2) rather than a nominal one.
+  double cpu_time_jitter = 0.0;
+};
+
+/// Immutable registry of the service types that exist in a deployment
+/// (the paper's experiments use 10 unique services).
+class ServiceCatalog {
+ public:
+  void add(ServiceSpec spec) {
+    const std::string name = spec.name;
+    if (!specs_.emplace(name, std::move(spec)).second) {
+      throw std::invalid_argument("duplicate service: " + name);
+    }
+  }
+
+  const ServiceSpec& get(const std::string& name) const {
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      throw std::out_of_range("unknown service: " + name);
+    }
+    return it->second;
+  }
+
+  bool contains(const std::string& name) const {
+    return specs_.count(name) > 0;
+  }
+  std::size_t size() const { return specs_.size(); }
+
+  const std::map<std::string, ServiceSpec>& all() const { return specs_; }
+
+ private:
+  std::map<std::string, ServiceSpec> specs_;
+};
+
+}  // namespace rasc::runtime

@@ -1,0 +1,48 @@
+#include "runtime/sink.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rasc::runtime {
+
+StreamSink::StreamSink(double expected_rate_ups,
+                       double timely_tolerance_periods,
+                       double reorder_tolerance_periods) {
+  assert(expected_rate_ups > 0);
+  period_ = sim::SimDuration(1e6 / expected_rate_ups);
+  tolerance_ = sim::SimDuration(double(period_) * timely_tolerance_periods);
+  reorder_tolerance_ =
+      sim::SimDuration(double(period_) * reorder_tolerance_periods);
+}
+
+void StreamSink::on_unit(const DataUnit& unit, sim::SimTime now) {
+  ++stats_.delivered;
+  stats_.delay_ms.add(sim::to_ms(now - unit.created_at));
+
+  // A unit counts as out of order only when it arrives more than the
+  // playout tolerance after being overtaken (approximated by the time the
+  // current max seq arrived).
+  bool in_order = unit.seq > max_seq_seen_;
+  if (!in_order && now - max_seq_time_ > reorder_tolerance_) {
+    ++stats_.out_of_order;
+  } else if (!in_order) {
+    in_order = true;  // inside the playout buffer: still usable
+  }
+  if (unit.seq > max_seq_seen_) {
+    max_seq_seen_ = unit.seq;
+    max_seq_time_ = now;
+  }
+
+  // Jitter relative to the deadline implied by the previous delivery and
+  // the required period (paper §4.2, "Average Jitter"). The first unit
+  // has no predecessor and defines the baseline.
+  sim::SimDuration lateness = 0;
+  if (last_arrival_ >= 0) {
+    lateness = std::max<sim::SimDuration>(0, now - (last_arrival_ + period_));
+  }
+  stats_.jitter_ms.add(sim::to_ms(lateness));
+  if (in_order && lateness <= tolerance_) ++stats_.timely;
+  last_arrival_ = now;
+}
+
+}  // namespace rasc::runtime

@@ -1,0 +1,64 @@
+// Destination-side accounting: delivery, timeliness, ordering, jitter.
+//
+// Implements the paper's §4.2 metrics verbatim:
+//  - delivered: units that reached the destination at all (Figure 8);
+//  - end-to-end delay: arrival - source emission (Figure 7);
+//  - out of order: a unit overtaken by a later-seq unit by more than the
+//    playout reorder tolerance — a slightly-late unit still inside the
+//    playout buffer remains usable (Figure 10);
+//  - jitter: how far past the deadline set by the previous unit's arrival
+//    plus the required period a unit arrives (Figure 11);
+//  - timely / "flawless": in order AND within a tolerance of that deadline
+//    (Figure 9).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/data_unit.hpp"
+#include "sim/time.hpp"
+#include "util/summary_stats.hpp"
+
+namespace rasc::runtime {
+
+struct SinkStats {
+  std::int64_t delivered = 0;
+  std::int64_t timely = 0;
+  std::int64_t out_of_order = 0;
+  util::SummaryStats delay_ms;
+  util::SummaryStats jitter_ms;
+
+  void merge(const SinkStats& other) {
+    delivered += other.delivered;
+    timely += other.timely;
+    out_of_order += other.out_of_order;
+    delay_ms.merge(other.delay_ms);
+    jitter_ms.merge(other.jitter_ms);
+  }
+};
+
+class StreamSink {
+ public:
+  /// `expected_rate_ups` is the substream's r_req (defines the period);
+  /// `timely_tolerance_periods` is how many periods past the deadline a
+  /// unit may arrive and still count as flawless;
+  /// `reorder_tolerance_periods` is the playout-buffer depth: a unit
+  /// overtaken by no more than this is still rendered in order.
+  StreamSink(double expected_rate_ups, double timely_tolerance_periods = 1.0,
+             double reorder_tolerance_periods = 1.0);
+
+  void on_unit(const DataUnit& unit, sim::SimTime now);
+
+  const SinkStats& stats() const { return stats_; }
+  sim::SimDuration period() const { return period_; }
+
+ private:
+  sim::SimDuration period_;
+  sim::SimDuration tolerance_;
+  sim::SimDuration reorder_tolerance_;
+  SinkStats stats_;
+  sim::SimTime last_arrival_ = -1;
+  std::int64_t max_seq_seen_ = -1;
+  sim::SimTime max_seq_time_ = -1;
+};
+
+}  // namespace rasc::runtime

@@ -1,0 +1,72 @@
+#include "runtime/source.hpp"
+
+#include <cassert>
+#include <memory>
+
+namespace rasc::runtime {
+
+StreamSource::StreamSource(sim::Simulator& simulator, sim::Network& network,
+                           sim::NodeIndex node, AppId app,
+                           std::int32_t substream, double rate_ups,
+                           std::int64_t unit_bytes,
+                           std::vector<Placement> first_stage)
+    : simulator_(simulator),
+      network_(network),
+      node_(node),
+      app_(app),
+      substream_(substream),
+      unit_bytes_(unit_bytes),
+      first_stage_(std::move(first_stage)) {
+  assert(rate_ups > 0);
+  assert(!first_stage_.empty());
+  period_ = sim::SimDuration(1e6 / rate_ups);
+  if (first_stage_.size() > 1) {
+    std::vector<double> weights;
+    weights.reserve(first_stage_.size());
+    for (const auto& p : first_stage_) weights.push_back(p.rate_units_per_sec);
+    wrr_.emplace(std::move(weights));
+  }
+}
+
+StreamSource::~StreamSource() { stop(); }
+
+void StreamSource::run(sim::SimTime at, sim::SimTime until) {
+  assert(!running_);
+  running_ = true;
+  // Anchor the emission grid no earlier than now: a start time in the
+  // past must not make the source "catch up" with an instantaneous burst
+  // of every unit it would have emitted by now.
+  start_ = std::max(at, simulator_.now());
+  until_ = until;
+  next_event_ = simulator_.call_at(start_, [this] { emit(); });
+}
+
+void StreamSource::stop() {
+  if (!running_) return;
+  running_ = false;
+  simulator_.cancel(next_event_);
+}
+
+void StreamSource::emit() {
+  if (!running_) return;
+  auto unit = std::make_shared<DataUnit>();
+  unit->app = app_;
+  unit->substream = substream_;
+  unit->seq = emitted_;
+  unit->stage = 0;
+  unit->size_bytes = unit_bytes_;
+  unit->created_at = simulator_.now();
+  const std::size_t pick = wrr_ ? wrr_->next() : 0;
+  network_.send(node_, first_stage_[pick].node, unit_bytes_, std::move(unit));
+  ++emitted_;
+
+  // Exact grid: next emission at start + emitted * period.
+  const sim::SimTime next = start_ + emitted_ * period_;
+  if (next >= until_) {
+    running_ = false;
+    return;
+  }
+  next_event_ = simulator_.call_at(next, [this] { emit(); });
+}
+
+}  // namespace rasc::runtime

@@ -1,0 +1,60 @@
+// Stream sources: emit data units at the requested rate from the
+// application's source node, partitioning over the first stage's
+// component instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/data_unit.hpp"
+#include "runtime/plan.hpp"
+#include "runtime/wrr.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace rasc::runtime {
+
+class StreamSource {
+ public:
+  /// Emits `rate_ups` units/sec of `unit_bytes` each from `node`,
+  /// spreading them over `first_stage` proportionally to allocated rates.
+  StreamSource(sim::Simulator& simulator, sim::Network& network,
+               sim::NodeIndex node, AppId app, std::int32_t substream,
+               double rate_ups, std::int64_t unit_bytes,
+               std::vector<Placement> first_stage);
+  ~StreamSource();
+
+  StreamSource(const StreamSource&) = delete;
+  StreamSource& operator=(const StreamSource&) = delete;
+
+  /// Starts emitting at absolute time `at` and stops at `until`
+  /// (exclusive). Emission times sit on an exact period grid (no drift).
+  void run(sim::SimTime at, sim::SimTime until);
+
+  void stop();
+
+  std::int64_t emitted() const { return emitted_; }
+  AppId app() const { return app_; }
+  std::int32_t substream() const { return substream_; }
+
+ private:
+  void emit();
+
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  sim::NodeIndex node_;
+  AppId app_;
+  std::int32_t substream_;
+  sim::SimDuration period_;
+  std::int64_t unit_bytes_;
+  std::vector<Placement> first_stage_;
+  std::optional<WeightedRoundRobin> wrr_;
+  sim::SimTime start_ = 0;
+  sim::SimTime until_ = 0;
+  std::int64_t emitted_ = 0;
+  sim::EventId next_event_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace rasc::runtime

@@ -1,0 +1,26 @@
+#include "runtime/wrr.hpp"
+
+#include <cassert>
+
+namespace rasc::runtime {
+
+WeightedRoundRobin::WeightedRoundRobin(std::vector<double> weights)
+    : weights_(std::move(weights)), current_(weights_.size(), 0.0) {
+  for (double w : weights_) {
+    assert(w >= 0);
+    total_ += w;
+  }
+  assert(total_ > 0 && "WRR needs at least one positive weight");
+}
+
+std::size_t WeightedRoundRobin::next() {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    current_[i] += weights_[i];
+    if (current_[i] > current_[best]) best = i;
+  }
+  current_[best] -= total_;
+  return best;
+}
+
+}  // namespace rasc::runtime

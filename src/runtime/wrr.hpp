@@ -1,0 +1,33 @@
+// Smooth weighted round-robin selection.
+//
+// When a service is split across components (the paper's distinguishing
+// feature), each upstream emitter partitions its output stream over the
+// downstream instances proportionally to their allocated rates. Smooth WRR
+// (the nginx algorithm) achieves exact long-run proportions with maximally
+// interleaved picks — important because bursty partitioning would inflate
+// jitter at the merge point.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rasc::runtime {
+
+class WeightedRoundRobin {
+ public:
+  /// Weights must be positive; zero-weight entries are never picked.
+  explicit WeightedRoundRobin(std::vector<double> weights);
+
+  /// Index of the next pick. Requires at least one positive weight.
+  std::size_t next();
+
+  std::size_t size() const { return weights_.size(); }
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<double> current_;
+  double total_ = 0;
+};
+
+}  // namespace rasc::runtime

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace rasc::sim {
+
+EventId EventQueue::schedule(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = handlers_.find(id);
+  if (it == handlers_.end()) return false;
+  handlers_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && !handlers_.count(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  const Entry e = heap_.top();
+  heap_.pop();
+  auto it = handlers_.find(e.id);
+  Fired fired{e.time, e.id, std::move(it->second)};
+  handlers_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace rasc::sim

@@ -1,0 +1,65 @@
+// Pending-event set for the discrete-event simulator.
+//
+// Events at equal timestamps fire in insertion order (a stable tiebreak via
+// a monotone sequence number); without this, heap order would depend on
+// allocation details and runs would not be reproducible. Cancellation is
+// lazy: cancelled entries stay in the heap and are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rasc::sim {
+
+/// Identifies a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `t`. Returns an id for cancellation.
+  EventId schedule(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if the event already fired or
+  /// was already cancelled.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; undefined when empty().
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest event. Requires !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO within a timestamp
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace rasc::sim

@@ -1,0 +1,38 @@
+// Message and packet types exchanged over the simulated network.
+//
+// Payloads are immutable and shared: a packet "on the wire" carries a
+// shared_ptr<const Message>, so forwarding never copies payload bytes and a
+// handler can never mutate a message another node still holds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/time.hpp"
+
+namespace rasc::sim {
+
+/// Index of a node in the topology (dense, 0-based).
+using NodeIndex = std::int32_t;
+constexpr NodeIndex kInvalidNode = -1;
+
+/// Base class for all application-level messages (overlay control traffic,
+/// stats queries, stream data units, ...).
+struct Message {
+  virtual ~Message() = default;
+  /// Human-readable message kind, for logging and tests.
+  virtual const char* kind() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/// A framed packet in flight.
+struct Packet {
+  NodeIndex src = kInvalidNode;
+  NodeIndex dst = kInvalidNode;
+  std::int64_t size_bytes = 0;
+  MessagePtr payload;
+  SimTime sent_at = 0;  // time send() was called
+};
+
+}  // namespace rasc::sim

@@ -1,0 +1,162 @@
+#include "sim/network.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace rasc::sim {
+
+Network::Network(Simulator& simulator, Topology topology)
+    : simulator_(simulator),
+      topology_(std::move(topology)),
+      handlers_(topology_.size()),
+      drop_handlers_(topology_.size()),
+      out_free_at_(topology_.size(), 0),
+      in_free_at_(topology_.size(), 0),
+      bytes_sent_(topology_.size(), 0),
+      bytes_received_(topology_.size(), 0),
+      received_by_kind_(topology_.size()),
+      sent_by_kind_(topology_.size()),
+      out_queue_drops_(topology_.size(), 0),
+      in_queue_drops_(topology_.size(), 0),
+      up_(topology_.size(), true),
+      loss_rng_(simulator.rng().split(0x6e657477 /* "netw" */)) {}
+
+void Network::set_handler(NodeIndex node, Handler handler) {
+  handlers_.at(std::size_t(node)) = std::move(handler);
+}
+
+void Network::set_node_up(NodeIndex node, bool up) {
+  up_.at(std::size_t(node)) = up;
+}
+
+void Network::set_drop_handler(NodeIndex node, DropHandler handler) {
+  drop_handlers_.at(std::size_t(node)) = std::move(handler);
+}
+
+void Network::notify_drop(NodeIndex node, const Packet& packet,
+                          bool outgoing) {
+  ++packets_dropped_;
+  auto& counter = outgoing ? out_queue_drops_ : in_queue_drops_;
+  ++counter[std::size_t(node)];
+  const auto& handler = drop_handlers_[std::size_t(node)];
+  if (handler) handler(packet, outgoing);
+}
+
+SimDuration Network::serialization_time(std::int64_t size_bytes,
+                                        double kbps) {
+  assert(kbps > 0);
+  // bits / (kbps * 1000 bits/s), in microseconds: bytes*8000/kbps.
+  return SimDuration(std::ceil(double(size_bytes) * 8000.0 / kbps));
+}
+
+void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
+                   MessagePtr payload) {
+  assert(src >= 0 && std::size_t(src) < size());
+  assert(dst >= 0 && std::size_t(dst) < size());
+  Packet packet;
+  packet.src = src;
+  packet.dst = dst;
+  packet.size_bytes = size_bytes;
+  packet.payload = std::move(payload);
+  packet.sent_at = simulator_.now();
+  ++packets_sent_;
+
+  if (!up_[std::size_t(src)] || !up_[std::size_t(dst)]) {
+    ++packets_dropped_;
+    return;
+  }
+
+  if (src == dst) {
+    simulator_.call_after(kLoopbackDelay,
+                          [this, p = std::move(packet)] { deliver(p); });
+    return;
+  }
+
+  const std::int64_t wire_bytes = size_bytes + kFrameOverheadBytes;
+
+  // Output-port FIFO with tail drop: refuse the packet when the queue
+  // already represents more than max_port_backlog of serialization time.
+  const double bw_out = topology_.nodes[std::size_t(src)].bw_out_kbps;
+  const SimTime start =
+      std::max(simulator_.now(), out_free_at_[std::size_t(src)]);
+  if (start - simulator_.now() > topology_.max_port_backlog) {
+    notify_drop(src, packet, /*outgoing=*/true);
+    return;
+  }
+  bytes_sent_[std::size_t(src)] += wire_bytes;
+  sent_by_kind_[std::size_t(src)]
+              [packet.payload ? packet.payload->kind() : "null"] +=
+      wire_bytes;
+  const SimTime departed = start + serialization_time(wire_bytes, bw_out);
+  out_free_at_[std::size_t(src)] = departed;
+
+  SimDuration latency =
+      topology_.latency_us[std::size_t(src)][std::size_t(dst)];
+  if (topology_.latency_jitter > 0) {
+    latency = SimDuration(double(latency) *
+                          loss_rng_.uniform_double(
+                              1.0 - topology_.latency_jitter,
+                              1.0 + topology_.latency_jitter));
+  }
+  const SimTime arrival = departed + latency;
+  simulator_.call_at(arrival,
+                     [this, p = std::move(packet)]() mutable {
+                       arrive(std::move(p));
+                     });
+}
+
+void Network::arrive(Packet packet) {
+  if (!up_[std::size_t(packet.dst)]) {
+    ++packets_dropped_;
+    return;
+  }
+  if (topology_.loss_rate > 0 && loss_rng_.bernoulli(topology_.loss_rate)) {
+    ++packets_dropped_;
+    return;
+  }
+  // Input-port serialization, contended in true arrival order because this
+  // runs at the propagation-arrival event. Tail drop when the receive
+  // queue is over budget.
+  const std::int64_t wire_bytes = packet.size_bytes + kFrameOverheadBytes;
+  const double bw_in = topology_.nodes[std::size_t(packet.dst)].bw_in_kbps;
+  const SimTime start =
+      std::max(simulator_.now(), in_free_at_[std::size_t(packet.dst)]);
+  if (start - simulator_.now() > topology_.max_port_backlog) {
+    notify_drop(packet.dst, packet, /*outgoing=*/false);
+    return;
+  }
+  const SimTime done = start + serialization_time(wire_bytes, bw_in);
+  in_free_at_[std::size_t(packet.dst)] = done;
+  simulator_.call_at(done, [this, p = std::move(packet)] { deliver(p); });
+}
+
+void Network::deliver(const Packet& packet) {
+  if (!up_[std::size_t(packet.dst)]) {
+    ++packets_dropped_;
+    return;
+  }
+  // Loopback traffic never touches the access link: it must not count
+  // toward measured bandwidth use, or co-located pipeline stages would
+  // look like congestion to the monitor.
+  if (packet.src != packet.dst) {
+    bytes_received_[std::size_t(packet.dst)] +=
+        packet.size_bytes + kFrameOverheadBytes;
+    received_by_kind_[std::size_t(packet.dst)]
+                     [packet.payload ? packet.payload->kind() : "null"] +=
+        packet.size_bytes + kFrameOverheadBytes;
+  }
+  const auto& handler = handlers_[std::size_t(packet.dst)];
+  if (handler) {
+    handler(packet);
+  } else {
+    RASC_LOG(kWarn) << "packet to node " << packet.dst
+                    << " dropped: no handler (kind="
+                    << (packet.payload ? packet.payload->kind() : "null")
+                    << ")";
+    ++packets_dropped_;
+  }
+}
+
+}  // namespace rasc::sim

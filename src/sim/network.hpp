@@ -1,0 +1,133 @@
+// Simulated network: access-link serialization at both endpoints plus
+// wide-area propagation latency.
+//
+// A packet from src to dst experiences, in order:
+//   1. src output-port serialization: the out port is a FIFO; transmission
+//      takes size / bw_out and starts when the port frees up;
+//   2. propagation latency (from the topology matrix);
+//   3. dst input-port serialization: computed *at arrival time* so that
+//      packets from different senders contend in true arrival order;
+//   4. delivery to the destination node's registered handler.
+//
+// Both serialization steps are what make RASC's b_in/b_out constraints
+// (paper §3.2) physically binding: overload a node and queueing delay —
+// hence deadline misses, drops and jitter — emerges here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace rasc::sim {
+
+class Network {
+ public:
+  using Handler = std::function<void(const Packet&)>;
+  /// Invoked when a packet is tail-dropped at one of `node`'s ports
+  /// (outgoing = true for the send-side queue). Lets upper layers feed
+  /// the loss into their monitoring.
+  using DropHandler = std::function<void(const Packet&, bool outgoing)>;
+
+  Network(Simulator& simulator, Topology topology);
+
+  /// Registers the upper-layer handler invoked when a packet is delivered
+  /// to `node`.
+  void set_handler(NodeIndex node, Handler handler);
+
+  /// Registers the tail-drop observer for `node`.
+  void set_drop_handler(NodeIndex node, DropHandler handler);
+
+  /// Sends `payload` of `size_bytes` from src to dst. Loopback (src == dst)
+  /// delivers after a fixed small local delay without consuming bandwidth.
+  void send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
+            MessagePtr payload);
+
+  std::size_t size() const { return topology_.size(); }
+  const Topology& topology() const { return topology_; }
+
+  /// Marks a node as failed: all traffic to/from it is silently dropped
+  /// (used by the failure-recovery example and fault-injection tests).
+  void set_node_up(NodeIndex node, bool up);
+  bool node_up(NodeIndex node) const { return up_[std::size_t(node)]; }
+
+  // --- Traffic accounting (ground truth for the resource monitor) ---
+
+  /// Cumulative payload+frame bytes that have *started* transmission from
+  /// `node` (counted at departure start).
+  std::int64_t bytes_sent(NodeIndex node) const {
+    return bytes_sent_[std::size_t(node)];
+  }
+  /// Cumulative bytes delivered to `node` (counted at delivery).
+  std::int64_t bytes_received(NodeIndex node) const {
+    return bytes_received_[std::size_t(node)];
+  }
+  std::int64_t packets_sent() const { return packets_sent_; }
+  std::int64_t packets_dropped() const { return packets_dropped_; }
+  /// Tail drops at `node`'s port queues.
+  std::int64_t out_queue_drops(NodeIndex node) const {
+    return out_queue_drops_[std::size_t(node)];
+  }
+  std::int64_t in_queue_drops(NodeIndex node) const {
+    return in_queue_drops_[std::size_t(node)];
+  }
+
+  /// Diagnostic: received wire bytes per message kind (excludes loopback).
+  const std::map<std::string, std::int64_t>& received_by_kind(
+      NodeIndex node) const {
+    return received_by_kind_[std::size_t(node)];
+  }
+  /// Diagnostic: sent wire bytes per message kind (excludes loopback).
+  const std::map<std::string, std::int64_t>& sent_by_kind(
+      NodeIndex node) const {
+    return sent_by_kind_[std::size_t(node)];
+  }
+
+  /// Earliest time the out port of `node` is free (for tests).
+  SimTime out_port_free_at(NodeIndex node) const {
+    return out_free_at_[std::size_t(node)];
+  }
+  SimTime in_port_free_at(NodeIndex node) const {
+    return in_free_at_[std::size_t(node)];
+  }
+
+  /// Serialization time of `size_bytes` at `kbps` (exposed for tests and
+  /// for the composer's capacity math).
+  static SimDuration serialization_time(std::int64_t size_bytes, double kbps);
+
+  /// Per-packet framing overhead added to every transmission (headers).
+  static constexpr std::int64_t kFrameOverheadBytes = 48;
+
+  /// Fixed loopback delivery delay.
+  static constexpr SimDuration kLoopbackDelay = usec(20);
+
+ private:
+  void arrive(Packet packet);
+  void deliver(const Packet& packet);
+
+  void notify_drop(NodeIndex node, const Packet& packet, bool outgoing);
+
+  Simulator& simulator_;
+  Topology topology_;
+  std::vector<Handler> handlers_;
+  std::vector<DropHandler> drop_handlers_;
+  std::vector<SimTime> out_free_at_;
+  std::vector<SimTime> in_free_at_;
+  std::vector<std::int64_t> bytes_sent_;
+  std::vector<std::int64_t> bytes_received_;
+  std::vector<std::map<std::string, std::int64_t>> received_by_kind_;
+  std::vector<std::map<std::string, std::int64_t>> sent_by_kind_;
+  std::vector<std::int64_t> out_queue_drops_;
+  std::vector<std::int64_t> in_queue_drops_;
+  std::vector<bool> up_;
+  std::int64_t packets_sent_ = 0;
+  std::int64_t packets_dropped_ = 0;
+  util::Xoshiro256 loss_rng_;
+};
+
+}  // namespace rasc::sim

@@ -1,0 +1,30 @@
+// Simulated time.
+//
+// All simulator timestamps are integral microseconds. Integral time makes
+// event ordering exact and runs bit-reproducible across platforms (no FP
+// accumulation drift over millions of events).
+#pragma once
+
+#include <cstdint>
+
+namespace rasc::sim {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A duration in microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration usec(std::int64_t n) { return n; }
+constexpr SimDuration msec(std::int64_t n) { return n * 1000; }
+constexpr SimDuration sec(std::int64_t n) { return n * 1'000'000; }
+
+/// Fractional-second duration, rounded to the nearest microsecond.
+constexpr SimDuration from_seconds(double s) {
+  return SimDuration(s * 1e6 + (s >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double to_ms(SimTime t) { return double(t) / 1000.0; }
+constexpr double to_seconds(SimTime t) { return double(t) / 1e6; }
+
+}  // namespace rasc::sim

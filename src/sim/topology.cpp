@@ -1,0 +1,47 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rasc::sim {
+
+Topology make_uniform_topology(std::size_t n, double bw_kbps,
+                               SimDuration latency) {
+  Topology t;
+  t.nodes.assign(n, NodeCapacity{bw_kbps, bw_kbps});
+  t.latency_us.assign(n, std::vector<SimDuration>(n, latency));
+  for (std::size_t i = 0; i < n; ++i) t.latency_us[i][i] = 0;
+  return t;
+}
+
+Topology make_planetlab_like(std::size_t n, util::Xoshiro256& rng,
+                             const PlanetLabParams& params) {
+  assert(params.bw_min_kbps > 0 && params.bw_max_kbps >= params.bw_min_kbps);
+  Topology t;
+  t.nodes.resize(n);
+  for (auto& node : t.nodes) {
+    // Download and upload capacities drawn independently: PlanetLab site
+    // caps are asymmetric.
+    node.bw_in_kbps = rng.uniform_double(params.bw_min_kbps,
+                                         params.bw_max_kbps);
+    node.bw_out_kbps = rng.uniform_double(params.bw_min_kbps,
+                                          params.bw_max_kbps);
+  }
+  t.latency_jitter = params.latency_jitter;
+  t.latency_us.assign(n, std::vector<SimDuration>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Clipped Pareto: xm = latency_min, clipped at latency_max.
+      const double raw = rng.pareto(double(params.latency_min),
+                                    params.latency_pareto_shape);
+      const auto lat = SimDuration(
+          std::clamp(raw, double(params.latency_min),
+                     double(params.latency_max)));
+      t.latency_us[i][j] = lat;
+      t.latency_us[j][i] = lat;
+    }
+  }
+  return t;
+}
+
+}  // namespace rasc::sim

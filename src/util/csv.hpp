@@ -1,0 +1,37 @@
+// CSV writer used by the bench harness to dump raw series alongside the
+// printed tables (so figures can be re-plotted without re-running).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace rasc::util {
+
+/// RFC-4180-ish CSV writer: fields containing comma, quote or newline are
+/// quoted, embedded quotes doubled.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Throws std::runtime_error on
+  /// failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row. Values are escaped as needed.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string> fields) {
+    row(std::vector<std::string>(fields));
+  }
+
+  /// Convenience: numeric row with a leading label.
+  void numeric_row(const std::string& label, const std::vector<double>& vals);
+
+  void flush() { out_.flush(); }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace rasc::util

@@ -1,0 +1,113 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace rasc::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // --no-name  -> name=false
+    if (arg.rfind("no-", 0) == 0) {
+      values_[arg.substr(3)] = "false";
+      continue;
+    }
+    // --name value (if the next token is not itself a flag), else boolean.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) {
+  const auto v = raw(name);
+  if (!v) return def;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": not an integer: " + *v);
+  }
+}
+
+double Flags::get_double(const std::string& name, double def) {
+  const auto v = raw(name);
+  if (!v) return def;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + ": not a number: " + *v);
+  }
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& def) {
+  const auto v = raw(name);
+  return v ? *v : def;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) {
+  const auto v = raw(name);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("flag --" + name + ": not a boolean: " + *v);
+}
+
+std::vector<double> Flags::get_double_list(const std::string& name,
+                                           std::vector<double> def) {
+  const auto v = raw(name);
+  if (!v) return def;
+  std::vector<double> out;
+  std::stringstream ss(*v);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    try {
+      out.push_back(std::stod(tok));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("flag --" + name +
+                                  ": bad list element: " + tok);
+    }
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("flag --" + name + ": empty list");
+  }
+  return out;
+}
+
+void Flags::finish() const {
+  std::string unknown;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!consumed_.count(name)) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += "--" + name;
+    }
+  }
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unknown flags: " + unknown);
+  }
+}
+
+}  // namespace rasc::util

@@ -1,0 +1,47 @@
+// Tiny command-line flag parser for bench binaries and examples.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are an error (catches typos in sweep scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rasc::util {
+
+class Flags {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed or unknown
+  /// flags once `finish()` is called (parsing itself records everything).
+  Flags(int argc, const char* const* argv);
+
+  /// Typed getters; each marks the flag as known. `def` is returned when
+  /// the flag is absent.
+  std::int64_t get_int(const std::string& name, std::int64_t def);
+  double get_double(const std::string& name, double def);
+  std::string get_string(const std::string& name, const std::string& def);
+  bool get_bool(const std::string& name, bool def);
+
+  /// Comma-separated list of doubles, e.g. --rates=50,100,150,200.
+  std::vector<double> get_double_list(const std::string& name,
+                                      std::vector<double> def);
+
+  /// Call after all getters: throws std::invalid_argument listing any flag
+  /// the program never asked about.
+  void finish() const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name);
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rasc::util

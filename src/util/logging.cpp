@@ -1,0 +1,53 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string_view>
+
+namespace rasc::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+std::string_view basename_of(std::string_view path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, std::string_view file, int line,
+              const std::string& msg) {
+  if (level < log_level()) return;
+  const auto base = basename_of(file);
+  std::scoped_lock lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s %.*s:%d] %s\n", level_name(level),
+               int(base.size()), base.data(), line, msg.c_str());
+}
+
+}  // namespace rasc::util

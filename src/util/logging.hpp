@@ -1,0 +1,53 @@
+// Minimal leveled, thread-safe logger.
+//
+// Experiments run many simulator instances on a thread pool, so log lines
+// from different cells may interleave; each line is emitted atomically.
+// Logging is off by default above WARN to keep bench output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rasc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line (used by the RASC_LOG macro; callable directly in tests).
+void log_line(LogLevel level, std::string_view file, int line,
+              const std::string& msg);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { log_line(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace rasc::util
+
+// Streams are only evaluated when the level is enabled.
+#define RASC_LOG(level)                                              \
+  if (::rasc::util::LogLevel::level < ::rasc::util::log_level()) {   \
+  } else                                                             \
+    ::rasc::util::detail::LogMessage(::rasc::util::LogLevel::level,  \
+                                     __FILE__, __LINE__)             \
+        .stream()

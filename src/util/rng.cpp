@@ -1,0 +1,102 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace rasc::util {
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Xoshiro256 Xoshiro256::split(std::uint64_t tag) {
+  // Mix the tag into a fresh seed drawn from this stream; splitmix64's
+  // avalanche makes distinct tags yield unrelated children.
+  SplitMix64 sm(next() ^ (tag * 0xD1B54A32D192ED03ull));
+  return Xoshiro256(sm.next());
+}
+
+std::int64_t Xoshiro256::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t span = std::uint64_t(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return std::int64_t(next());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t r;
+  do {
+    r = next();
+  } while (r >= limit);
+  return lo + std::int64_t(r % span);
+}
+
+double Xoshiro256::uniform01() {
+  // 53 high bits -> double in [0,1).
+  return double(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform_double(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+bool Xoshiro256::bernoulli(double p) { return uniform01() < p; }
+
+double Xoshiro256::exponential(double lambda) {
+  assert(lambda > 0);
+  // 1 - u in (0,1] avoids log(0).
+  return -std::log(1.0 - uniform01()) / lambda;
+}
+
+double Xoshiro256::normal(double mean, double stddev) {
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Xoshiro256::pareto(double xm, double alpha) {
+  assert(xm > 0 && alpha > 0);
+  return xm / std::pow(1.0 - uniform01(), 1.0 / alpha);
+}
+
+std::size_t Xoshiro256::weighted_index(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: x underflowed to ~0
+}
+
+}  // namespace rasc::util

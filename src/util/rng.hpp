@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment run must be a pure function of (scenario, seed): the
+// simulator never touches wall-clock entropy. We implement splitmix64 (for
+// seeding) and xoshiro256** (the workhorse generator), plus the handful of
+// distributions the workload generator needs. The generators are
+// UniformRandomBitGenerator-compatible so they also work with <random>.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rasc::util {
+
+/// splitmix64 — used to expand a single 64-bit seed into generator state and
+/// to derive independent child seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Derives an independent child generator; children with different tags
+  /// (and children of different parents) produce unrelated streams. Use this
+  /// to give each subsystem (topology, workload, services, ...) its own
+  /// stream so adding draws in one place does not perturb the others.
+  Xoshiro256 split(std::uint64_t tag);
+
+  // --- Distribution helpers (all inclusive-exclusive unless noted) ---
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Canonical uniform in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability `p` of true.
+  bool bernoulli(double p);
+
+  /// Exponential with rate `lambda` (mean 1/lambda).
+  double exponential(double lambda);
+
+  /// Standard normal via Box–Muller (no cached spare; deterministic draw
+  /// count of 2 per call keeps streams reproducible under refactoring).
+  double normal(double mean, double stddev);
+
+  /// Pareto-distributed double with scale `xm` > 0 and shape `alpha` > 0.
+  /// Heavy-tailed; used to model PlanetLab-like latency/bandwidth skew.
+  double pareto(double xm, double alpha);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, std::int64_t(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rasc::util

@@ -1,0 +1,55 @@
+// SHA-1 message digest (FIPS 180-1), implemented from scratch.
+//
+// RASC derives component and service identifiers by hashing service names
+// (paper §3.3: "Each component in the overlay has a unique ID, generated
+// using a hash function (i.e., SHA-1)"). Cryptographic strength is not
+// required here — only a stable, well-distributed 160-bit digest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rasc::util {
+
+/// A 160-bit SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Sha1 h;
+///   h.update("hello");
+///   Sha1Digest d = h.finish();
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  /// Resets the hasher to its initial state.
+  void reset();
+
+  /// Absorbs `data` into the hash state.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the digest. The hasher must be reset() before
+  /// further use.
+  Sha1Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_len_ = 0;  // bytes absorbed so far
+  std::size_t buffer_len_ = 0;   // bytes pending in buffer_
+};
+
+/// One-shot convenience: SHA-1 of `s`.
+Sha1Digest sha1(std::string_view s);
+
+/// Lowercase hex rendering of a digest.
+std::string to_hex(const Sha1Digest& d);
+
+}  // namespace rasc::util

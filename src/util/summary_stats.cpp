@@ -1,0 +1,70 @@
+#include "util/summary_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rasc::util {
+
+void SummaryStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void SummaryStats::merge(const SummaryStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const std::size_t total = n_ + other.n_;
+  m2_ += other.m2_ +
+         delta * delta * double(n_) * double(other.n_) / double(total);
+  mean_ += delta * double(other.n_) / double(total);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = total;
+}
+
+double SummaryStats::variance() const {
+  return n_ > 1 ? m2_ / double(n_ - 1) : 0.0;
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+void Reservoir::add(double x) {
+  ++seen_;
+  sorted_ = false;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Vitter's algorithm R with a private LCG (deterministic).
+  lcg_ = lcg_ * 6364136223846793005ull + 1442695040888963407ull;
+  const std::size_t j = std::size_t(lcg_ >> 16) % seen_;
+  if (j < capacity_) samples_[j] = x;
+}
+
+double Reservoir::percentile(double q) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * double(samples_.size() - 1);
+  const std::size_t lo = std::size_t(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - double(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace rasc::util

@@ -1,0 +1,62 @@
+// Streaming summary statistics (Welford) and percentile snapshots.
+//
+// The destination sink accumulates hundreds of thousands of per-unit
+// measurements per run; Welford's algorithm keeps mean/variance numerically
+// stable without storing samples. Percentiles (used for delay tails) keep a
+// bounded reservoir.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rasc::util {
+
+/// Mean / variance / min / max accumulator (Welford's online algorithm).
+class SummaryStats {
+ public:
+  void add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const SummaryStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 if fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * double(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Uniform reservoir sampler for percentile estimates over large streams.
+/// Deterministic given the insertion order (uses an internal LCG, no global
+/// entropy).
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void add(double x);
+
+  /// q in [0,1]; returns 0 when empty. Linear interpolation between ranks.
+  double percentile(double q) const;
+
+  std::size_t seen() const { return seen_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t seen_ = 0;
+  std::uint64_t lcg_ = 0x2545F4914F6CDD1Dull;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace rasc::util

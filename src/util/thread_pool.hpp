@@ -1,0 +1,66 @@
+// Fixed-size thread pool for running independent experiment cells
+// (algorithm × rate × repetition) in parallel.
+//
+// Follows the C++ Core Guidelines concurrency rules: tasks not threads
+// (CP.4), RAII joining (CP.25-style jthreads), condition variables always
+// waited on with a predicate (CP.42), data shared between threads passed by
+// value or owned by the future (CP.31).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rasc::util {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (defaults to hardware concurrency,
+  /// minimum 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Submits a task; the returned future carries its result (or exception).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and blocks until all
+  /// complete. Exceptions are rethrown (the first one encountered).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace rasc::util

@@ -1,0 +1,130 @@
+// Component semantics: deadline/period inference, rate-ratio credit,
+// sequence preservation, output sizing and WRR output partitioning.
+#include "runtime/component.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rasc::runtime {
+namespace {
+
+ServiceSpec spec(double ratio = 1.0, double size_factor = 1.0) {
+  ServiceSpec s;
+  s.name = "svc";
+  s.cpu_time_per_unit = sim::msec(3);
+  s.rate_ratio = ratio;
+  s.output_size_factor = size_factor;
+  return s;
+}
+
+DataUnit in_unit(std::int64_t seq, std::int64_t bytes = 1000) {
+  DataUnit u;
+  u.app = 1;
+  u.substream = 0;
+  u.seq = seq;
+  u.stage = 2;
+  u.size_bytes = bytes;
+  u.created_at = 123;
+  return u;
+}
+
+TEST(Component, DeadlineUsesPlannedRateWhenCold) {
+  Component c({1, 0, 0}, spec(), 10.0, {{5, 10.0}});
+  // Planned 10 ups -> period 100 ms.
+  EXPECT_EQ(c.on_arrival(0), sim::msec(100));
+}
+
+TEST(Component, DeadlineTracksObservedRate) {
+  Component c({1, 0, 0}, spec(), 10.0, {{5, 10.0}});
+  // Feed arrivals every 50 ms: the measured period takes over.
+  sim::SimTime t = 0;
+  sim::SimTime deadline = 0;
+  for (int i = 0; i < 20; ++i) {
+    deadline = c.on_arrival(t);
+    t += sim::msec(50);
+  }
+  EXPECT_NEAR(double(deadline - (t - sim::msec(50))), 50000.0, 5000.0);
+}
+
+TEST(Component, RatioOnePreservesSeqAndForwardsStage) {
+  Component c({1, 0, 2}, spec(), 10.0, {{5, 10.0}});
+  const auto outs = c.process(in_unit(42));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].unit.seq, 42);
+  EXPECT_EQ(outs[0].unit.stage, 3);
+  EXPECT_EQ(outs[0].unit.app, 1);
+  EXPECT_EQ(outs[0].unit.created_at, 123);
+  EXPECT_EQ(outs[0].target, 5);
+}
+
+TEST(Component, DownsamplerEmitsEveryOther) {
+  Component c({1, 0, 0}, spec(0.5), 10.0, {{5, 10.0}});
+  int emitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    emitted += int(c.process(in_unit(i)).size());
+  }
+  EXPECT_EQ(emitted, 50);
+}
+
+TEST(Component, ExpanderEmitsTwoPerUnit) {
+  Component c({1, 0, 0}, spec(2.0), 10.0, {{5, 10.0}});
+  const auto outs = c.process(in_unit(0));
+  EXPECT_EQ(outs.size(), 2u);
+}
+
+TEST(Component, FractionalRatioLongRunAverage) {
+  Component c({1, 0, 0}, spec(0.75), 10.0, {{5, 10.0}});
+  int emitted = 0;
+  for (int i = 0; i < 400; ++i) emitted += int(c.process(in_unit(i)).size());
+  EXPECT_EQ(emitted, 300);
+}
+
+TEST(Component, OutputSizeFactorApplies) {
+  Component c({1, 0, 0}, spec(1.0, 0.5), 10.0, {{5, 10.0}});
+  const auto outs = c.process(in_unit(0, 1000));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].unit.size_bytes, 500);
+}
+
+TEST(Component, TinyOutputClampsToOneByte) {
+  Component c({1, 0, 0}, spec(1.0, 0.0001), 10.0, {{5, 10.0}});
+  const auto outs = c.process(in_unit(0, 100));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_GE(outs[0].unit.size_bytes, 1);
+}
+
+TEST(Component, SplitsOutputsAcrossTargetsByWeight) {
+  Component c({1, 0, 0}, spec(), 30.0,
+              {{5, 10.0}, {6, 20.0}});  // 1:2 split
+  std::map<sim::NodeIndex, int> counts;
+  for (int i = 0; i < 300; ++i) {
+    for (const auto& out : c.process(in_unit(i))) ++counts[out.target];
+  }
+  EXPECT_EQ(counts[5], 100);
+  EXPECT_EQ(counts[6], 200);
+}
+
+TEST(Component, CountersTrack) {
+  Component c({1, 0, 0}, spec(), 10.0, {{5, 10.0}});
+  c.on_arrival(0);
+  c.on_arrival(sim::msec(100));
+  c.process(in_unit(0));
+  c.count_drop();
+  EXPECT_EQ(c.arrived(), 2);
+  EXPECT_EQ(c.processed(), 1);
+  EXPECT_EQ(c.dropped(), 1);
+}
+
+TEST(Component, NonUnityRatioAssignsFreshSequence) {
+  Component c({1, 0, 0}, spec(2.0), 10.0, {{5, 10.0}});
+  const auto first = c.process(in_unit(100));
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].unit.seq, 0);
+  EXPECT_EQ(first[1].unit.seq, 1);
+  const auto second = c.process(in_unit(101));
+  EXPECT_EQ(second[0].unit.seq, 2);
+}
+
+}  // namespace
+}  // namespace rasc::runtime

@@ -1,0 +1,78 @@
+// CSV writer escaping and round-trip file content.
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rasc::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  // ctest runs each case as its own process in parallel: the path must be
+  // unique per test AND per process.
+  std::string path_ =
+      ::testing::TempDir() + "rasc_csv_" +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+      "_" + std::to_string(::getpid()) + ".csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, PlainRow) {
+  {
+    CsvWriter w(path_);
+    w.row({"a", "b", "c"});
+  }
+  EXPECT_EQ(slurp(path_), "a,b,c\n");
+}
+
+TEST_F(CsvTest, EscapesCommasQuotesNewlines) {
+  {
+    CsvWriter w(path_);
+    w.row({"x,y", "he said \"hi\"", "line\nbreak"});
+  }
+  EXPECT_EQ(slurp(path_), "\"x,y\",\"he said \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST_F(CsvTest, NumericRow) {
+  {
+    CsvWriter w(path_);
+    w.numeric_row("mincost", {1.5, 2.0, 3.25});
+  }
+  EXPECT_EQ(slurp(path_), "mincost,1.5,2,3.25\n");
+}
+
+TEST_F(CsvTest, MultipleRows) {
+  {
+    CsvWriter w(path_);
+    w.row({"h1", "h2"});
+    w.row({"1", "2"});
+    w.row({"3", "4"});
+  }
+  EXPECT_EQ(slurp(path_), "h1,h2\n1,2\n3,4\n");
+}
+
+TEST(CsvEscape, NoQuotesWhenClean) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(CsvWriterErrors, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rasc::util

@@ -1,0 +1,101 @@
+// Event queue: time ordering, FIFO tie-break (determinism), cancellation.
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rasc::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(5, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const auto id = q.schedule(5, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const auto id = q.schedule(5, [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelledHeadIsSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto first = q.schedule(1, [&] { order.push_back(1); });
+  q.schedule(2, [&] { order.push_back(2); });
+  q.cancel(first);
+  EXPECT_EQ(q.next_time(), 2);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, SizeCountsLiveEventsOnly) {
+  EventQueue q;
+  const auto a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, FiredCarriesTimeAndId) {
+  EventQueue q;
+  const auto id = q.schedule(77, [] {});
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.time, 77);
+  EXPECT_EQ(fired.id, id);
+}
+
+TEST(EventQueue, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(i % 10, [] {}));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  std::size_t fired = 0;
+  SimTime last = -1;
+  while (!q.empty()) {
+    auto f = q.pop();
+    EXPECT_GE(f.time, last);
+    last = f.time;
+    ++fired;
+  }
+  EXPECT_EQ(fired, 50u);
+}
+
+}  // namespace
+}  // namespace rasc::sim

@@ -1,0 +1,84 @@
+// CLI flag parser: all accepted syntaxes and the error paths.
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rasc::util {
+namespace {
+
+Flags make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Flags(int(args.size()), args.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  auto f = make({"--nodes=32", "--rate=150.5"});
+  EXPECT_EQ(f.get_int("nodes", 0), 32);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0), 150.5);
+  f.finish();
+}
+
+TEST(Flags, SpaceSyntax) {
+  auto f = make({"--algorithm", "greedy"});
+  EXPECT_EQ(f.get_string("algorithm", ""), "greedy");
+  f.finish();
+}
+
+TEST(Flags, BooleanForms) {
+  auto f = make({"--verbose", "--no-color", "--fast=false"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("color", true));
+  EXPECT_FALSE(f.get_bool("fast", true));
+  f.finish();
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  auto f = make({});
+  EXPECT_EQ(f.get_int("nodes", 42), 42);
+  EXPECT_EQ(f.get_string("name", "x"), "x");
+  EXPECT_TRUE(f.get_bool("flag", true));
+  f.finish();
+}
+
+TEST(Flags, DoubleList) {
+  auto f = make({"--rates=50,100,150,200"});
+  const auto v = f.get_double_list("rates", {});
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 50);
+  EXPECT_EQ(v[3], 200);
+  f.finish();
+}
+
+TEST(Flags, Positional) {
+  auto f = make({"input.txt", "--n=1", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+  f.get_int("n", 0);
+  f.finish();
+}
+
+TEST(Flags, UnknownFlagThrowsOnFinish) {
+  auto f = make({"--typo=1"});
+  EXPECT_THROW(f.finish(), std::invalid_argument);
+}
+
+TEST(Flags, BadIntegerThrows) {
+  auto f = make({"--n=abc"});
+  EXPECT_THROW(f.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Flags, BadBooleanThrows) {
+  auto f = make({"--b=maybe"});
+  EXPECT_THROW(f.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Flags, EmptyListThrows) {
+  auto f = make({"--rates=,"});
+  EXPECT_THROW(f.get_double_list("rates", {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rasc::util

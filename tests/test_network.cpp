@@ -1,0 +1,268 @@
+// Network model: serialization timing, port contention, loopback, loss,
+// node failure, traffic accounting.
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rasc::sim {
+namespace {
+
+struct Ping final : Message {
+  const char* kind() const override { return "test.ping"; }
+  int tag = 0;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  // 4 nodes, 1000 kbps each way, 10 ms latency everywhere.
+  NetworkTest()
+      : net_(sim_, make_uniform_topology(4, 1000.0, msec(10))) {}
+
+  void expect_delivery(NodeIndex node, std::vector<SimTime>* times,
+                       std::vector<int>* tags = nullptr) {
+    net_.set_handler(node, [this, times, tags](const Packet& p) {
+      times->push_back(sim_.now());
+      if (tags != nullptr) {
+        tags->push_back(static_cast<const Ping&>(*p.payload).tag);
+      }
+    });
+  }
+
+  static MessagePtr ping(int tag = 0) {
+    auto m = std::make_shared<Ping>();
+    m->tag = tag;
+    return m;
+  }
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkTest, SerializationTimeMath) {
+  // 1048 wire bytes at 1000 kbps = 1048*8000/1000 us.
+  EXPECT_EQ(Network::serialization_time(1048, 1000.0), 8384);
+  EXPECT_EQ(Network::serialization_time(0, 1000.0), 0);
+  // Rounds up.
+  EXPECT_EQ(Network::serialization_time(1, 8000.0), 1);
+}
+
+TEST_F(NetworkTest, SinglePacketEndToEndTiming) {
+  std::vector<SimTime> times;
+  expect_delivery(1, &times);
+  net_.send(0, 1, 1000, ping());
+  sim_.run_all();
+  // tx 8384 + latency 10000 + rx 8384.
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 8384 + 10000 + 8384);
+}
+
+TEST_F(NetworkTest, OutputPortSerializesBackToBackSends) {
+  std::vector<SimTime> times;
+  expect_delivery(1, &times);
+  net_.send(0, 1, 1000, ping(1));
+  net_.send(0, 1, 1000, ping(2));
+  sim_.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  // Second packet departs 8384 later and then also waits for the first
+  // to clear the receiver's input port.
+  EXPECT_EQ(times[1] - times[0], 8384);
+}
+
+TEST_F(NetworkTest, InputPortContendedByTwoSenders) {
+  std::vector<SimTime> times;
+  expect_delivery(2, &times);
+  net_.send(0, 2, 1000, ping(1));
+  net_.send(1, 2, 1000, ping(2));
+  sim_.run_all();
+  ASSERT_EQ(times.size(), 2u);
+  // Both arrive at the receiver simultaneously; the input port serializes
+  // them 8384 us apart.
+  EXPECT_EQ(times[1] - times[0], 8384);
+}
+
+TEST_F(NetworkTest, LoopbackIsFastAndFree) {
+  std::vector<SimTime> times;
+  expect_delivery(0, &times);
+  net_.send(0, 0, 100000, ping());
+  sim_.run_all();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], Network::kLoopbackDelay);
+  EXPECT_EQ(net_.bytes_sent(0), 0);  // loopback consumes no bandwidth
+}
+
+TEST_F(NetworkTest, TrafficCountersTrackWireBytes) {
+  net_.set_handler(1, [](const Packet&) {});
+  net_.send(0, 1, 1000, ping());
+  sim_.run_all();
+  EXPECT_EQ(net_.bytes_sent(0), 1000 + Network::kFrameOverheadBytes);
+  EXPECT_EQ(net_.bytes_received(1), 1000 + Network::kFrameOverheadBytes);
+  EXPECT_EQ(net_.bytes_sent(1), 0);
+}
+
+TEST_F(NetworkTest, DownNodeDropsTraffic) {
+  std::vector<SimTime> times;
+  expect_delivery(1, &times);
+  net_.set_node_up(1, false);
+  net_.send(0, 1, 1000, ping());
+  sim_.run_all();
+  EXPECT_TRUE(times.empty());
+  EXPECT_EQ(net_.packets_dropped(), 1);
+  net_.set_node_up(1, true);
+  net_.send(0, 1, 1000, ping());
+  sim_.run_all();
+  EXPECT_EQ(times.size(), 1u);
+}
+
+TEST_F(NetworkTest, NoHandlerCountsAsDrop) {
+  net_.send(0, 3, 10, ping());
+  sim_.run_all();
+  EXPECT_EQ(net_.packets_dropped(), 1);
+}
+
+TEST_F(NetworkTest, PacketMetadataPreserved) {
+  Packet seen;
+  net_.set_handler(2, [&seen](const Packet& p) { seen = p; });
+  net_.send(1, 2, 512, ping(7));
+  sim_.run_all();
+  EXPECT_EQ(seen.src, 1);
+  EXPECT_EQ(seen.dst, 2);
+  EXPECT_EQ(seen.size_bytes, 512);
+  EXPECT_EQ(seen.sent_at, 0);
+  EXPECT_EQ(static_cast<const Ping&>(*seen.payload).tag, 7);
+}
+
+TEST(NetworkLoss, LossRateDropsApproximateFraction) {
+  Simulator sim(123);
+  auto topo = make_uniform_topology(2, 100000.0, usec(10));
+  topo.loss_rate = 0.3;
+  Network net(sim, topo);
+  int delivered = 0;
+  net.set_handler(1, [&delivered](const Packet&) { ++delivered; });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    net.send(0, 1, 10, std::make_shared<Ping>());
+  }
+  sim.run_all();
+  EXPECT_NEAR(double(delivered) / n, 0.7, 0.05);
+}
+
+}  // namespace
+}  // namespace rasc::sim
+
+namespace rasc::sim {
+namespace {
+
+struct Blob2 final : Message {
+  const char* kind() const override { return "test.blob2"; }
+};
+
+TEST(NetworkTailDrop, OutQueueDropsBeyondBacklog) {
+  Simulator sim;
+  auto topo = make_uniform_topology(2, 1000.0, msec(5));
+  topo.max_port_backlog = msec(50);
+  Network net(sim, topo);
+  int delivered = 0;
+  net.set_handler(1, [&delivered](const Packet&) { ++delivered; });
+  // Each 1000-byte packet serializes in ~8.4 ms; backlog of 50 ms holds
+  // ~6 of them. Sending 30 at once must tail-drop most.
+  for (int i = 0; i < 30; ++i) {
+    net.send(0, 1, 1000, std::make_shared<Blob2>());
+  }
+  sim.run_all();
+  EXPECT_GT(net.out_queue_drops(0), 15);
+  EXPECT_LT(delivered, 12);
+  EXPECT_EQ(delivered + net.out_queue_drops(0), 30);
+}
+
+TEST(NetworkTailDrop, DropHandlerObservesLoss) {
+  Simulator sim;
+  auto topo = make_uniform_topology(2, 1000.0, msec(5));
+  topo.max_port_backlog = msec(20);
+  Network net(sim, topo);
+  net.set_handler(1, [](const Packet&) {});
+  int out_drops_seen = 0;
+  net.set_drop_handler(0, [&out_drops_seen](const Packet&, bool outgoing) {
+    if (outgoing) ++out_drops_seen;
+  });
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, 1, 1000, std::make_shared<Blob2>());
+  }
+  sim.run_all();
+  EXPECT_EQ(out_drops_seen, net.out_queue_drops(0));
+  EXPECT_GT(out_drops_seen, 0);
+}
+
+TEST(NetworkTailDrop, InQueueDropsWhenManySendersConverge) {
+  Simulator sim;
+  // Fast senders, slow receiver input: 10 senders at 10 Mbps out each
+  // converge on a 500-kbps input port with a 30 ms backlog budget.
+  Topology topo = make_uniform_topology(11, 10000.0, msec(2));
+  topo.nodes[10].bw_in_kbps = 500.0;
+  topo.max_port_backlog = msec(30);
+  Network net(sim, topo);
+  int delivered = 0;
+  net.set_handler(10, [&delivered](const Packet&) { ++delivered; });
+  for (int s = 0; s < 10; ++s) {
+    for (int i = 0; i < 5; ++i) {
+      net.send(NodeIndex(s), 10, 1000, std::make_shared<Blob2>());
+    }
+  }
+  sim.run_all();
+  EXPECT_GT(net.in_queue_drops(10), 0);
+  EXPECT_EQ(delivered + net.in_queue_drops(10), 50);
+}
+
+TEST(NetworkJitter, LatencyJitterStaysWithinBounds) {
+  Simulator sim(5);
+  auto topo = make_uniform_topology(2, 100000.0, msec(100));
+  topo.latency_jitter = 0.2;
+  Network net(sim, topo);
+  std::vector<SimTime> arrivals;
+  net.set_handler(1, [&arrivals, &sim](const Packet&) {
+    arrivals.push_back(sim.now());
+  });
+  // Well-spaced sends: delivery time = tx + jittered latency + rx.
+  for (int i = 0; i < 200; ++i) {
+    sim.call_at(msec(10 * i), [&net] {
+      net.send(0, 1, 100, std::make_shared<Blob2>());
+    });
+  }
+  sim.run_all();
+  ASSERT_EQ(arrivals.size(), 200u);
+  const SimDuration fixed = Network::serialization_time(148, 100000.0) * 2;
+  SimTime min_lat = INT64_MAX, max_lat = 0;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    const SimTime lat = arrivals[i] - msec(10 * std::int64_t(i)) - fixed;
+    min_lat = std::min(min_lat, lat);
+    max_lat = std::max(max_lat, lat);
+  }
+  EXPECT_GE(min_lat, msec(80) - 10);
+  EXPECT_LE(max_lat, msec(120) + 10);
+  EXPECT_GT(max_lat - min_lat, msec(10));  // jitter is actually happening
+}
+
+TEST(NetworkJitter, ZeroJitterIsExactlyDeterministic) {
+  Simulator sim(5);
+  const auto topo = make_uniform_topology(2, 100000.0, msec(100));
+  Network net(sim, topo);
+  std::vector<SimTime> arrivals;
+  net.set_handler(1, [&arrivals, &sim](const Packet&) {
+    arrivals.push_back(sim.now());
+  });
+  for (int i = 0; i < 10; ++i) {
+    sim.call_at(msec(10 * i), [&net] {
+      net.send(0, 1, 100, std::make_shared<Blob2>());
+    });
+  }
+  sim.run_all();
+  const SimDuration fixed = Network::serialization_time(148, 100000.0) * 2;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_EQ(arrivals[i],
+              msec(10 * std::int64_t(i)) + fixed + msec(100));
+  }
+}
+
+}  // namespace
+}  // namespace rasc::sim

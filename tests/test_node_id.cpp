@@ -1,0 +1,105 @@
+// 128-bit ring identifier arithmetic.
+#include "overlay/node_id.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::overlay {
+namespace {
+
+NodeId128 id(std::uint64_t hi, std::uint64_t lo) { return NodeId128{hi, lo}; }
+
+TEST(NodeId, DigitsComeFromTheTop) {
+  const auto x = id(0x0123456789abcdefull, 0xfedcba9876543210ull);
+  EXPECT_EQ(x.digit(0), 0x0);
+  EXPECT_EQ(x.digit(1), 0x1);
+  EXPECT_EQ(x.digit(15), 0xf);
+  EXPECT_EQ(x.digit(16), 0xf);
+  EXPECT_EQ(x.digit(17), 0xe);
+  EXPECT_EQ(x.digit(31), 0x0);
+}
+
+TEST(NodeId, HexRendering) {
+  EXPECT_EQ(id(0x0123456789abcdefull, 0xfedcba9876543210ull).to_hex(),
+            "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(id(0, 0).to_hex(), "00000000000000000000000000000000");
+}
+
+TEST(NodeId, SharedPrefixLength) {
+  const auto a = id(0xabcd000000000000ull, 0);
+  const auto b = id(0xabce000000000000ull, 0);
+  EXPECT_EQ(a.shared_prefix_len(b), 3);
+  EXPECT_EQ(a.shared_prefix_len(a), kNumDigits);
+  const auto c = id(0x1bcd000000000000ull, 0);
+  EXPECT_EQ(a.shared_prefix_len(c), 0);
+  // Prefix extending into the low word.
+  const auto d = id(0xabcd000000000000ull, 0xf000000000000000ull);
+  EXPECT_EQ(a.shared_prefix_len(d), 16);
+}
+
+TEST(NodeId, RingSubWraps) {
+  const auto small = id(0, 5);
+  const auto big = id(0, 10);
+  EXPECT_EQ(big.ring_sub(small), id(0, 5));
+  // 5 - 10 wraps to 2^128 - 5.
+  const auto wrapped = small.ring_sub(big);
+  EXPECT_EQ(wrapped.hi, ~0ull);
+  EXPECT_EQ(wrapped.lo, ~0ull - 4);
+}
+
+TEST(NodeId, RingSubBorrowsAcrossWords) {
+  const auto a = id(1, 0);
+  const auto b = id(0, 1);
+  const auto d = a.ring_sub(b);
+  EXPECT_EQ(d.hi, 0ull);
+  EXPECT_EQ(d.lo, ~0ull);
+}
+
+TEST(NodeId, RingDistanceIsSymmetricAndMin) {
+  const auto a = id(0, 10);
+  const auto b = id(0, 4);
+  EXPECT_EQ(a.ring_distance(b), id(0, 6));
+  EXPECT_EQ(b.ring_distance(a), id(0, 6));
+  // Nearly-antipodal pair: distance goes the short way.
+  const auto top = id(0xffffffffffffffffull, 0xffffffffffffffffull);
+  const auto zero = id(0, 0);
+  EXPECT_EQ(zero.ring_distance(top), id(0, 1));
+}
+
+TEST(NodeId, CloserToPrefersSmallerDistance) {
+  const auto target = id(0, 100);
+  EXPECT_TRUE(id(0, 90).closer_to(target, id(0, 80)));
+  EXPECT_FALSE(id(0, 80).closer_to(target, id(0, 90)));
+}
+
+TEST(NodeId, CloserToBreaksTiesDeterministically) {
+  const auto target = id(0, 100);
+  const auto lo = id(0, 90);   // distance 10
+  const auto hi = id(0, 110);  // distance 10
+  EXPECT_TRUE(lo.closer_to(target, hi));
+  EXPECT_FALSE(hi.closer_to(target, lo));
+}
+
+TEST(NodeId, FromDigestUsesFirst16Bytes) {
+  util::Sha1Digest d{};
+  for (int i = 0; i < 20; ++i) d[std::size_t(i)] = std::uint8_t(i + 1);
+  const auto x = NodeId128::from_digest(d);
+  EXPECT_EQ(x.hi, 0x0102030405060708ull);
+  EXPECT_EQ(x.lo, 0x090a0b0c0d0e0f10ull);
+}
+
+TEST(NodeId, HashOfIsStableAndSpread) {
+  const auto a = NodeId128::hash_of("overlay-node-0");
+  const auto b = NodeId128::hash_of("overlay-node-0");
+  const auto c = NodeId128::hash_of("overlay-node-1");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a.shared_prefix_len(c), 8);  // hashes should not share much
+}
+
+TEST(NodeId, OrderingIsLexOnWords) {
+  EXPECT_LT(id(0, 5), id(0, 6));
+  EXPECT_LT(id(0, ~0ull), id(1, 0));
+}
+
+}  // namespace
+}  // namespace rasc::overlay

@@ -1,0 +1,131 @@
+// Leaf set and routing table invariants.
+#include "overlay/state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::overlay {
+namespace {
+
+NodeId128 id(std::uint64_t hi, std::uint64_t lo = 0) {
+  return NodeId128{hi, lo};
+}
+
+PeerRef peer(std::uint64_t hi, sim::NodeIndex addr) {
+  return PeerRef{id(hi), addr};
+}
+
+TEST(LeafSet, InsertAndContains) {
+  LeafSet ls(id(0x8000000000000000ull));
+  EXPECT_TRUE(ls.insert(peer(0x8100000000000000ull, 1)));
+  EXPECT_TRUE(ls.contains(1));
+  EXPECT_FALSE(ls.insert(peer(0x8100000000000000ull, 1)));  // dup
+  EXPECT_EQ(ls.size(), 1u);
+}
+
+TEST(LeafSet, IgnoresSelf) {
+  LeafSet ls(id(5));
+  EXPECT_FALSE(ls.insert(PeerRef{id(5), 9}));
+}
+
+TEST(LeafSet, KeepsOnlyClosestPerSide) {
+  LeafSet ls(id(0x8000000000000000ull));
+  // Six clockwise peers; only the 4 closest should survive.
+  for (std::uint64_t k = 1; k <= 6; ++k) {
+    ls.insert(peer(0x8000000000000000ull + (k << 40), sim::NodeIndex(k)));
+  }
+  EXPECT_EQ(ls.clockwise().size(), LeafSet::kHalf);
+  EXPECT_TRUE(ls.contains(1));
+  EXPECT_TRUE(ls.contains(4));
+  EXPECT_FALSE(ls.contains(5));
+  EXPECT_FALSE(ls.contains(6));
+}
+
+TEST(LeafSet, RemoveByAddr) {
+  LeafSet ls(id(0x8000000000000000ull));
+  ls.insert(peer(0x8100000000000000ull, 1));
+  EXPECT_TRUE(ls.remove(1));
+  EXPECT_FALSE(ls.contains(1));
+  EXPECT_FALSE(ls.remove(1));
+}
+
+TEST(LeafSet, ClosestReturnsNumericallyNearest) {
+  LeafSet ls(id(0x8000000000000000ull));
+  ls.insert(peer(0x9000000000000000ull, 1));
+  ls.insert(peer(0x7000000000000000ull, 2));
+  const auto got = ls.closest(id(0x8f00000000000000ull), 99);
+  EXPECT_EQ(got.addr, 1);
+  // A key right at self stays at self.
+  const auto self_win = ls.closest(id(0x8000000000000001ull), 99);
+  EXPECT_EQ(self_win.addr, 99);
+}
+
+TEST(LeafSet, EmptyCoversEverything) {
+  LeafSet ls(id(1));
+  EXPECT_TRUE(ls.covers(id(0xffffffffffffffffull)));
+}
+
+TEST(LeafSet, CoversRangeSemantics) {
+  LeafSet ls(id(0x8000000000000000ull));
+  ls.insert(peer(0x8200000000000000ull, 1));  // cw edge
+  ls.insert(peer(0x7e00000000000000ull, 2));  // ccw edge
+  EXPECT_TRUE(ls.covers(id(0x8100000000000000ull)));
+  EXPECT_TRUE(ls.covers(id(0x7f00000000000000ull)));
+  EXPECT_FALSE(ls.covers(id(0x9000000000000000ull)));
+  EXPECT_FALSE(ls.covers(id(0x1000000000000000ull)));
+}
+
+TEST(RoutingTable, InsertPlacesByPrefixAndDigit) {
+  const auto self = id(0x0000000000000000ull);
+  RoutingTable rt(self);
+  const auto p = peer(0xa000000000000000ull, 3);  // differs at digit 0
+  EXPECT_TRUE(rt.insert(p));
+  const auto e = rt.entry(0, 0xa);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->addr, 3);
+}
+
+TEST(RoutingTable, DeeperPrefixDeeperRow) {
+  const auto self = id(0xab00000000000000ull);
+  RoutingTable rt(self);
+  // Shares "ab", differs at digit 2 (value c).
+  const auto p = PeerRef{id(0xabc0000000000000ull), 4};
+  EXPECT_TRUE(rt.insert(p));
+  EXPECT_TRUE(rt.entry(2, 0xc).has_value());
+  EXPECT_FALSE(rt.entry(0, 0xa).has_value());
+}
+
+TEST(RoutingTable, KeepSmallerIdOnCollision) {
+  RoutingTable rt(id(0));
+  const auto big = PeerRef{id(0xa900000000000000ull), 1};
+  const auto small = PeerRef{id(0xa100000000000000ull), 2};
+  EXPECT_TRUE(rt.insert(big));
+  EXPECT_TRUE(rt.insert(small));  // replaces: smaller id wins
+  EXPECT_EQ(rt.entry(0, 0xa)->addr, 2);
+  EXPECT_FALSE(rt.insert(big));  // bigger does not displace
+  EXPECT_EQ(rt.size(), 1u);
+}
+
+TEST(RoutingTable, RemoveClearsAllSlots) {
+  RoutingTable rt(id(0));
+  rt.insert(PeerRef{id(0xa000000000000000ull), 7});
+  rt.insert(PeerRef{id(0xb000000000000000ull), 7});
+  EXPECT_EQ(rt.size(), 2u);
+  EXPECT_TRUE(rt.remove(7));
+  EXPECT_EQ(rt.size(), 0u);
+}
+
+TEST(RoutingTable, IgnoresSelfAndIdenticalId) {
+  RoutingTable rt(id(42));
+  EXPECT_FALSE(rt.insert(PeerRef{id(42), 3}));
+}
+
+TEST(RoutingTable, AllReturnsEveryEntry) {
+  RoutingTable rt(id(0));
+  rt.insert(PeerRef{id(0x1000000000000000ull), 1});
+  rt.insert(PeerRef{id(0x2000000000000000ull), 2});
+  rt.insert(PeerRef{id(0x0100000000000000ull), 3});
+  EXPECT_EQ(rt.all().size(), 3u);
+}
+
+}  // namespace
+}  // namespace rasc::overlay

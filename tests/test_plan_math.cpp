@@ -1,0 +1,165 @@
+// Rate normalization math: wire rates, per-stage gains with rate ratios
+// and size factors, capacity translation, and plan construction.
+#include "core/plan_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/composer.hpp"
+
+namespace rasc::core {
+namespace {
+
+runtime::ServiceCatalog catalog_with_ratios() {
+  runtime::ServiceCatalog c;
+  c.add({"identity", sim::msec(1), 1.0, 1.0});
+  c.add({"downsample", sim::msec(1), 0.5, 1.0});
+  c.add({"shrink", sim::msec(1), 1.0, 0.5});
+  c.add({"both", sim::msec(1), 2.0, 0.25});
+  return c;
+}
+
+TEST(WireMath, KbpsFormulas) {
+  // 10 ups of 1202-byte units = 1250 wire bytes = 10 kbit each.
+  EXPECT_DOUBLE_EQ(wire_kbps(10.0, 1202.0), 100.0);
+  EXPECT_DOUBLE_EQ(payload_kbps(10.0, 1250.0), 100.0);
+}
+
+TEST(SubstreamMath, IdentityChain) {
+  const auto cat = catalog_with_ratios();
+  Substream sub{{"identity", "identity"}, 100.0};
+  SubstreamMath math(sub, cat, 1250);
+  EXPECT_EQ(math.num_stages(), 2);
+  EXPECT_DOUBLE_EQ(math.in_unit_bytes(0), 1250.0);
+  EXPECT_DOUBLE_EQ(math.in_unit_bytes(2), 1250.0);
+  EXPECT_DOUBLE_EQ(math.in_units_per_delivered(0), 1.0);
+  // 100 kbps of 1250-byte units = 10 ups delivered.
+  EXPECT_DOUBLE_EQ(math.delivered_ups(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(math.in_ups(0, 10.0), 10.0);
+}
+
+TEST(SubstreamMath, DownsamplerDoublesUpstreamRate) {
+  const auto cat = catalog_with_ratios();
+  Substream sub{{"downsample"}, 100.0};
+  SubstreamMath math(sub, cat, 1250);
+  // One delivered unit needs 2 units entering the downsampler.
+  EXPECT_DOUBLE_EQ(math.in_units_per_delivered(0), 2.0);
+  EXPECT_DOUBLE_EQ(math.in_units_per_delivered(1), 1.0);
+  EXPECT_DOUBLE_EQ(math.in_ups(0, 10.0), 20.0);
+}
+
+TEST(SubstreamMath, SizeFactorChangesBytesNotUnits) {
+  const auto cat = catalog_with_ratios();
+  Substream sub{{"shrink"}, 100.0};
+  SubstreamMath math(sub, cat, 1000);
+  EXPECT_DOUBLE_EQ(math.in_unit_bytes(0), 1000.0);
+  EXPECT_DOUBLE_EQ(math.in_unit_bytes(1), 500.0);
+  EXPECT_DOUBLE_EQ(math.in_units_per_delivered(0), 1.0);
+  // Delivered units are 500 B: 100 kbps -> 25 ups delivered.
+  EXPECT_DOUBLE_EQ(math.delivered_ups(100.0), 25.0);
+}
+
+TEST(SubstreamMath, ChainedGains) {
+  const auto cat = catalog_with_ratios();
+  Substream sub{{"downsample", "both"}, 100.0};
+  SubstreamMath math(sub, cat, 1000);
+  // Sizes: 1000 -> 1000 (downsample keeps size) -> 250 ("both" quarters).
+  EXPECT_DOUBLE_EQ(math.in_unit_bytes(2), 250.0);
+  // Units per delivered: stage1 ("both", R=2): 0.5; stage0: 0.5/0.5 = 1.
+  EXPECT_DOUBLE_EQ(math.in_units_per_delivered(1), 0.5);
+  EXPECT_DOUBLE_EQ(math.in_units_per_delivered(0), 1.0);
+}
+
+TEST(SubstreamMath, WireRatesScaleLinearly) {
+  const auto cat = catalog_with_ratios();
+  Substream sub{{"identity"}, 100.0};
+  SubstreamMath math(sub, cat, 1202);
+  EXPECT_DOUBLE_EQ(math.wire_in_kbps(0, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(math.wire_out_kbps(0, 10.0), 100.0);
+  EXPECT_DOUBLE_EQ(math.wire_in_kbps(0, 5.0), 50.0);
+}
+
+TEST(SubstreamMath, MaxDeliveredUpsRespectsBothDirections) {
+  const auto cat = catalog_with_ratios();
+  Substream sub{{"identity"}, 100.0};
+  SubstreamMath math(sub, cat, 1202);  // 10 wire kbps per ups
+  // in limits: 100 kbps -> 10 ups; out limits: 50 kbps -> 5 ups.
+  EXPECT_DOUBLE_EQ(math.max_delivered_ups(0, 100.0, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(math.max_delivered_ups(0, 40.0, 500.0), 4.0);
+  EXPECT_DOUBLE_EQ(math.max_delivered_ups(0, 0.0, 500.0), 0.0);
+}
+
+TEST(BuildAppPlan, ConvertsDeliveredSharesToInputRates) {
+  const auto cat = catalog_with_ratios();
+  ServiceRequest req;
+  req.app = 9;
+  req.source = 0;
+  req.destination = 3;
+  req.unit_bytes = 1000;
+  req.substreams = {{{"downsample"}, 100.0}};
+
+  // One stage, split across nodes 1 and 2 in delivered ups.
+  std::vector<std::vector<std::vector<runtime::Placement>>> shares = {
+      {{{1, 8.0}, {2, 4.5}}}};
+  const auto plan = build_app_plan(req, cat, shares);
+  EXPECT_EQ(plan.app, 9);
+  ASSERT_EQ(plan.substreams.size(), 1u);
+  const auto& sub = plan.substreams[0];
+  // 100 kbps of 1000-byte delivered units = 12.5 delivered ups.
+  EXPECT_DOUBLE_EQ(sub.rate_units_per_sec, 12.5);
+  ASSERT_EQ(sub.stages.size(), 1u);
+  // Input rates double the delivered shares (R = 0.5).
+  EXPECT_DOUBLE_EQ(sub.stages[0].placements[0].rate_units_per_sec, 16.0);
+  EXPECT_DOUBLE_EQ(sub.stages[0].placements[1].rate_units_per_sec, 9.0);
+  EXPECT_EQ(plan.component_count(), 2u);
+}
+
+TEST(ResidualTrackerTest, ConsumeAndClamp) {
+  ComposeInput input;
+  monitor::NodeStats s;
+  s.node = 1;
+  s.capacity_in_kbps = 1000;
+  s.capacity_out_kbps = 800;
+  input.providers["svc"] = {s};
+  ResidualTracker tracker(input, /*headroom=*/1.0);
+  EXPECT_DOUBLE_EQ(tracker.avail_in_kbps(1), 1000.0);
+  tracker.consume(1, 400, 900);
+  EXPECT_DOUBLE_EQ(tracker.avail_in_kbps(1), 600.0);
+  EXPECT_DOUBLE_EQ(tracker.avail_out_kbps(1), 0.0);  // clamped
+  // Unknown nodes have no capacity and full drop cost.
+  EXPECT_DOUBLE_EQ(tracker.avail_in_kbps(42), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.drop_ratio(42), 1.0);
+}
+
+TEST(ResidualTrackerTest, DefaultHeadroomLeavesMargin) {
+  ComposeInput input;
+  monitor::NodeStats s;
+  s.node = 1;
+  s.capacity_in_kbps = 1000;
+  s.capacity_out_kbps = 1000;
+  input.providers["svc"] = {s};
+  ResidualTracker tracker(input);
+  EXPECT_DOUBLE_EQ(tracker.avail_in_kbps(1),
+                   1000.0 * ResidualTracker::kDefaultHeadroom);
+}
+
+TEST(RequestModel, ValidationAndHelpers) {
+  ServiceRequest req;
+  EXPECT_FALSE(req.validate().empty());
+  req.source = 0;
+  req.destination = 1;
+  req.unit_bytes = 100;
+  req.substreams = {{{"a", "b"}, 50.0}, {{"b", "c"}, 70.0}};
+  EXPECT_TRUE(req.validate().empty());
+  EXPECT_EQ(req.distinct_services(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_DOUBLE_EQ(req.total_rate_kbps(), 120.0);
+
+  req.substreams[0].rate_kbps = 0;
+  EXPECT_FALSE(req.validate().empty());
+  req.substreams[0].rate_kbps = 10;
+  req.substreams[1].services.clear();
+  EXPECT_FALSE(req.validate().empty());
+}
+
+}  // namespace
+}  // namespace rasc::core

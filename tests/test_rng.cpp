@@ -1,0 +1,145 @@
+// Deterministic RNG: reproducibility, ranges, split independence and
+// rough distribution sanity.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace rasc::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, UniformIntStaysInRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Xoshiro, UniformIntSingleton) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Xoshiro, UniformIntCoversAllValues) {
+  Xoshiro256 rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro, Uniform01Bounds) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, ExponentialMean) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256 rng(19);
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.1);
+}
+
+TEST(Xoshiro, ParetoRespectsScale) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(5.0, 1.5), 5.0);
+  }
+}
+
+TEST(Xoshiro, SplitStreamsAreIndependent) {
+  Xoshiro256 parent(31);
+  auto a = parent.split(1);
+  auto b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro, SplitIsDeterministic) {
+  Xoshiro256 p1(77), p2(77);
+  auto a = p1.split(5);
+  auto b = p2.split(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, ShuffleIsPermutation) {
+  Xoshiro256 rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Xoshiro, WeightedIndexProportions) {
+  Xoshiro256 rng(43);
+  const std::vector<double> weights{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_NEAR(double(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(double(counts[1]) / n, 0.3, 0.015);
+  EXPECT_NEAR(double(counts[2]) / n, 0.6, 0.015);
+}
+
+TEST(Xoshiro, BernoulliEdgeCases) {
+  Xoshiro256 rng(47);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace rasc::util

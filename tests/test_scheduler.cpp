@@ -1,0 +1,140 @@
+// Per-node scheduler (paper §3.4): least-laxity selection, negative-laxity
+// drops, queue bounds, and the FIFO/EDF ablation policies.
+#include "runtime/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/service.hpp"
+
+namespace rasc::runtime {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  Component& component() {
+    if (!component_) {
+      ServiceSpec spec;
+      spec.name = "svc";
+      spec.cpu_time_per_unit = sim::msec(2);
+      component_ = std::make_unique<Component>(
+          ComponentKey{1, 0, 0}, spec, 10.0,
+          std::vector<Placement>{{0, 10.0}});
+    }
+    return *component_;
+  }
+
+  ScheduledUnit unit(sim::SimTime arrival, sim::SimTime deadline,
+                     sim::SimDuration exec = sim::msec(2)) {
+    ScheduledUnit u;
+    auto du = std::make_shared<DataUnit>();
+    du->seq = next_seq_++;
+    u.unit = du;
+    u.component = &component();
+    u.arrival = arrival;
+    u.deadline = deadline;
+    u.exec_time = exec;
+    return u;
+  }
+
+  std::unique_ptr<Component> component_;
+  std::int64_t next_seq_ = 0;
+};
+
+TEST_F(SchedulerTest, LaxityFormula) {
+  const auto u = unit(0, sim::msec(10), sim::msec(2));
+  EXPECT_EQ(u.laxity(0), sim::msec(8));
+  EXPECT_EQ(u.laxity(sim::msec(8)), 0);
+  EXPECT_EQ(u.laxity(sim::msec(9)), -sim::msec(1));
+}
+
+TEST_F(SchedulerTest, LlfPicksSmallestLaxity) {
+  Scheduler s(SchedulingPolicy::kLeastLaxity);
+  auto slack = unit(0, sim::msec(100));
+  auto urgent = unit(0, sim::msec(5));
+  const auto slack_seq = slack.unit->seq;
+  (void)slack_seq;
+  const auto urgent_seq = urgent.unit->seq;
+  s.enqueue(std::move(slack));
+  s.enqueue(std::move(urgent));
+  std::vector<ScheduledUnit> expired;
+  const auto picked = s.dispatch(0, expired);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->unit->seq, urgent_seq);
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST_F(SchedulerTest, LlfDropsNegativeLaxityUnits) {
+  Scheduler s(SchedulingPolicy::kLeastLaxity);
+  s.enqueue(unit(0, sim::msec(1)));    // hopeless at t=5ms
+  s.enqueue(unit(0, sim::msec(100)));  // fine
+  std::vector<ScheduledUnit> expired;
+  const auto picked = s.dispatch(sim::msec(5), expired);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].deadline, sim::msec(1));
+}
+
+TEST_F(SchedulerTest, LlfAllExpiredReturnsNothing) {
+  Scheduler s(SchedulingPolicy::kLeastLaxity);
+  s.enqueue(unit(0, sim::msec(1)));
+  s.enqueue(unit(0, sim::msec(2)));
+  std::vector<ScheduledUnit> expired;
+  EXPECT_FALSE(s.dispatch(sim::msec(50), expired).has_value());
+  EXPECT_EQ(expired.size(), 2u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST_F(SchedulerTest, FifoIgnoresDeadlines) {
+  Scheduler s(SchedulingPolicy::kFifo);
+  s.enqueue(unit(sim::msec(1), sim::msec(2)));   // late but first
+  s.enqueue(unit(0, sim::msec(1000)));           // earlier arrival
+  std::vector<ScheduledUnit> expired;
+  const auto picked = s.dispatch(sim::msec(50), expired);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->arrival, 0);
+  EXPECT_TRUE(expired.empty());  // FIFO never drops for lateness
+}
+
+TEST_F(SchedulerTest, EdfPicksEarliestDeadline) {
+  Scheduler s(SchedulingPolicy::kEdf);
+  s.enqueue(unit(0, sim::msec(300), sim::msec(1)));
+  s.enqueue(unit(0, sim::msec(200), sim::msec(1)));
+  s.enqueue(unit(0, sim::msec(400), sim::msec(1)));
+  std::vector<ScheduledUnit> expired;
+  const auto picked = s.dispatch(0, expired);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->deadline, sim::msec(200));
+}
+
+TEST_F(SchedulerTest, QueueBoundRejects) {
+  Scheduler s(SchedulingPolicy::kLeastLaxity, 2);
+  EXPECT_TRUE(s.enqueue(unit(0, sim::msec(10))));
+  EXPECT_TRUE(s.enqueue(unit(0, sim::msec(10))));
+  EXPECT_FALSE(s.enqueue(unit(0, sim::msec(10))));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST_F(SchedulerTest, EmptyDispatchReturnsNothing) {
+  Scheduler s(SchedulingPolicy::kLeastLaxity);
+  std::vector<ScheduledUnit> expired;
+  EXPECT_FALSE(s.dispatch(0, expired).has_value());
+}
+
+TEST_F(SchedulerTest, PolicyNames) {
+  EXPECT_STREQ(to_string(SchedulingPolicy::kLeastLaxity), "llf");
+  EXPECT_STREQ(to_string(SchedulingPolicy::kFifo), "fifo");
+  EXPECT_STREQ(to_string(SchedulingPolicy::kEdf), "edf");
+}
+
+TEST_F(SchedulerTest, ZeroLaxityStillRunnable) {
+  Scheduler s(SchedulingPolicy::kLeastLaxity);
+  s.enqueue(unit(0, sim::msec(2), sim::msec(2)));  // laxity exactly 0 at t=0
+  std::vector<ScheduledUnit> expired;
+  EXPECT_TRUE(s.dispatch(0, expired).has_value());
+  EXPECT_TRUE(expired.empty());
+}
+
+}  // namespace
+}  // namespace rasc::runtime

@@ -1,0 +1,77 @@
+// SHA-1 against FIPS 180-1 / RFC 3174 known-answer vectors, plus
+// incremental-update equivalence.
+#include "util/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rasc::util {
+namespace {
+
+std::string hex_of(std::string_view s) { return to_hex(sha1(s)); }
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(hex_of(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(hex_of("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, Rfc3174TestCase2) {
+  EXPECT_EQ(hex_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, QuickBrownFox) {
+  EXPECT_EQ(hex_of("The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64-byte input exercises the padding-overflow path (padding needs a
+  // second block).
+  const std::string block(64, 'x');
+  Sha1 h;
+  h.update(block);
+  const auto one_shot = sha1(block);
+  EXPECT_EQ(to_hex(h.finish()), to_hex(one_shot));
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "RASC composes stream processing applications dynamically";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha1 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(to_hex(h.finish()), hex_of(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha1, ResetReusesCleanState) {
+  Sha1 h;
+  h.update("garbage");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(to_hex(h.finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+  EXPECT_NE(hex_of("service:svc0"), hex_of("service:svc1"));
+  EXPECT_NE(hex_of("a"), hex_of("b"));
+}
+
+}  // namespace
+}  // namespace rasc::util

@@ -1,0 +1,110 @@
+// Simulator clock semantics: call_after/call_at, clamping, run_until,
+// nested scheduling, cancellation, determinism.
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rasc::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+}
+
+TEST(Simulator, CallAfterAdvancesClock) {
+  Simulator s;
+  SimTime seen = -1;
+  s.call_after(msec(5), [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, msec(5));
+  EXPECT_EQ(s.now(), msec(5));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator s;
+  s.call_after(msec(10), [&s] {
+    s.call_after(-100, [] {});
+  });
+  s.run_all();
+  EXPECT_EQ(s.now(), msec(10));
+}
+
+TEST(Simulator, CallAtPastClampsToNow) {
+  Simulator s;
+  SimTime seen = -1;
+  s.call_after(msec(10), [&] {
+    s.call_at(msec(1), [&] { seen = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(seen, msec(10));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  std::vector<SimTime> fired;
+  for (int i = 1; i <= 10; ++i) {
+    s.call_at(msec(i), [&fired, &s] { fired.push_back(s.now()); });
+  }
+  s.run_until(msec(5));
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_EQ(s.now(), msec(5));
+  s.run_until(msec(20));
+  EXPECT_EQ(fired.size(), 10u);
+  EXPECT_EQ(s.now(), msec(20));  // advances even past last event
+}
+
+TEST(Simulator, NestedSchedulingRunsInOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.call_after(10, [&] {
+    order.push_back(1);
+    s.call_after(5, [&] { order.push_back(3); });
+    s.call_after(1, [&] { order.push_back(2); });
+  });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelWorks) {
+  Simulator s;
+  bool fired = false;
+  const auto id = s.call_after(100, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunAllHonorsEventLimit) {
+  Simulator s;
+  // A self-perpetuating event chain: the guard must stop it.
+  std::function<void()> tick = [&] { s.call_after(1, tick); };
+  s.call_after(1, tick);
+  const auto n = s.run_all(1000);
+  EXPECT_EQ(n, 1000u);
+  EXPECT_EQ(s.processed_events(), 1000u);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator s;
+  int count = 0;
+  s.call_after(1, [&] { ++count; });
+  s.call_after(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, SeededRngIsDeterministic) {
+  Simulator a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.rng().next(), b.rng().next());
+  }
+}
+
+}  // namespace
+}  // namespace rasc::sim

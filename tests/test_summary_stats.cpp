@@ -1,0 +1,90 @@
+// Welford accumulator and reservoir percentile correctness, including the
+// parallel merge identity used by the sweep runner.
+#include "util/summary_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace rasc::util {
+namespace {
+
+TEST(SummaryStats, EmptyIsZero) {
+  SummaryStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(SummaryStats, KnownValues) {
+  SummaryStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum((x-5)^2) = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStats, SingleSampleVarianceZero) {
+  SummaryStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 3.5);
+}
+
+TEST(SummaryStats, MergeMatchesSequential) {
+  Xoshiro256 rng(1);
+  SummaryStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3, 2);
+    whole.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(SummaryStats, MergeWithEmpty) {
+  SummaryStats a, empty;
+  a.add(1);
+  a.add(2);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(Reservoir, SmallStreamExactPercentiles) {
+  Reservoir r;
+  for (int i = 1; i <= 100; ++i) r.add(i);
+  EXPECT_NEAR(r.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(r.percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(r.percentile(0.5), 50.5, 1.0);
+}
+
+TEST(Reservoir, LargeStreamApproximation) {
+  Reservoir r(2048);
+  for (int i = 0; i < 100000; ++i) r.add(double(i % 1000));
+  EXPECT_NEAR(r.percentile(0.5), 500.0, 50.0);
+  EXPECT_EQ(r.seen(), 100000u);
+}
+
+TEST(Reservoir, EmptyReturnsZero) {
+  Reservoir r;
+  EXPECT_EQ(r.percentile(0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace rasc::util

@@ -1,0 +1,76 @@
+// Thread pool: results, exception propagation, parallel_for coverage.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace rasc::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResult) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForVisitsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstError) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   10,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::logic_error("bad cell");
+                   }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 1000; ++i) {
+    futures.push_back(pool.submit([&total, i] { total += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), 500500);
+}
+
+TEST(ThreadPool, DefaultSizeAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&done] { done++; });
+    }
+  }  // destructor joins
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+}  // namespace
+}  // namespace rasc::util

@@ -1,0 +1,78 @@
+// Topology generators: uniform exactness and PlanetLab-like invariants
+// (parameterized over seeds — property-style sweep).
+#include "sim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::sim {
+namespace {
+
+TEST(UniformTopology, AllEqual) {
+  const auto t = make_uniform_topology(5, 2000.0, msec(25));
+  ASSERT_EQ(t.size(), 5u);
+  for (const auto& n : t.nodes) {
+    EXPECT_EQ(n.bw_in_kbps, 2000.0);
+    EXPECT_EQ(n.bw_out_kbps, 2000.0);
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_EQ(t.latency_us[i][j], i == j ? 0 : msec(25));
+    }
+  }
+}
+
+class PlanetLabTopology : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanetLabTopology, InvariantsHold) {
+  util::Xoshiro256 rng(GetParam());
+  PlanetLabParams params;
+  const auto t = make_planetlab_like(32, rng, params);
+  ASSERT_EQ(t.size(), 32u);
+  for (const auto& n : t.nodes) {
+    EXPECT_GE(n.bw_in_kbps, params.bw_min_kbps);
+    EXPECT_LE(n.bw_in_kbps, params.bw_max_kbps);
+    EXPECT_GE(n.bw_out_kbps, params.bw_min_kbps);
+    EXPECT_LE(n.bw_out_kbps, params.bw_max_kbps);
+  }
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.latency_us[i][i], 0);
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_GE(t.latency_us[i][j], params.latency_min);
+      EXPECT_LE(t.latency_us[i][j], params.latency_max);
+      EXPECT_EQ(t.latency_us[i][j], t.latency_us[j][i]) << "symmetry";
+    }
+  }
+}
+
+TEST_P(PlanetLabTopology, LatenciesAreSkewedNotUniform) {
+  util::Xoshiro256 rng(GetParam());
+  const auto t = make_planetlab_like(32, rng, {});
+  // Pareto skew: the median should sit well below the midpoint of the
+  // clip range.
+  std::vector<SimDuration> lats;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      lats.push_back(t.latency_us[i][j]);
+    }
+  }
+  std::sort(lats.begin(), lats.end());
+  const auto median = lats[lats.size() / 2];
+  EXPECT_LT(median, msec(105));
+}
+
+TEST_P(PlanetLabTopology, DeterministicGivenSeed) {
+  util::Xoshiro256 r1(GetParam()), r2(GetParam());
+  const auto a = make_planetlab_like(16, r1, {});
+  const auto b = make_planetlab_like(16, r2, {});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].bw_in_kbps, b.nodes[i].bw_in_kbps);
+    EXPECT_EQ(a.latency_us[i], b.latency_us[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanetLabTopology,
+                         ::testing::Values(1, 2, 3, 17, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace rasc::sim

@@ -1,0 +1,109 @@
+// Sliding windows, outcome ratios, EWMA and rate meters (paper §3.2's
+// h-sample averaging).
+#include "monitor/rate_meter.hpp"
+#include "monitor/window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rasc::monitor {
+namespace {
+
+TEST(SlidingWindow, MeanOverPartialFill) {
+  SlidingWindow w(4);
+  w.add(2);
+  w.add(4);
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_FALSE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+}
+
+TEST(SlidingWindow, EvictsOldestWhenFull) {
+  SlidingWindow w(3);
+  for (double x : {1.0, 2.0, 3.0, 4.0}) w.add(x);  // 1 evicted
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.sum(), 9.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  w.add(5.0);  // 2 evicted
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+}
+
+TEST(SlidingWindow, ZeroCapacityClampsToOne) {
+  SlidingWindow w(0);
+  w.add(7);
+  w.add(9);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 9.0);
+}
+
+TEST(SlidingWindow, ClearResets) {
+  SlidingWindow w(3);
+  w.add(1);
+  w.clear();
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  w.add(8);
+  EXPECT_DOUBLE_EQ(w.mean(), 8.0);
+}
+
+TEST(OutcomeWindow, RatioTracksWindowOnly) {
+  OutcomeWindow w(4);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.0);
+  w.record(true);
+  w.record(true);
+  w.record(false);
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.5);
+  // One more good outcome evicts the oldest bad one (window = last 4).
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.25);
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.0);
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.seeded());
+  e.add(10);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.add(20);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+  e.add(20);
+  EXPECT_DOUBLE_EQ(e.value(), 17.5);
+}
+
+TEST(RateMeter, SteadyRate) {
+  RateMeter m(16);
+  // One event every 100 ms -> 10 per second.
+  for (int i = 0; i < 10; ++i) m.record(sim::msec(100 * i));
+  EXPECT_NEAR(m.rate_per_sec(sim::msec(900)), 10.0, 0.01);
+  EXPECT_NEAR(double(m.mean_period(sim::msec(900))), 100000.0, 1000.0);
+}
+
+TEST(RateMeter, TooFewEventsIsZero) {
+  RateMeter m;
+  EXPECT_EQ(m.rate_per_sec(sim::sec(1)), 0.0);
+  m.record(0);
+  EXPECT_EQ(m.rate_per_sec(sim::sec(1)), 0.0);
+  EXPECT_EQ(m.mean_period(sim::sec(1)), 0);
+}
+
+TEST(RateMeter, DecaysWhenStreamStops) {
+  RateMeter m(8);
+  for (int i = 0; i < 8; ++i) m.record(sim::msec(10 * i));
+  const double active = m.rate_per_sec(sim::msec(70));
+  const double stale = m.rate_per_sec(sim::sec(10));
+  EXPECT_GT(active, 50.0);
+  EXPECT_LT(stale, active / 10);
+}
+
+TEST(RateMeter, WindowSlidesOverOldEvents) {
+  RateMeter m(4);
+  // 4 slow events, then 4 fast ones: only the fast ones remain.
+  for (int i = 0; i < 4; ++i) m.record(sim::sec(i));
+  for (int i = 0; i < 4; ++i) m.record(sim::sec(4) + sim::msec(10 * i));
+  EXPECT_NEAR(m.rate_per_sec(sim::sec(4) + sim::msec(30)), 100.0, 5.0);
+}
+
+}  // namespace
+}  // namespace rasc::monitor

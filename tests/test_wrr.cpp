@@ -1,0 +1,70 @@
+// Smooth weighted round-robin: exact long-run proportions and smooth
+// interleaving (no bursts toward one target).
+#include "runtime/wrr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace rasc::runtime {
+namespace {
+
+TEST(Wrr, SingleTargetAlwaysZero) {
+  WeightedRoundRobin wrr({5.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(wrr.next(), 0u);
+}
+
+TEST(Wrr, EqualWeightsAlternate) {
+  WeightedRoundRobin wrr({1.0, 1.0});
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 100; ++i) ++counts[wrr.next()];
+  EXPECT_EQ(counts[0], 50);
+  EXPECT_EQ(counts[1], 50);
+}
+
+TEST(Wrr, ExactProportionsOverFullCycle) {
+  WeightedRoundRobin wrr({1.0, 2.0, 3.0});
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 600; ++i) ++counts[wrr.next()];
+  EXPECT_EQ(counts[0], 100);
+  EXPECT_EQ(counts[1], 200);
+  EXPECT_EQ(counts[2], 300);
+}
+
+TEST(Wrr, SmoothInterleaving) {
+  // The nginx smooth WRR cycle for {5,1,1} is A A B A C A A: the longest
+  // run of the heavy target is 4 (the trailing A A joining the next
+  // cycle's leading A A) — far smoother than naive WRR's 5-burst.
+  WeightedRoundRobin wrr({5.0, 1.0, 1.0});
+  int run = 0, max_run = 0;
+  std::size_t prev = 99;
+  for (int i = 0; i < 70; ++i) {
+    const auto pick = wrr.next();
+    run = (pick == prev) ? run + 1 : 1;
+    max_run = std::max(max_run, run);
+    prev = pick;
+  }
+  EXPECT_LE(max_run, 4);
+}
+
+TEST(Wrr, ZeroWeightEntryNeverPicked) {
+  WeightedRoundRobin wrr({0.0, 1.0, 2.0});
+  for (int i = 0; i < 50; ++i) EXPECT_NE(wrr.next(), 0u);
+}
+
+TEST(Wrr, FractionalWeightsProportional) {
+  WeightedRoundRobin wrr({12.5, 37.5});  // 1:3
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 400; ++i) ++counts[wrr.next()];
+  EXPECT_NEAR(counts[0], 100, 2);
+  EXPECT_NEAR(counts[1], 300, 2);
+}
+
+TEST(Wrr, DeterministicSequence) {
+  WeightedRoundRobin a({1.0, 2.0}), b({1.0, 2.0});
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace rasc::runtime
