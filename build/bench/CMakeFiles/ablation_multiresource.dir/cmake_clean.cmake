@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multiresource.dir/ablation_multiresource.cpp.o"
+  "CMakeFiles/ablation_multiresource.dir/ablation_multiresource.cpp.o.d"
+  "ablation_multiresource"
+  "ablation_multiresource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiresource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

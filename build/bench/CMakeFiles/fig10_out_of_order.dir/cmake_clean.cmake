@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_out_of_order.dir/fig10_out_of_order.cpp.o"
+  "CMakeFiles/fig10_out_of_order.dir/fig10_out_of_order.cpp.o.d"
+  "fig10_out_of_order"
+  "fig10_out_of_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_out_of_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_jitter.dir/fig11_jitter.cpp.o"
+  "CMakeFiles/fig11_jitter.dir/fig11_jitter.cpp.o.d"
+  "fig11_jitter"
+  "fig11_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_composed_requests.dir/fig6_composed_requests.cpp.o"
+  "CMakeFiles/fig6_composed_requests.dir/fig6_composed_requests.cpp.o.d"
+  "fig6_composed_requests"
+  "fig6_composed_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_composed_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_end_to_end_delay.dir/fig7_end_to_end_delay.cpp.o"
+  "CMakeFiles/fig7_end_to_end_delay.dir/fig7_end_to_end_delay.cpp.o.d"
+  "fig7_end_to_end_delay"
+  "fig7_end_to_end_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_end_to_end_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

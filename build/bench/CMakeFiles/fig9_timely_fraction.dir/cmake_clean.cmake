@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_timely_fraction.dir/fig9_timely_fraction.cpp.o"
+  "CMakeFiles/fig9_timely_fraction.dir/fig9_timely_fraction.cpp.o.d"
+  "fig9_timely_fraction"
+  "fig9_timely_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_timely_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mincost.dir/micro_mincost.cpp.o"
+  "CMakeFiles/micro_mincost.dir/micro_mincost.cpp.o.d"
+  "micro_mincost"
+  "micro_mincost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mincost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

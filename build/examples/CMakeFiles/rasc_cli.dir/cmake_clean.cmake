@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_cli.dir/rasc_sim.cpp.o"
+  "CMakeFiles/rasc_cli.dir/rasc_sim.cpp.o.d"
+  "rasc_cli"
+  "rasc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

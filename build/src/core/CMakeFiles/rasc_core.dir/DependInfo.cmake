@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/composition_graph.cpp" "src/core/CMakeFiles/rasc_core.dir/composition_graph.cpp.o" "gcc" "src/core/CMakeFiles/rasc_core.dir/composition_graph.cpp.o.d"
+  "/root/repo/src/core/coordinator.cpp" "src/core/CMakeFiles/rasc_core.dir/coordinator.cpp.o" "gcc" "src/core/CMakeFiles/rasc_core.dir/coordinator.cpp.o.d"
+  "/root/repo/src/core/greedy_composer.cpp" "src/core/CMakeFiles/rasc_core.dir/greedy_composer.cpp.o" "gcc" "src/core/CMakeFiles/rasc_core.dir/greedy_composer.cpp.o.d"
+  "/root/repo/src/core/mincost_composer.cpp" "src/core/CMakeFiles/rasc_core.dir/mincost_composer.cpp.o" "gcc" "src/core/CMakeFiles/rasc_core.dir/mincost_composer.cpp.o.d"
+  "/root/repo/src/core/plan_math.cpp" "src/core/CMakeFiles/rasc_core.dir/plan_math.cpp.o" "gcc" "src/core/CMakeFiles/rasc_core.dir/plan_math.cpp.o.d"
+  "/root/repo/src/core/random_composer.cpp" "src/core/CMakeFiles/rasc_core.dir/random_composer.cpp.o" "gcc" "src/core/CMakeFiles/rasc_core.dir/random_composer.cpp.o.d"
+  "/root/repo/src/core/request.cpp" "src/core/CMakeFiles/rasc_core.dir/request.cpp.o" "gcc" "src/core/CMakeFiles/rasc_core.dir/request.cpp.o.d"
+  "/root/repo/src/core/supervisor.cpp" "src/core/CMakeFiles/rasc_core.dir/supervisor.cpp.o" "gcc" "src/core/CMakeFiles/rasc_core.dir/supervisor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rasc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/rasc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/rasc_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rasc_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rasc_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_core.dir/composition_graph.cpp.o"
+  "CMakeFiles/rasc_core.dir/composition_graph.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/coordinator.cpp.o"
+  "CMakeFiles/rasc_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/greedy_composer.cpp.o"
+  "CMakeFiles/rasc_core.dir/greedy_composer.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/mincost_composer.cpp.o"
+  "CMakeFiles/rasc_core.dir/mincost_composer.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/plan_math.cpp.o"
+  "CMakeFiles/rasc_core.dir/plan_math.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/random_composer.cpp.o"
+  "CMakeFiles/rasc_core.dir/random_composer.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/request.cpp.o"
+  "CMakeFiles/rasc_core.dir/request.cpp.o.d"
+  "CMakeFiles/rasc_core.dir/supervisor.cpp.o"
+  "CMakeFiles/rasc_core.dir/supervisor.cpp.o.d"
+  "librasc_core.a"
+  "librasc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_exp.dir/host.cpp.o"
+  "CMakeFiles/rasc_exp.dir/host.cpp.o.d"
+  "CMakeFiles/rasc_exp.dir/runner.cpp.o"
+  "CMakeFiles/rasc_exp.dir/runner.cpp.o.d"
+  "CMakeFiles/rasc_exp.dir/sweep.cpp.o"
+  "CMakeFiles/rasc_exp.dir/sweep.cpp.o.d"
+  "CMakeFiles/rasc_exp.dir/table.cpp.o"
+  "CMakeFiles/rasc_exp.dir/table.cpp.o.d"
+  "CMakeFiles/rasc_exp.dir/workload.cpp.o"
+  "CMakeFiles/rasc_exp.dir/workload.cpp.o.d"
+  "CMakeFiles/rasc_exp.dir/world.cpp.o"
+  "CMakeFiles/rasc_exp.dir/world.cpp.o.d"
+  "librasc_exp.a"
+  "librasc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

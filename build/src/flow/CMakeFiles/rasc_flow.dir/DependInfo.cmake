@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/cycle_cancel.cpp" "src/flow/CMakeFiles/rasc_flow.dir/cycle_cancel.cpp.o" "gcc" "src/flow/CMakeFiles/rasc_flow.dir/cycle_cancel.cpp.o.d"
+  "/root/repo/src/flow/graph.cpp" "src/flow/CMakeFiles/rasc_flow.dir/graph.cpp.o" "gcc" "src/flow/CMakeFiles/rasc_flow.dir/graph.cpp.o.d"
+  "/root/repo/src/flow/ssp.cpp" "src/flow/CMakeFiles/rasc_flow.dir/ssp.cpp.o" "gcc" "src/flow/CMakeFiles/rasc_flow.dir/ssp.cpp.o.d"
+  "/root/repo/src/flow/validate.cpp" "src/flow/CMakeFiles/rasc_flow.dir/validate.cpp.o" "gcc" "src/flow/CMakeFiles/rasc_flow.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rasc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_flow.dir/cycle_cancel.cpp.o"
+  "CMakeFiles/rasc_flow.dir/cycle_cancel.cpp.o.d"
+  "CMakeFiles/rasc_flow.dir/graph.cpp.o"
+  "CMakeFiles/rasc_flow.dir/graph.cpp.o.d"
+  "CMakeFiles/rasc_flow.dir/ssp.cpp.o"
+  "CMakeFiles/rasc_flow.dir/ssp.cpp.o.d"
+  "CMakeFiles/rasc_flow.dir/validate.cpp.o"
+  "CMakeFiles/rasc_flow.dir/validate.cpp.o.d"
+  "librasc_flow.a"
+  "librasc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

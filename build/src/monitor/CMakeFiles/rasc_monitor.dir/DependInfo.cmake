@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/node_monitor.cpp" "src/monitor/CMakeFiles/rasc_monitor.dir/node_monitor.cpp.o" "gcc" "src/monitor/CMakeFiles/rasc_monitor.dir/node_monitor.cpp.o.d"
+  "/root/repo/src/monitor/rate_meter.cpp" "src/monitor/CMakeFiles/rasc_monitor.dir/rate_meter.cpp.o" "gcc" "src/monitor/CMakeFiles/rasc_monitor.dir/rate_meter.cpp.o.d"
+  "/root/repo/src/monitor/stats_protocol.cpp" "src/monitor/CMakeFiles/rasc_monitor.dir/stats_protocol.cpp.o" "gcc" "src/monitor/CMakeFiles/rasc_monitor.dir/stats_protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rasc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_monitor.dir/node_monitor.cpp.o"
+  "CMakeFiles/rasc_monitor.dir/node_monitor.cpp.o.d"
+  "CMakeFiles/rasc_monitor.dir/rate_meter.cpp.o"
+  "CMakeFiles/rasc_monitor.dir/rate_meter.cpp.o.d"
+  "CMakeFiles/rasc_monitor.dir/stats_protocol.cpp.o"
+  "CMakeFiles/rasc_monitor.dir/stats_protocol.cpp.o.d"
+  "librasc_monitor.a"
+  "librasc_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/builder.cpp" "src/overlay/CMakeFiles/rasc_overlay.dir/builder.cpp.o" "gcc" "src/overlay/CMakeFiles/rasc_overlay.dir/builder.cpp.o.d"
+  "/root/repo/src/overlay/node_id.cpp" "src/overlay/CMakeFiles/rasc_overlay.dir/node_id.cpp.o" "gcc" "src/overlay/CMakeFiles/rasc_overlay.dir/node_id.cpp.o.d"
+  "/root/repo/src/overlay/pastry_node.cpp" "src/overlay/CMakeFiles/rasc_overlay.dir/pastry_node.cpp.o" "gcc" "src/overlay/CMakeFiles/rasc_overlay.dir/pastry_node.cpp.o.d"
+  "/root/repo/src/overlay/registry.cpp" "src/overlay/CMakeFiles/rasc_overlay.dir/registry.cpp.o" "gcc" "src/overlay/CMakeFiles/rasc_overlay.dir/registry.cpp.o.d"
+  "/root/repo/src/overlay/state.cpp" "src/overlay/CMakeFiles/rasc_overlay.dir/state.cpp.o" "gcc" "src/overlay/CMakeFiles/rasc_overlay.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rasc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

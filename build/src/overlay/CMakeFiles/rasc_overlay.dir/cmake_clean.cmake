@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_overlay.dir/builder.cpp.o"
+  "CMakeFiles/rasc_overlay.dir/builder.cpp.o.d"
+  "CMakeFiles/rasc_overlay.dir/node_id.cpp.o"
+  "CMakeFiles/rasc_overlay.dir/node_id.cpp.o.d"
+  "CMakeFiles/rasc_overlay.dir/pastry_node.cpp.o"
+  "CMakeFiles/rasc_overlay.dir/pastry_node.cpp.o.d"
+  "CMakeFiles/rasc_overlay.dir/registry.cpp.o"
+  "CMakeFiles/rasc_overlay.dir/registry.cpp.o.d"
+  "CMakeFiles/rasc_overlay.dir/state.cpp.o"
+  "CMakeFiles/rasc_overlay.dir/state.cpp.o.d"
+  "librasc_overlay.a"
+  "librasc_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/component.cpp" "src/runtime/CMakeFiles/rasc_runtime.dir/component.cpp.o" "gcc" "src/runtime/CMakeFiles/rasc_runtime.dir/component.cpp.o.d"
+  "/root/repo/src/runtime/node_runtime.cpp" "src/runtime/CMakeFiles/rasc_runtime.dir/node_runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/rasc_runtime.dir/node_runtime.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/rasc_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/rasc_runtime.dir/scheduler.cpp.o.d"
+  "/root/repo/src/runtime/sink.cpp" "src/runtime/CMakeFiles/rasc_runtime.dir/sink.cpp.o" "gcc" "src/runtime/CMakeFiles/rasc_runtime.dir/sink.cpp.o.d"
+  "/root/repo/src/runtime/source.cpp" "src/runtime/CMakeFiles/rasc_runtime.dir/source.cpp.o" "gcc" "src/runtime/CMakeFiles/rasc_runtime.dir/source.cpp.o.d"
+  "/root/repo/src/runtime/wrr.cpp" "src/runtime/CMakeFiles/rasc_runtime.dir/wrr.cpp.o" "gcc" "src/runtime/CMakeFiles/rasc_runtime.dir/wrr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rasc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rasc_monitor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

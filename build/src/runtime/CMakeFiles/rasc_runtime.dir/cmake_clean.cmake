@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_runtime.dir/component.cpp.o"
+  "CMakeFiles/rasc_runtime.dir/component.cpp.o.d"
+  "CMakeFiles/rasc_runtime.dir/node_runtime.cpp.o"
+  "CMakeFiles/rasc_runtime.dir/node_runtime.cpp.o.d"
+  "CMakeFiles/rasc_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/rasc_runtime.dir/scheduler.cpp.o.d"
+  "CMakeFiles/rasc_runtime.dir/sink.cpp.o"
+  "CMakeFiles/rasc_runtime.dir/sink.cpp.o.d"
+  "CMakeFiles/rasc_runtime.dir/source.cpp.o"
+  "CMakeFiles/rasc_runtime.dir/source.cpp.o.d"
+  "CMakeFiles/rasc_runtime.dir/wrr.cpp.o"
+  "CMakeFiles/rasc_runtime.dir/wrr.cpp.o.d"
+  "librasc_runtime.a"
+  "librasc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

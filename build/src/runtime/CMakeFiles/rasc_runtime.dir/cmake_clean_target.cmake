@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librasc_runtime.a"
+)

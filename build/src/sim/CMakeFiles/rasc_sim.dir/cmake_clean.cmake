@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/rasc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rasc_sim.dir/network.cpp.o"
+  "CMakeFiles/rasc_sim.dir/network.cpp.o.d"
+  "CMakeFiles/rasc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rasc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/rasc_sim.dir/topology.cpp.o"
+  "CMakeFiles/rasc_sim.dir/topology.cpp.o.d"
+  "librasc_sim.a"
+  "librasc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

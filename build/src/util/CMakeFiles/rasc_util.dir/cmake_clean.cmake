@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasc_util.dir/csv.cpp.o"
+  "CMakeFiles/rasc_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rasc_util.dir/flags.cpp.o"
+  "CMakeFiles/rasc_util.dir/flags.cpp.o.d"
+  "CMakeFiles/rasc_util.dir/logging.cpp.o"
+  "CMakeFiles/rasc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/rasc_util.dir/rng.cpp.o"
+  "CMakeFiles/rasc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rasc_util.dir/sha1.cpp.o"
+  "CMakeFiles/rasc_util.dir/sha1.cpp.o.d"
+  "CMakeFiles/rasc_util.dir/summary_stats.cpp.o"
+  "CMakeFiles/rasc_util.dir/summary_stats.cpp.o.d"
+  "CMakeFiles/rasc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/rasc_util.dir/thread_pool.cpp.o.d"
+  "librasc_util.a"
+  "librasc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_component.dir/test_component.cpp.o"
+  "CMakeFiles/test_component.dir/test_component.cpp.o.d"
+  "test_component"
+  "test_component.pdb"
+  "test_component[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

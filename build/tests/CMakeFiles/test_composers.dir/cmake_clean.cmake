@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composers.dir/test_composers.cpp.o"
+  "CMakeFiles/test_composers.dir/test_composers.cpp.o.d"
+  "test_composers"
+  "test_composers.pdb"
+  "test_composers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_composition_graph.dir/test_composition_graph.cpp.o"
+  "CMakeFiles/test_composition_graph.dir/test_composition_graph.cpp.o.d"
+  "test_composition_graph"
+  "test_composition_graph.pdb"
+  "test_composition_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_composition_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

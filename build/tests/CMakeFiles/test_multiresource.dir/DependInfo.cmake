@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_multiresource.cpp" "tests/CMakeFiles/test_multiresource.dir/test_multiresource.cpp.o" "gcc" "tests/CMakeFiles/test_multiresource.dir/test_multiresource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/rasc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rasc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/rasc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/rasc_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rasc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rasc_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rasc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rasc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

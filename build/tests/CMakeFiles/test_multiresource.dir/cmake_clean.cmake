@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiresource.dir/test_multiresource.cpp.o"
+  "CMakeFiles/test_multiresource.dir/test_multiresource.cpp.o.d"
+  "test_multiresource"
+  "test_multiresource.pdb"
+  "test_multiresource[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiresource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_node_id.dir/test_node_id.cpp.o"
+  "CMakeFiles/test_node_id.dir/test_node_id.cpp.o.d"
+  "test_node_id"
+  "test_node_id.pdb"
+  "test_node_id[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_node_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overlay_state.dir/test_overlay_state.cpp.o"
+  "CMakeFiles/test_overlay_state.dir/test_overlay_state.cpp.o.d"
+  "test_overlay_state"
+  "test_overlay_state.pdb"
+  "test_overlay_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overlay_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_math.dir/test_plan_math.cpp.o"
+  "CMakeFiles/test_plan_math.dir/test_plan_math.cpp.o.d"
+  "test_plan_math"
+  "test_plan_math.pdb"
+  "test_plan_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

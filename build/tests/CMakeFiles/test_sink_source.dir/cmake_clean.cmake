@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sink_source.dir/test_sink_source.cpp.o"
+  "CMakeFiles/test_sink_source.dir/test_sink_source.cpp.o.d"
+  "test_sink_source"
+  "test_sink_source.pdb"
+  "test_sink_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sink_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

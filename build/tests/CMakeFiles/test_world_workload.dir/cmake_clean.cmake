@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_world_workload.dir/test_world_workload.cpp.o"
+  "CMakeFiles/test_world_workload.dir/test_world_workload.cpp.o.d"
+  "test_world_workload"
+  "test_world_workload.pdb"
+  "test_world_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_world_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
