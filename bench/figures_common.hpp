@@ -15,6 +15,7 @@
 
 #include "exp/sweep.hpp"
 #include "util/flags.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rasc::bench {
 
@@ -59,7 +60,10 @@ inline int run_figure(int argc, char** argv, const std::string& title,
   const std::string csv_path = flags.get_string("csv", "");
   flags.finish();
 
-  const auto result = exp::run_sweep(sweep);
+  // One pool for the whole figure: every (algorithm × rate × repetition)
+  // trial is an independent Simulator, so they all run in parallel.
+  util::ThreadPool pool(sweep.threads);
+  const auto result = exp::run_sweep(sweep, pool);
   const auto table = exp::make_table(sweep, result, title, extract,
                                      precision);
   exp::print_table(table);

@@ -1,0 +1,165 @@
+// Micro-benchmark: cost of the solver *workspace*, isolated from the
+// algorithm. Three variants of the same solve separate what the reusable
+// SspSolver buys:
+//   cold    — fresh solver every call: pays the CSR adjacency build, all
+//             vector allocations, and a from-scratch solve;
+//   reused  — one persistent solver, same topology: adjacency snapshot and
+//             buffers are cached, only the solve itself runs;
+//   repair  — persistent solver AND persistent graph: tighten a handful of
+//             capacities in place, then warm-start re-solve from the
+//             previous potentials — the composer's repair-loop pattern.
+// Plus the end-to-end repair pattern on a real CompositionGraph.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/composition_graph.hpp"
+#include "flow/ssp.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rasc;
+
+flow::Graph make_layered(int layers, int width, util::Xoshiro256& rng,
+                         flow::NodeId* source, flow::NodeId* sink) {
+  flow::Graph g;
+  *source = g.add_node();
+  *sink = g.add_node();
+  auto nodes = std::vector<std::vector<flow::NodeId>>(std::size_t(layers));
+  for (auto& layer : nodes) {
+    for (int j = 0; j < width; ++j) layer.push_back(g.add_node());
+  }
+  for (int j = 0; j < width; ++j) {
+    g.add_arc(*source, nodes[0][std::size_t(j)], rng.uniform_int(5, 50),
+              rng.uniform_int(0, 100));
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (int a = 0; a < width; ++a) {
+      for (int b = 0; b < width; ++b) {
+        g.add_arc(nodes[std::size_t(l)][std::size_t(a)],
+                  nodes[std::size_t(l) + 1][std::size_t(b)],
+                  rng.uniform_int(5, 50), rng.uniform_int(0, 100));
+      }
+    }
+  }
+  for (int j = 0; j < width; ++j) {
+    g.add_arc(nodes[std::size_t(layers) - 1][std::size_t(j)], *sink,
+              rng.uniform_int(5, 50), rng.uniform_int(0, 100));
+  }
+  return g;
+}
+
+void BM_SolverCold(benchmark::State& state) {
+  const int layers = int(state.range(0));
+  const int width = int(state.range(1));
+  util::Xoshiro256 rng(7);
+  flow::NodeId s, t;
+  auto g = make_layered(layers, width, rng, &s, &t);
+  const flow::SolveOptions opts{.assume_nonnegative_costs = true};
+  for (auto _ : state) {
+    g.clear_flow();
+    flow::SspSolver solver;  // fresh workspace: CSR build + allocations
+    const auto r = solver.solve(g, s, t, width * 20, opts);
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * g.num_arcs());
+}
+BENCHMARK(BM_SolverCold)->Args({5, 16})->Args({5, 64});
+
+void BM_SolverReused(benchmark::State& state) {
+  const int layers = int(state.range(0));
+  const int width = int(state.range(1));
+  util::Xoshiro256 rng(7);
+  flow::NodeId s, t;
+  auto g = make_layered(layers, width, rng, &s, &t);
+  const flow::SolveOptions opts{.assume_nonnegative_costs = true};
+  flow::SspSolver solver;
+  for (auto _ : state) {
+    g.clear_flow();
+    const auto r = solver.solve(g, s, t, width * 20, opts);
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * g.num_arcs());
+}
+BENCHMARK(BM_SolverReused)->Args({5, 16})->Args({5, 64});
+
+void BM_SolverWarmRepair(benchmark::State& state) {
+  const int layers = int(state.range(0));
+  const int width = int(state.range(1));
+  util::Xoshiro256 rng(7);
+  flow::NodeId s, t;
+  auto g = make_layered(layers, width, rng, &s, &t);
+
+  // Pre-generate capacity edit batches: each tightens ~10% of the arcs,
+  // cycled so the graph never drifts toward zero capacity.
+  const std::size_t arcs = g.num_arcs();
+  std::vector<std::vector<std::pair<flow::ArcId, flow::FlowUnit>>> edits(8);
+  for (auto& batch : edits) {
+    for (std::size_t a = 0; a < arcs; ++a) {
+      if (rng.bernoulli(0.1)) {
+        batch.emplace_back(flow::ArcId(a * 2),
+                           flow::FlowUnit(rng.uniform_int(5, 50)));
+      }
+    }
+  }
+
+  const flow::SolveOptions opts{.assume_nonnegative_costs = true,
+                                .warm_start = true};
+  flow::SspSolver solver;
+  solver.solve(g, s, t, width * 20, opts);  // prime potentials + snapshot
+  std::size_t which = 0;
+  for (auto _ : state) {
+    g.clear_flow();
+    for (const auto& [arc, cap] : edits[which]) g.set_capacity(arc, cap);
+    which = (which + 1) % edits.size();
+    const auto r = solver.solve(g, s, t, width * 20, opts);
+    benchmark::DoNotOptimize(r.cost);
+  }
+  state.SetItemsProcessed(std::int64_t(state.iterations()) * g.num_arcs());
+}
+BENCHMARK(BM_SolverWarmRepair)->Args({5, 16})->Args({5, 64});
+
+void BM_CompositionRepair(benchmark::State& state) {
+  // The composer's actual hot path: one persistent CompositionGraph,
+  // capacities tightened in place each round, warm re-solve, shares out.
+  const int stages = int(state.range(0));
+  const int providers = int(state.range(1));
+  util::Xoshiro256 rng(11);
+  auto caps =
+      std::vector<std::vector<core::CandidateCap>>(std::size_t(stages));
+  for (auto& stage : caps) {
+    for (int p = 0; p < providers; ++p) {
+      stage.push_back(core::CandidateCap{
+          sim::NodeIndex(p), rng.uniform_double(2.0, 30.0),
+          rng.uniform_double(0.0, 0.2), rng.uniform_double(0.0, 1.0)});
+    }
+  }
+  core::CompositionGraph cg(caps, 1000.0, 1000.0, 20.0);
+  const flow::SolveOptions opts{.assume_nonnegative_costs = true,
+                                .warm_start = true};
+  flow::SspSolver solver;
+  solver.solve(cg.graph(), cg.source(), cg.sink(), cg.demand(), opts);
+  for (auto _ : state) {
+    cg.reset_flow();
+    // Tighten one candidate per stage, as a repair round does when a
+    // provider's reported bandwidth drops.
+    for (int s = 0; s < stages; ++s) {
+      const int idx = int(rng.uniform_int(0, providers - 1));
+      cg.set_candidate_cap(s, idx, rng.uniform_double(2.0, 30.0));
+    }
+    const auto r = solver.solve(cg.graph(), cg.source(), cg.sink(),
+                                cg.demand(), opts);
+    benchmark::DoNotOptimize(r.flow);
+    auto shares = cg.extract_shares();
+    benchmark::DoNotOptimize(shares.size());
+  }
+}
+BENCHMARK(BM_CompositionRepair)
+    ->Args({2, 16})
+    ->Args({5, 16})
+    ->Args({5, 64});
+
+}  // namespace
+
+BENCHMARK_MAIN();

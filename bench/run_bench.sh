@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark micro-benchmarks and writes one merged
+# BENCH_<date>.json at the repo root.
+#
+#   bench/run_bench.sh [build-dir] [--baseline BENCH_old.json]
+#
+# With --baseline, each benchmark also gets a "speedup_vs_baseline" field
+# (baseline real_time / current real_time) so regressions and wins are
+# visible in the committed artifact.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+baseline=""
+if [[ "${2:-}" == "--baseline" ]]; then
+  baseline="${3:?--baseline needs a path}"
+fi
+
+benches=(micro_flow_solver micro_mincost micro_overlay micro_scheduler)
+out="$repo_root/BENCH_$(date +%Y-%m-%d).json"
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+
+for b in "${benches[@]}"; do
+  bin="$build_dir/bench/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "skipping $b (not built at $bin)" >&2
+    continue
+  fi
+  echo "running $b ..." >&2
+  "$bin" --benchmark_min_time=0.2 \
+         --benchmark_format=json >"$tmp_dir/$b.json"
+done
+
+shopt -s nullglob
+results=("$tmp_dir"/*.json)
+if [[ ${#results[@]} -eq 0 ]]; then
+  echo "error: no benchmarks found under $build_dir/bench — build first" >&2
+  exit 1
+fi
+
+jq -s --arg date "$(date +%Y-%m-%d)" --arg host "$(uname -sr)" '
+  {
+    date: $date,
+    host: $host,
+    benchmarks: (map(.benchmarks[]
+        | {name, real_time, cpu_time, time_unit,
+           items_per_second: (.items_per_second // null)}))
+  }' "$tmp_dir"/*.json >"$out"
+
+if [[ -n "$baseline" ]]; then
+  jq --slurpfile base "$baseline" '
+    ($base[0].benchmarks | map({(.name): .real_time}) | add) as $old
+    | .baseline_date = $base[0].date
+    | .benchmarks |= map(
+        if $old[.name] then
+          . + {baseline_real_time: $old[.name],
+               speedup_vs_baseline:
+                 (($old[.name] / .real_time) * 1000 | round / 1000)}
+        else . end)
+  ' "$out" >"$out.tmp" && mv "$out.tmp" "$out"
+fi
+
+echo "wrote $out" >&2

@@ -4,7 +4,9 @@
 // composition quality, composition latency (discovery + stats + solve +
 // deploy as simulated message exchanges), and Pastry's O(log N) routing.
 #include <cstdio>
+#include <iterator>
 #include <sstream>
+#include <vector>
 
 #include "figures_common.hpp"
 
@@ -16,6 +18,7 @@ int main(int argc, char** argv) {
   flags.finish();
 
   const std::size_t sizes[] = {16, 32, 64, 128};
+  constexpr std::size_t kNumSizes = std::size(sizes);
 
   exp::SeriesTable table;
   table.title = "Scalability — min-cost composition vs deployment size";
@@ -24,24 +27,41 @@ int main(int argc, char** argv) {
   for (std::size_t n : sizes) {
     table.col_labels.push_back(std::to_string(n));
   }
-  std::vector<double> composed_frac, delivered, delay;
 
-  for (std::size_t n : sizes) {
-    auto cfg = sweep;
-    cfg.algorithms = {"mincost"};
-    cfg.rates_kbps = {100};
-    cfg.repetitions = reps;
-    cfg.base.world.nodes = n;
+  // Every (size, repetition) trial is an independent Simulator; flatten
+  // them onto one shared pool instead of a barrier per deployment size,
+  // so small-deployment runs don't leave workers idle while 128-node
+  // trials finish.
+  util::ThreadPool pool(sweep.threads);
+  std::vector<std::vector<exp::RunMetrics>> metrics(
+      kNumSizes, std::vector<exp::RunMetrics>(std::size_t(reps)));
+  pool.parallel_for(kNumSizes * std::size_t(reps), [&](std::size_t i) {
+    const std::size_t size_idx = i / std::size_t(reps);
+    const std::size_t rep = i % std::size_t(reps);
+    const std::size_t n = sizes[size_idx];
+    exp::RunConfig run = sweep.base;
+    run.algorithm = "mincost";
+    run.workload.avg_rate_kbps = 100;
+    run.world.nodes = n;
     // Workload proportional to the deployment: ~1.9 requests per node.
-    cfg.base.workload.num_requests = int(n) * 15 / 8;
-    const auto result = exp::run_sweep(cfg);
-    composed_frac.push_back(result.mean(
-        "mincost", 100, [](const auto& m) { return m.composed_fraction(); }));
-    delivered.push_back(result.mean(
-        "mincost", 100,
-        [](const auto& m) { return m.delivered_fraction(); }));
-    delay.push_back(result.mean(
-        "mincost", 100, [](const auto& m) { return m.mean_delay_ms(); }));
+    run.workload.num_requests = int(n) * 15 / 8;
+    // Same world seeds per repetition as run_sweep uses.
+    run.world.seed = sweep.base_seed + std::uint64_t(rep) * 7919;
+    metrics[size_idx][rep] = exp::run_experiment(run);
+  });
+
+  std::vector<double> composed_frac, delivered, delay;
+  for (std::size_t s = 0; s < kNumSizes; ++s) {
+    double cf = 0, df = 0, dl = 0;
+    for (const auto& m : metrics[s]) {
+      cf += m.composed_fraction();
+      df += m.delivered_fraction();
+      dl += m.mean_delay_ms();
+    }
+    const double r = double(metrics[s].size());
+    composed_frac.push_back(cf / r);
+    delivered.push_back(df / r);
+    delay.push_back(dl / r);
   }
   table.row_labels = {"composed fraction", "delivered fraction",
                       "mean delay (ms)"};

@@ -76,6 +76,13 @@ CompositionGraph::CompositionGraph(
   }
 }
 
+void CompositionGraph::set_candidate_cap(int stage, int index,
+                                         double delivered_ups) {
+  const auto& arcs = stage_arcs_[std::size_t(stage)];
+  graph_.set_capacity(arcs[std::size_t(index)].through_arc,
+                      to_flow_units(delivered_ups));
+}
+
 double CompositionGraph::candidate_flow_ups(int stage, int index) const {
   const auto& arcs = stage_arcs_[std::size_t(stage)];
   return double(graph_.flow(arcs[std::size_t(index)].through_arc)) / kScale;

@@ -58,6 +58,18 @@ class CompositionGraph {
   flow::NodeId sink() const { return sink_; }
   flow::FlowUnit demand() const { return demand_; }
 
+  /// Removes any flow left by a previous solve so the graph can be
+  /// re-solved. Cheap (one pass over the arcs); the graph topology — and
+  /// therefore a solver's adjacency snapshot — is untouched.
+  void reset_flow() { graph_.clear_flow(); }
+
+  /// Rewrites the capacity of the splitting arc of candidate (stage,
+  /// index) to `delivered_ups`. Used by the composer's repair loop to
+  /// tighten one persistent graph in place instead of rebuilding it.
+  /// Call reset_flow() before a batch of edits: any flow on the arc is
+  /// discarded.
+  void set_candidate_cap(int stage, int index, double delivered_ups);
+
   /// After solving: per-stage (node, delivered ups) shares. Shares smaller
   /// than `min_share_fraction` of the demand are folded into the stage's
   /// largest share — micro-slivers would cost a component deployment for

@@ -61,14 +61,23 @@ void Coordinator::lookup_with_retry(const std::shared_ptr<Pending>& pending,
           return;
         }
         if (!found || providers.empty()) {
-          pending->lookup_failed = true;
+          pending->failed_services.push_back(service);
         } else {
           pending->provider_addrs[service] = std::move(providers);
         }
         if (--pending->lookups_outstanding == 0) {
-          if (pending->lookup_failed) {
+          if (!pending->failed_services.empty()) {
+            // Name every service that failed discovery, not just the one
+            // whose callback happened to finish last.
+            auto& failed = pending->failed_services;
+            std::sort(failed.begin(), failed.end());
+            std::string names;
+            for (const auto& s : failed) {
+              if (!names.empty()) names += ", ";
+              names += s;
+            }
             pending->compose_result.error =
-                "service discovery failed for " + service;
+                "service discovery failed for " + names;
             finish(pending, false);
           } else {
             start_stats_phase(pending);

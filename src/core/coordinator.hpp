@@ -69,7 +69,7 @@ class Coordinator {
     std::vector<std::string> services;
     std::size_t lookups_outstanding = 0;
     std::map<std::string, std::vector<sim::NodeIndex>> provider_addrs;
-    bool lookup_failed = false;
+    std::vector<std::string> failed_services;
 
     ComposeResult compose_result;
     std::set<std::uint64_t> awaiting_acks;

@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <optional>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "core/composition_graph.hpp"
 #include "core/plan_math.hpp"
-#include "flow/ssp.hpp"
 #include "util/logging.hpp"
 
 namespace rasc::core {
@@ -20,23 +21,56 @@ struct NodeUsage {
   double in_kbps = 0;
   double out_kbps = 0;
   double cpu_fraction = 0;
+  bool touched = false;
 };
 
-std::map<sim::NodeIndex, NodeUsage> usage_of(
-    const std::vector<std::vector<runtime::Placement>>& shares,
-    const SubstreamMath& math) {
-  std::map<sim::NodeIndex, NodeUsage> usage;
-  for (std::size_t st = 0; st < shares.size(); ++st) {
-    for (const auto& p : shares[st]) {
-      auto& u = usage[p.node];
-      u.in_kbps += math.wire_in_kbps(int(st), p.rate_units_per_sec);
-      u.out_kbps += math.wire_out_kbps(int(st), p.rate_units_per_sec);
-      u.cpu_fraction += math.in_ups(int(st), p.rate_units_per_sec) *
-                        math.cpu_secs_per_in_unit(int(st));
+/// Flat-vector usage accumulator keyed by node index. Node indices are
+/// dense world slots, so a vector + touched list beats a std::map in the
+/// repair loop, which rebuilds usage on every iteration.
+class NodeUsageTable {
+ public:
+  void reset() {
+    for (const auto node : touched_) usage_[std::size_t(node)] = {};
+    touched_.clear();
+  }
+
+  NodeUsage& at(sim::NodeIndex node) {
+    const auto i = std::size_t(node);
+    if (i >= usage_.size()) usage_.resize(i + 1);
+    NodeUsage& u = usage_[i];
+    if (!u.touched) {
+      u.touched = true;
+      touched_.push_back(node);
+    }
+    return u;
+  }
+
+  const NodeUsage& get(sim::NodeIndex node) const {
+    return usage_[std::size_t(node)];
+  }
+
+  /// Nodes with nonzero usage, in first-touch order (deterministic).
+  const std::vector<sim::NodeIndex>& touched() const { return touched_; }
+
+  void accumulate(
+      const std::vector<std::vector<runtime::Placement>>& shares,
+      const SubstreamMath& math) {
+    reset();
+    for (std::size_t st = 0; st < shares.size(); ++st) {
+      for (const auto& p : shares[st]) {
+        NodeUsage& u = at(p.node);
+        u.in_kbps += math.wire_in_kbps(int(st), p.rate_units_per_sec);
+        u.out_kbps += math.wire_out_kbps(int(st), p.rate_units_per_sec);
+        u.cpu_fraction += math.in_ups(int(st), p.rate_units_per_sec) *
+                          math.cpu_secs_per_in_unit(int(st));
+      }
     }
   }
-  return usage;
-}
+
+ private:
+  std::vector<NodeUsage> usage_;
+  std::vector<sim::NodeIndex> touched_;
+};
 
 }  // namespace
 
@@ -55,6 +89,7 @@ ComposeResult MinCostComposer::compose(const ComposeInput& input) {
   const auto& req = input.request;
   std::vector<std::vector<std::vector<runtime::Placement>>> all_shares;
   all_shares.reserve(req.substreams.size());
+  NodeUsageTable usage;
 
   for (std::size_t ss = 0; ss < req.substreams.size(); ++ss) {
     const auto& sub = req.substreams[ss];
@@ -135,19 +170,31 @@ ComposeResult MinCostComposer::compose(const ComposeInput& input) {
       accepted = true;
     }
 
+    // One persistent flow network per substream. Repair iterations tighten
+    // splitting-arc capacities in place and re-solve with warm-started
+    // potentials; the graph is never rebuilt.
+    std::optional<CompositionGraph> cg;
+    if (!accepted) cg.emplace(stages, src_cap, dest_cap, demand);
+    // Candidates whose tighten factor changed since the last solve.
+    std::vector<std::pair<int, int>> dirty;
+
     for (int iter = 0;
          !accepted && iter < options_.max_repair_iterations; ++iter) {
-      // Apply tightening factors.
-      auto caps = stages;
-      for (int st = 0; st < k; ++st) {
-        for (std::size_t j = 0; j < caps[std::size_t(st)].size(); ++j) {
-          caps[std::size_t(st)][j].max_delivered_ups *=
-              tighten[std::size_t(st)][j];
+      if (iter > 0) {
+        cg->reset_flow();
+        for (const auto& [st, j] : dirty) {
+          cg->set_candidate_cap(
+              st, j,
+              stages[std::size_t(st)][std::size_t(j)].max_delivered_ups *
+                  tighten[std::size_t(st)][std::size_t(j)]);
         }
+        dirty.clear();
       }
-      CompositionGraph cg(caps, src_cap, dest_cap, demand);
-      const auto solved = flow::min_cost_flow_ssp(
-          cg.graph(), cg.source(), cg.sink(), cg.demand());
+      flow::SolveOptions solve_options;
+      solve_options.assume_nonnegative_costs = true;  // costs = drop ratios
+      solve_options.warm_start = true;
+      const auto solved = ssp_.solve(cg->graph(), cg->source(), cg->sink(),
+                                     cg->demand(), solve_options);
       if (!solved.feasible) {
         std::ostringstream os;
         os << "insufficient capacity for substream " << ss << ": routed "
@@ -159,13 +206,14 @@ ComposeResult MinCostComposer::compose(const ComposeInput& input) {
       // Repair runs on the raw (unfolded) flow decomposition: folding
       // slivers first would shuffle rate between candidates and keep the
       // loop from converging. Folding is applied once a solution passes.
-      const auto raw_shares = cg.extract_shares(0.0);
+      const auto raw_shares = cg->extract_shares(0.0);
 
       // Repair: does any physical node exceed its residual budget because
       // it hosts instances at several stages of this substream?
-      const auto usage = usage_of(raw_shares, math);
+      usage.accumulate(raw_shares, math);
       bool violated = false;
-      for (const auto& [node, u] : usage) {
+      for (const auto node : usage.touched()) {
+        const NodeUsage& u = usage.get(node);
         const double ai =
             tracker.avail_in_kbps(node) * options_.utilization_target;
         const double ao =
@@ -195,14 +243,18 @@ ComposeResult MinCostComposer::compose(const ComposeInput& input) {
                   stages[std::size_t(st)][j].max_delivered_ups;
               if (original <= 0) continue;
               const double target = share_delivered * factor;
-              tighten[std::size_t(st)][j] = std::min(
-                  tighten[std::size_t(st)][j], target / original);
+              const double tightened =
+                  std::min(tighten[std::size_t(st)][j], target / original);
+              if (tightened < tighten[std::size_t(st)][j]) {
+                tighten[std::size_t(st)][j] = tightened;
+                dirty.emplace_back(st, int(j));
+              }
             }
           }
         }
       }
       if (!violated) {
-        shares = cg.extract_shares(options_.min_share_fraction);
+        shares = cg->extract_shares(options_.min_share_fraction);
         result.objective += solved.cost;
         accepted = true;
         break;
@@ -217,7 +269,9 @@ ComposeResult MinCostComposer::compose(const ComposeInput& input) {
     }
 
     // Algorithm 1: "Update the node capacities" before the next substream.
-    for (const auto& [node, u] : usage_of(shares, math)) {
+    usage.accumulate(shares, math);
+    for (const auto node : usage.touched()) {
+      const NodeUsage& u = usage.get(node);
       tracker.consume(node, u.in_kbps, u.out_kbps, u.cpu_fraction);
     }
     tracker.consume(req.source, 0, math.wire_in_kbps(0, demand));

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/composer.hpp"
+#include "flow/ssp.hpp"
 
 namespace rasc::core {
 
@@ -39,6 +40,9 @@ class MinCostComposer final : public Composer {
 
  private:
   Options options_;
+  /// Reusable solver: keeps Dijkstra workspaces and the adjacency snapshot
+  /// across repair iterations, substreams, and requests.
+  flow::SspSolver ssp_;
 };
 
 }  // namespace rasc::core

@@ -1,7 +1,7 @@
 #include "exp/sweep.hpp"
 
-#include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "util/thread_pool.hpp"
 
@@ -17,7 +17,7 @@ double SweepResult::mean(
   return total / double(it->second.size());
 }
 
-SweepResult run_sweep(const SweepConfig& config) {
+SweepResult run_sweep(const SweepConfig& config, util::ThreadPool& pool) {
   struct Cell {
     std::string algorithm;
     double rate;
@@ -41,8 +41,6 @@ SweepResult run_sweep(const SweepConfig& config) {
     }
   }
 
-  util::ThreadPool pool(config.threads);
-  std::mutex result_mutex;
   pool.parallel_for(cells.size(), [&](std::size_t i) {
     const Cell& cell = cells[i];
     RunConfig run = config.base;
@@ -50,12 +48,18 @@ SweepResult run_sweep(const SweepConfig& config) {
     run.workload.avg_rate_kbps = cell.rate;
     // Same world per repetition across algorithms and rates.
     run.world.seed = config.base_seed + std::uint64_t(cell.rep) * 7919;
-    const RunMetrics metrics = run_experiment(run);
-    std::scoped_lock lock(result_mutex);
-    result.cells[{cell.algorithm, cell.rate}][std::size_t(cell.rep)] =
-        metrics;
+    RunMetrics metrics = run_experiment(run);
+    // The map was fully populated above, so this lookup never mutates the
+    // tree and each worker writes a disjoint (cell, rep) slot — lock-free.
+    const auto it = result.cells.find({cell.algorithm, cell.rate});
+    it->second[std::size_t(cell.rep)] = std::move(metrics);
   });
   return result;
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  util::ThreadPool pool(config.threads);
+  return run_sweep(config, pool);
 }
 
 SeriesTable make_table(

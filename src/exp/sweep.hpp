@@ -13,6 +13,10 @@
 #include "exp/runner.hpp"
 #include "exp/table.hpp"
 
+namespace rasc::util {
+class ThreadPool;
+}
+
 namespace rasc::exp {
 
 struct SweepConfig {
@@ -34,7 +38,12 @@ struct SweepResult {
               const std::function<double(const RunMetrics&)>& extract) const;
 };
 
+/// Runs every (algorithm × rate × repetition) cell on its own Simulator
+/// instance. The first form spins up a pool sized per config.threads; the
+/// second reuses a caller-owned pool so several sweeps (e.g. the figure
+/// drivers' deployment sizes) share workers without re-spawning threads.
 SweepResult run_sweep(const SweepConfig& config);
+SweepResult run_sweep(const SweepConfig& config, util::ThreadPool& pool);
 
 /// Convenience: build a SeriesTable (rows = algorithms, cols = rates) for
 /// one extracted metric.

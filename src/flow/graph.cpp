@@ -1,17 +1,25 @@
 #include "flow/graph.hpp"
 
+#include <atomic>
 #include <cassert>
 
 namespace rasc::flow {
 
+std::uint64_t Graph::next_structure_key() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 NodeId Graph::add_node() {
   adjacency_.emplace_back();
+  structure_key_ = next_structure_key();
   return NodeId(adjacency_.size() - 1);
 }
 
 NodeId Graph::add_nodes(std::int32_t n) {
   const NodeId first = NodeId(adjacency_.size());
   adjacency_.resize(adjacency_.size() + std::size_t(n));
+  structure_key_ = next_structure_key();
   return first;
 }
 
@@ -25,7 +33,16 @@ ArcId Graph::add_arc(NodeId tail, NodeId head, FlowUnit cap, Cost cost) {
   adjacency_[std::size_t(tail)].push_back(id);
   adjacency_[std::size_t(head)].push_back(id + 1);
   original_cap_.push_back(cap);
+  structure_key_ = next_structure_key();
   return id;
+}
+
+void Graph::set_capacity(ArcId a, FlowUnit cap) {
+  assert(a >= 0 && std::size_t(a) < arcs_.size() && (a % 2) == 0);
+  assert(cap >= 0);
+  arcs_[std::size_t(a)].cap = cap;
+  arcs_[std::size_t(a ^ 1)].cap = 0;
+  original_cap_[std::size_t(a) / 2] = cap;
 }
 
 void Graph::push(ArcId a, FlowUnit amount) {

@@ -49,6 +49,18 @@ class Graph {
   /// Removes all flow (restores residual capacities to original).
   void clear_flow();
 
+  /// Rewrites the capacity of forward arc `a` (and zeroes its residual
+  /// twin). Any flow currently on the arc is discarded, so callers
+  /// normally clear_flow() around a batch of capacity edits. Does not
+  /// change the graph's structure_key(): topology is unchanged.
+  void set_capacity(ArcId a, FlowUnit cap);
+
+  /// Identifies this graph's *topology* (node/arc structure, costs).
+  /// Changes whenever a node or arc is added; copies share the key with
+  /// their original (their topology is identical). Solvers use it to keep
+  /// adjacency caches valid across capacity edits and flow resets.
+  std::uint64_t structure_key() const { return structure_key_; }
+
   /// Total cost of the current flow assignment (sum over forward arcs).
   Cost total_cost() const;
 
@@ -67,9 +79,12 @@ class Graph {
   void push(ArcId a, FlowUnit amount);
 
  private:
+  static std::uint64_t next_structure_key();
+
   std::vector<RawArc> arcs_;
   std::vector<std::vector<ArcId>> adjacency_;
   std::vector<FlowUnit> original_cap_;  // per forward arc, for clear_flow()
+  std::uint64_t structure_key_ = next_structure_key();
 };
 
 }  // namespace rasc::flow

@@ -1,8 +1,23 @@
 #include "runtime/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 namespace rasc::runtime {
+
+namespace {
+
+constexpr std::uint64_t kFreeSlot = std::numeric_limits<std::uint64_t>::max();
+
+/// Min-heap order on (key, seq): among equal keys the earliest-enqueued
+/// unit wins, matching a stable linear scan.
+bool entry_after(sim::SimTime a_key, std::uint64_t a_seq, sim::SimTime b_key,
+                 std::uint64_t b_seq) {
+  return a_key > b_key || (a_key == b_key && a_seq > b_seq);
+}
+
+}  // namespace
 
 const char* to_string(SchedulingPolicy policy) {
   switch (policy) {
@@ -16,47 +31,137 @@ const char* to_string(SchedulingPolicy policy) {
   return "?";
 }
 
+void Scheduler::heap_push(std::vector<Entry>& heap, Entry entry) {
+  heap.push_back(entry);
+  std::size_t i = heap.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!entry_after(heap[parent].key, heap[parent].seq, heap[i].key,
+                     heap[i].seq)) {
+      break;
+    }
+    std::swap(heap[parent], heap[i]);
+    i = parent;
+  }
+}
+
+void Scheduler::sift_down(std::vector<Entry>& heap, std::size_t i) {
+  // Hole-sift: pull the displaced element out, slide smaller children up
+  // into the hole, and write the element once at its final position.
+  const std::size_t n = heap.size();
+  const Entry x = heap[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    const std::size_t r = child + 1;
+    if (r < n && entry_after(heap[child].key, heap[child].seq, heap[r].key,
+                             heap[r].seq)) {
+      child = r;
+    }
+    if (!entry_after(x.key, x.seq, heap[child].key, heap[child].seq)) break;
+    heap[i] = heap[child];
+    i = child;
+  }
+  heap[i] = x;
+}
+
+void Scheduler::heap_pop(std::vector<Entry>& heap) {
+  heap.front() = heap.back();
+  heap.pop_back();
+  if (!heap.empty()) sift_down(heap, 0);
+}
+
+void Scheduler::compact(std::vector<Entry>& heap) {
+  std::erase_if(heap, [this](const Entry& e) { return stale(e); });
+  for (std::size_t i = heap.size() / 2; i-- > 0;) sift_down(heap, i);
+}
+
+ScheduledUnit Scheduler::release(std::uint32_t slot) {
+  ScheduledUnit out = std::move(slots_[slot]);
+  slot_seq_[slot] = kFreeSlot;
+  free_slots_.push_back(slot);
+  --live_;
+  return out;
+}
+
 bool Scheduler::enqueue(ScheduledUnit unit) {
-  if (queue_.size() >= max_queue_) return false;
-  queue_.push_back(std::move(unit));
+  if (live_ >= max_queue_) return false;
+
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = std::uint32_t(slots_.size());
+    slots_.emplace_back();
+    slot_seq_.push_back(kFreeSlot);
+    // Keep release() allocation-free on the dispatch path.
+    free_slots_.reserve(slots_.capacity());
+  }
+  const std::uint64_t seq = next_seq_++;
+  slot_seq_[slot] = seq;
+  ++live_;
+
+  const sim::SimTime laxity_key = unit.deadline - unit.exec_time;
+  sim::SimTime key = 0;
+  switch (policy_) {
+    case SchedulingPolicy::kLeastLaxity:
+      key = laxity_key;
+      break;
+    case SchedulingPolicy::kEdf:
+      key = unit.deadline;
+      heap_push(laxity_heap_, Entry{laxity_key, seq, slot});
+      break;
+    case SchedulingPolicy::kFifo:
+      key = unit.arrival;
+      break;
+  }
+  slots_[slot] = std::move(unit);
+  heap_push(heap_, Entry{key, seq, slot});
   return true;
 }
 
 std::optional<ScheduledUnit> Scheduler::dispatch(
     sim::SimTime now, std::vector<ScheduledUnit>& expired) {
-  if (policy_ != SchedulingPolicy::kFifo) {
-    // Drop units that will certainly miss (negative laxity, §3.4).
-    auto dead = std::partition(
-        queue_.begin(), queue_.end(),
-        [now](const ScheduledUnit& u) { return u.laxity(now) >= 0; });
-    for (auto it = dead; it != queue_.end(); ++it) {
-      expired.push_back(std::move(*it));
-    }
-    queue_.erase(dead, queue_.end());
+  if (live_ == 0) {
+    // Nothing runnable; discard any stale EDF leftovers wholesale.
+    heap_.clear();
+    laxity_heap_.clear();
+    return std::nullopt;
   }
-  if (queue_.empty()) return std::nullopt;
 
-  std::size_t best = 0;
-  switch (policy_) {
-    case SchedulingPolicy::kLeastLaxity:
-      for (std::size_t i = 1; i < queue_.size(); ++i) {
-        if (queue_[i].laxity(now) < queue_[best].laxity(now)) best = i;
-      }
-      break;
-    case SchedulingPolicy::kEdf:
-      for (std::size_t i = 1; i < queue_.size(); ++i) {
-        if (queue_[i].deadline < queue_[best].deadline) best = i;
-      }
-      break;
-    case SchedulingPolicy::kFifo:
-      for (std::size_t i = 1; i < queue_.size(); ++i) {
-        if (queue_[i].arrival < queue_[best].arrival) best = i;
-      }
-      break;
+  const bool dual_heap = policy_ == SchedulingPolicy::kEdf;
+  if (policy_ != SchedulingPolicy::kFifo) {
+    // Drop units that will certainly miss (negative laxity, §3.4). They
+    // are exactly the entries with laxity key < now — a prefix of the
+    // laxity heap. Only EDF can hold stale entries (units removed through
+    // the other heap).
+    auto& lax = dual_heap ? laxity_heap_ : heap_;
+    while (!lax.empty()) {
+      const Entry top = lax.front();
+      // Check the key before staleness: stale entries at or above `now`
+      // can stay put (cleaned up when the queue drains or by compaction),
+      // which keeps this loop a single peek in the common case.
+      if (top.key >= now) break;
+      heap_pop(lax);
+      if (dual_heap && stale(top)) continue;
+      expired.push_back(release(top.slot));
+    }
   }
-  ScheduledUnit out = std::move(queue_[best]);
-  queue_.erase(queue_.begin() + std::ptrdiff_t(best));
-  return out;
+
+  while (!heap_.empty()) {
+    const Entry top = heap_.front();
+    heap_pop(heap_);
+    if (dual_heap && stale(top)) continue;
+    // Under EDF, removals through one heap strand stale entries in the
+    // other; reclaim them once they clearly dominate the heap.
+    if (dual_heap) {
+      if (heap_.size() > 2 * live_ + 64) compact(heap_);
+      if (laxity_heap_.size() > 2 * live_ + 64) compact(laxity_heap_);
+    }
+    return release(top.slot);
+  }
+  return std::nullopt;
 }
 
 }  // namespace rasc::runtime

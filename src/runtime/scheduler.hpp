@@ -7,6 +7,16 @@
 // miss anyway and only add load), and among the rest the unit with the
 // smallest laxity runs first. FIFO and EDF are provided for the ablation
 // study.
+//
+// Dispatch is heap-backed. The LLF ordering at any instant is fixed by
+// the time-invariant key (deadline - exec_time): laxity differences never
+// change as `now` advances, and the expired units (laxity < 0, i.e.
+// key < now) are exactly a prefix of that order — so a single min-heap
+// both drains expirations and yields the least-laxity unit. EDF dispatches
+// by deadline but still expires by laxity, so it keeps a second laxity
+// heap; a unit removed through one heap leaves a stale entry in the other,
+// detected by a per-slot sequence tag and skipped lazily. FIFO heaps on
+// (arrival, insertion order) and never expires anything.
 #pragma once
 
 #include <cstdint>
@@ -56,15 +66,48 @@ class Scheduler {
   std::optional<ScheduledUnit> dispatch(sim::SimTime now,
                                         std::vector<ScheduledUnit>& expired);
 
-  std::size_t size() const { return queue_.size(); }
-  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return live_; }
+  bool empty() const { return live_ == 0; }
   SchedulingPolicy policy() const { return policy_; }
   std::size_t max_queue() const { return max_queue_; }
 
  private:
+  /// Heap entry: `key` is the policy ordering key, `seq` the insertion
+  /// sequence (tie-break + staleness tag), `slot` the unit's storage index.
+  struct Entry {
+    sim::SimTime key;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  /// True when the unit this entry referred to has already been removed
+  /// through the other heap (EDF only).
+  bool stale(const Entry& e) const { return slot_seq_[e.slot] != e.seq; }
+
+  /// Takes the unit out of its slot and recycles the slot.
+  ScheduledUnit release(std::uint32_t slot);
+
+  static void heap_push(std::vector<Entry>& heap, Entry entry);
+  static void heap_pop(std::vector<Entry>& heap);
+  static void sift_down(std::vector<Entry>& heap, std::size_t i);
+  /// Removes stale entries and re-heapifies (EDF housekeeping).
+  void compact(std::vector<Entry>& heap);
+
   SchedulingPolicy policy_;
   std::size_t max_queue_;
-  std::vector<ScheduledUnit> queue_;  // small (<= max_queue), linear scans
+
+  // Slot storage: units stay put while heap entries move. Freed slots are
+  // recycled; slot_seq_ holds the seq of the current occupant (or a
+  // sentinel when free) so stale heap entries are recognizable.
+  std::vector<ScheduledUnit> slots_;
+  std::vector<std::uint64_t> slot_seq_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+
+  std::vector<Entry> heap_;         // LLF: deadline-exec; EDF: deadline;
+                                    // FIFO: arrival
+  std::vector<Entry> laxity_heap_;  // EDF only: deadline-exec for expiry
 };
 
 }  // namespace rasc::runtime

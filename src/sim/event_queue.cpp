@@ -1,46 +1,122 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace rasc::sim {
 
+namespace {
+
+/// Ids are offset by 1 so that 0 stays free for callers' "no event"
+/// sentinel (several subsystems initialize EventId members to 0).
+EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+  return ((EventId(gen) << 32) | slot) + 1;
+}
+
+}  // namespace
+
+bool EventQueue::entry_before(const Entry& a, const Entry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;  // FIFO within a timestamp
+}
+
+// The pending set is a 4-ary min-heap: half the depth of a binary heap and
+// four children per cache line's worth of entries, which is what matters
+// when thousands of events are pending.
+
+void EventQueue::heap_push(Entry entry) const {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!entry_before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::heap_pop() const {
+  const Entry x = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t stop = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < stop; ++c) {
+      if (entry_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_before(heap_[best], x)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = x;
+}
+
 EventId EventQueue::schedule(SimTime t, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{t, id});
-  handlers_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = std::uint32_t(slots_.size());
+    slots_.emplace_back();
+    free_slots_.reserve(slots_.capacity());
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+
+  heap_push(Entry{t, next_seq_++, slot, s.gen});
   ++live_count_;
-  return id;
+  return make_id(s.gen, slot);
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = handlers_.find(id);
-  if (it == handlers_.end()) return false;
-  handlers_.erase(it);
+  if (id == 0) return false;
+  const EventId raw = id - 1;
+  const auto slot = std::uint32_t(raw & 0xffffffffu);
+  const auto gen = std::uint32_t(raw >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || s.gen != gen) return false;
+  s.fn = nullptr;  // release captured state eagerly
+  s.live = false;
+  ++s.gen;
+  free_slots_.push_back(slot);
   --live_count_;
   return true;
+  // The heap entry stays; drop_cancelled_head skips it by gen mismatch.
 }
 
 void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty() && !handlers_.count(heap_.top().id)) {
-    heap_.pop();
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    heap_pop();
   }
 }
 
 SimTime EventQueue::next_time() const {
   drop_cancelled_head();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled_head();
   assert(!heap_.empty());
-  const Entry e = heap_.top();
-  heap_.pop();
-  auto it = handlers_.find(e.id);
-  Fired fired{e.time, e.id, std::move(it->second)};
-  handlers_.erase(it);
+  const Entry e = heap_.front();
+  heap_pop();
+
+  Slot& s = slots_[e.slot];
+  Fired fired{e.time, make_id(e.gen, e.slot), std::move(s.fn)};
+  s.fn = nullptr;
+  s.live = false;
+  ++s.gen;
+  free_slots_.push_back(e.slot);
   --live_count_;
   return fired;
 }

@@ -4,12 +4,16 @@
 // a monotone sequence number); without this, heap order would depend on
 // allocation details and runs would not be reproducible. Cancellation is
 // lazy: cancelled entries stay in the heap and are skipped on pop.
+//
+// Handlers live in a flat slot array owned by the queue — no per-event
+// node allocation or hash lookup. An EventId packs (generation << 32 |
+// slot); the generation bumps every time a slot is vacated, so a stale id
+// (already fired or cancelled) can never cancel the slot's next tenant,
+// and stale heap entries are recognized by a generation mismatch.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -45,20 +49,30 @@ class EventQueue {
  private:
   struct Entry {
     SimTime time;
-    EventId id;
+    std::uint64_t seq;   // FIFO tiebreak within a timestamp
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO within a timestamp
-    }
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen = 0;
+    bool live = false;
   };
 
+  bool entry_live(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.gen == e.gen;
+  }
+
+  static bool entry_before(const Entry& a, const Entry& b);
+  void heap_push(Entry entry) const;
+  void heap_pop() const;
   void drop_cancelled_head() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
-  EventId next_id_ = 1;
+  mutable std::vector<Entry> heap_;  // 4-ary min-heap on (time, seq)
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;
 };
 

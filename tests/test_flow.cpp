@@ -237,5 +237,75 @@ TEST_P(SolverAgreement, SspAndCycleCancelReachSameObjective) {
 INSTANTIATE_TEST_SUITE_P(RandomGraphs, SolverAgreement,
                          ::testing::Range<std::uint64_t>(1, 41));
 
+// One SspSolver instance reused across instances with different
+// topologies: the workspace carry-over (CSR snapshot, potentials, caps)
+// must never leak state from one solve into the next.
+TEST(SspSolver, ReusedInstanceMatchesCycleCancel) {
+  SspSolver solver;
+  for (std::uint64_t seed = 100; seed < 140; ++seed) {
+    auto a = make_random_instance(seed);
+    auto b = make_random_instance(seed);  // identical copy
+
+    const auto ra = solver.solve(a.graph, a.source, a.sink, a.demand);
+    const auto rb =
+        min_cost_flow_cycle_cancel(b.graph, b.source, b.sink, b.demand);
+
+    EXPECT_EQ(ra.flow, rb.flow) << "seed " << seed;
+    EXPECT_EQ(ra.cost, rb.cost) << "seed " << seed;
+    EXPECT_EQ(validate_flow(a.graph, a.source, a.sink, ra.flow),
+              std::nullopt)
+        << "seed " << seed;
+  }
+}
+
+// The composer's repair pattern: solve, tighten a few capacities in
+// place, clear the flow, and re-solve warm on the same graph. The warm
+// re-solve must still match a cold reference solve of the tightened
+// instance.
+TEST(SspSolver, WarmStartResolveAfterCapacityTightening) {
+  SspSolver solver;
+  SolveOptions options;
+  options.assume_nonnegative_costs = true;  // instances use costs >= 0
+  options.warm_start = true;
+  for (std::uint64_t seed = 200; seed < 230; ++seed) {
+    auto inst = make_random_instance(seed);
+    Graph& g = inst.graph;
+    const auto first =
+        solver.solve(g, inst.source, inst.sink, inst.demand, options);
+    EXPECT_EQ(validate_flow(g, inst.source, inst.sink, first.flow),
+              std::nullopt)
+        << "seed " << seed;
+
+    // Tighten ~1/3 of the arcs to half capacity, as a repair pass would.
+    util::Xoshiro256 rng(seed ^ 0xfeedu);
+    std::vector<FlowUnit> new_caps(std::size_t(g.num_arcs()));
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      new_caps[std::size_t(a)] = g.capacity(ArcId(a * 2));
+      if (rng.bernoulli(0.33)) new_caps[std::size_t(a)] /= 2;
+    }
+    g.clear_flow();
+    for (ArcId a = 0; a < g.num_arcs(); ++a) {
+      g.set_capacity(ArcId(a * 2), new_caps[std::size_t(a)]);
+    }
+    const auto warm =
+        solver.solve(g, inst.source, inst.sink, inst.demand, options);
+
+    // Cold reference on an identically tightened copy.
+    auto ref = make_random_instance(seed);
+    for (ArcId a = 0; a < ref.graph.num_arcs(); ++a) {
+      ref.graph.set_capacity(ArcId(a * 2), new_caps[std::size_t(a)]);
+    }
+    const auto cold = min_cost_flow_cycle_cancel(ref.graph, ref.source,
+                                                 ref.sink, ref.demand);
+
+    EXPECT_EQ(warm.flow, cold.flow) << "seed " << seed;
+    EXPECT_EQ(warm.cost, cold.cost) << "seed " << seed;
+    EXPECT_EQ(validate_flow(g, inst.source, inst.sink, warm.flow),
+              std::nullopt)
+        << "seed " << seed;
+    EXPECT_FALSE(has_negative_residual_cycle(g)) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace rasc::flow

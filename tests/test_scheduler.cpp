@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <optional>
+#include <set>
+#include <vector>
 
 #include "runtime/service.hpp"
+#include "util/rng.hpp"
 
 namespace rasc::runtime {
 namespace {
@@ -135,6 +140,144 @@ TEST_F(SchedulerTest, ZeroLaxityStillRunnable) {
   EXPECT_TRUE(s.dispatch(0, expired).has_value());
   EXPECT_TRUE(expired.empty());
 }
+
+// --- Equivalence sweep: heap dispatch vs the pre-heap linear scan ---
+
+/// The original O(n) implementation, kept verbatim as the test oracle.
+class LinearScanScheduler {
+ public:
+  LinearScanScheduler(SchedulingPolicy policy, std::size_t max_queue)
+      : policy_(policy), max_queue_(max_queue) {}
+
+  bool enqueue(ScheduledUnit unit) {
+    if (queue_.size() >= max_queue_) return false;
+    queue_.push_back(std::move(unit));
+    return true;
+  }
+
+  std::optional<ScheduledUnit> dispatch(sim::SimTime now,
+                                        std::vector<ScheduledUnit>& expired) {
+    if (policy_ != SchedulingPolicy::kFifo) {
+      auto dead = std::partition(
+          queue_.begin(), queue_.end(),
+          [now](const ScheduledUnit& u) { return u.laxity(now) >= 0; });
+      for (auto it = dead; it != queue_.end(); ++it) {
+        expired.push_back(std::move(*it));
+      }
+      queue_.erase(dead, queue_.end());
+    }
+    if (queue_.empty()) return std::nullopt;
+
+    std::size_t best = 0;
+    switch (policy_) {
+      case SchedulingPolicy::kLeastLaxity:
+        for (std::size_t i = 1; i < queue_.size(); ++i) {
+          if (queue_[i].laxity(now) < queue_[best].laxity(now)) best = i;
+        }
+        break;
+      case SchedulingPolicy::kEdf:
+        for (std::size_t i = 1; i < queue_.size(); ++i) {
+          if (queue_[i].deadline < queue_[best].deadline) best = i;
+        }
+        break;
+      case SchedulingPolicy::kFifo:
+        for (std::size_t i = 1; i < queue_.size(); ++i) {
+          if (queue_[i].arrival < queue_[best].arrival) best = i;
+        }
+        break;
+    }
+    ScheduledUnit out = std::move(queue_[best]);
+    queue_.erase(queue_.begin() + std::ptrdiff_t(best));
+    return out;
+  }
+
+  bool empty() const { return queue_.empty(); }
+
+ private:
+  SchedulingPolicy policy_;
+  std::size_t max_queue_;
+  std::vector<ScheduledUnit> queue_;
+};
+
+class SchedulerEquivalence
+    : public SchedulerTest,
+      public ::testing::WithParamInterface<SchedulingPolicy> {};
+
+TEST_P(SchedulerEquivalence, HeapMatchesLinearScan) {
+  const SchedulingPolicy policy = GetParam();
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Xoshiro256 rng(seed);
+    Scheduler heap_sched(policy, 128);
+    LinearScanScheduler ref_sched(policy, 128);
+
+    // Distinct arrivals, deadlines, and laxity keys so ordering is unique
+    // and the comparison is exact (tie order between implementations is
+    // unspecified).
+    std::set<sim::SimTime> used_arrival, used_deadline, used_laxity_key;
+    sim::SimTime now = 0;
+    for (int step = 0; step < 400; ++step) {
+      if (rng.bernoulli(0.6)) {
+        const sim::SimDuration exec = sim::msec(2) + rng.uniform_int(0, 4);
+        sim::SimTime deadline = now + rng.uniform_int(0, sim::msec(8));
+        while (used_deadline.count(deadline) ||
+               used_laxity_key.count(deadline - exec)) {
+          ++deadline;
+        }
+        used_deadline.insert(deadline);
+        used_laxity_key.insert(deadline - exec);
+        sim::SimTime arrival = rng.uniform_int(0, sim::msec(8));
+        while (used_arrival.count(arrival)) ++arrival;
+        used_arrival.insert(arrival);
+
+        ScheduledUnit u = unit(arrival, deadline, exec);
+        ScheduledUnit copy = u;
+        EXPECT_EQ(heap_sched.enqueue(std::move(u)),
+                  ref_sched.enqueue(std::move(copy)))
+            << "seed " << seed << " step " << step;
+      } else {
+        now += rng.uniform_int(0, sim::msec(4));
+        std::vector<ScheduledUnit> heap_expired, ref_expired;
+        const auto from_heap = heap_sched.dispatch(now, heap_expired);
+        const auto from_ref = ref_sched.dispatch(now, ref_expired);
+        ASSERT_EQ(from_heap.has_value(), from_ref.has_value())
+            << "seed " << seed << " step " << step;
+        if (from_heap.has_value()) {
+          EXPECT_EQ(from_heap->unit->seq, from_ref->unit->seq)
+              << "seed " << seed << " step " << step;
+        }
+        // Expired sets must match (order is unspecified in both).
+        auto key = [](const ScheduledUnit& u) { return u.unit->seq; };
+        std::vector<std::int64_t> h, r;
+        for (const auto& u : heap_expired) h.push_back(key(u));
+        for (const auto& u : ref_expired) r.push_back(key(u));
+        std::sort(h.begin(), h.end());
+        std::sort(r.begin(), r.end());
+        EXPECT_EQ(h, r) << "seed " << seed << " step " << step;
+      }
+      ASSERT_EQ(heap_sched.empty(), ref_sched.empty())
+          << "seed " << seed << " step " << step;
+    }
+
+    // Drain both completely and compare the full dispatch order.
+    std::vector<ScheduledUnit> heap_expired, ref_expired;
+    for (;;) {
+      const auto a = heap_sched.dispatch(now, heap_expired);
+      const auto b = ref_sched.dispatch(now, ref_expired);
+      ASSERT_EQ(a.has_value(), b.has_value()) << "seed " << seed;
+      if (!a.has_value()) break;
+      EXPECT_EQ(a->unit->seq, b->unit->seq) << "seed " << seed;
+    }
+    EXPECT_EQ(heap_expired.size(), ref_expired.size()) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SchedulerEquivalence,
+                         ::testing::Values(SchedulingPolicy::kLeastLaxity,
+                                           SchedulingPolicy::kEdf,
+                                           SchedulingPolicy::kFifo),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
 
 }  // namespace
 }  // namespace rasc::runtime
