@@ -6,6 +6,12 @@
 //   ./build/examples/rasc_cli --algorithm mincost --nodes 32 --rate 150
 //       --requests 60 --reps 3 --bw-min 300 --bw-max 4000
 //       [--policy llf|fifo|edf] [--no-cpu] [--reservations] [--csv out.csv]
+//       [--metrics-csv snap.csv] [--metrics-json snap.json]
+//
+// --metrics-csv / --metrics-json dump the deployment-wide metric registry
+// snapshot (every net.*/runtime.*/sink.*/monitor.*/compose.* cell, stable
+// key order) after each repetition; with --reps > 1 the rep index is
+// appended to the file stem.
 #include <cstdio>
 #include <string>
 
@@ -65,7 +71,18 @@ int main(int argc, char** argv) {
   const int reps = int(flags.get_int("reps", 1));
   const std::uint64_t seed = std::uint64_t(flags.get_int("seed", 42));
   const std::string csv_path = flags.get_string("csv", "");
+  const std::string metrics_csv = flags.get_string("metrics-csv", "");
+  const std::string metrics_json = flags.get_string("metrics-json", "");
   flags.finish();
+
+  // "snap.csv" -> "snap_rep2.csv" when running several repetitions.
+  const auto rep_path = [reps](const std::string& path, int rep) {
+    if (path.empty() || reps <= 1) return path;
+    const auto dot = path.find_last_of('.');
+    const std::string suffix = "_rep" + std::to_string(rep);
+    if (dot == std::string::npos) return path + suffix;
+    return path.substr(0, dot) + suffix + path.substr(dot);
+  };
 
   util::CsvWriter* csv = nullptr;
   util::CsvWriter csv_storage = csv_path.empty()
@@ -81,6 +98,8 @@ int main(int argc, char** argv) {
   util::SummaryStats composed, delivered, timely, delay, jitter;
   for (int rep = 0; rep < reps; ++rep) {
     cfg.world.seed = seed + std::uint64_t(rep) * 7919;
+    cfg.metrics_csv = rep_path(metrics_csv, rep);
+    cfg.metrics_json = rep_path(metrics_json, rep);
     const auto m = exp::run_experiment(cfg);
     std::printf(
         "rep %d: composed %d/%d | emitted %lld | delivered %.3f | timely "

@@ -10,14 +10,25 @@ namespace rasc::core {
 Coordinator::Coordinator(sim::Simulator& simulator, sim::Network& network,
                          overlay::PastryNode& pastry,
                          monitor::StatsAgent& stats,
-                         const runtime::ServiceCatalog& catalog)
+                         const runtime::ServiceCatalog& catalog,
+                         obs::MetricRegistry* registry)
     : simulator_(simulator),
       network_(network),
       pastry_(pastry),
       registry_(pastry),
       stats_(stats),
       catalog_(catalog),
-      node_(pastry.addr()) {}
+      node_(pastry.addr()),
+      owned_metrics_(registry ? nullptr
+                              : std::make_unique<obs::MetricRegistry>()),
+      metrics_(registry ? registry : owned_metrics_.get()) {
+  obs::Labels labels;
+  labels.node = node_;
+  submitted_ = &metrics_->counter("compose.submitted", labels);
+  admitted_ = &metrics_->counter("compose.admitted", labels);
+  rejected_ = &metrics_->counter("compose.rejected", labels);
+  latency_ms_ = &metrics_->histogram("compose.latency_ms", labels);
+}
 
 void Coordinator::submit(const ServiceRequest& request, Composer& composer,
                          sim::SimTime stream_start, sim::SimTime stream_stop,
@@ -30,6 +41,7 @@ void Coordinator::submit(const ServiceRequest& request, Composer& composer,
   pending->stream_stop = stream_stop;
   pending->done = std::move(done);
   pending->services = request.distinct_services();
+  submitted_->add();
 
   if (auto err = request.validate(); !err.empty()) {
     pending->compose_result.error = err;
@@ -259,10 +271,11 @@ bool Coordinator::handle_packet(const sim::Packet& packet) {
 
 void Coordinator::finish(const std::shared_ptr<Pending>& pending,
                          bool deployed) {
-  (void)deployed;
   SubmitOutcome outcome;
   outcome.compose = pending->compose_result;
   outcome.composition_latency = simulator_.now() - pending->submitted_at;
+  (deployed ? admitted_ : rejected_)->add();
+  latency_ms_->observe(double(outcome.composition_latency) / 1000.0);
   if (pending->done) pending->done(outcome);
 }
 

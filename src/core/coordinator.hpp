@@ -17,6 +17,7 @@
 
 #include "core/composer.hpp"
 #include "monitor/stats_protocol.hpp"
+#include "obs/metric_registry.hpp"
 #include "overlay/pastry_node.hpp"
 #include "overlay/registry.hpp"
 #include "runtime/node_runtime.hpp"
@@ -40,9 +41,13 @@ class Coordinator {
   /// DHT lookup attempts per service before the request is rejected.
   static constexpr int kDiscoveryAttempts = 3;
 
+  /// `registry` is the deployment-wide metric registry; the coordinator
+  /// owns a private one when null. Submission outcomes and composition
+  /// latency are published under compose.* with this node's label.
   Coordinator(sim::Simulator& simulator, sim::Network& network,
               overlay::PastryNode& pastry, monitor::StatsAgent& stats,
-              const runtime::ServiceCatalog& catalog);
+              const runtime::ServiceCatalog& catalog,
+              obs::MetricRegistry* registry = nullptr);
 
   /// Composes and deploys `request` using `composer`. The stream runs
   /// [stream_start, stream_stop). `done` fires once deployment completes
@@ -94,6 +99,13 @@ class Coordinator {
   monitor::StatsAgent& stats_;
   const runtime::ServiceCatalog& catalog_;
   sim::NodeIndex node_;
+
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  obs::MetricRegistry* metrics_;
+  obs::Counter* submitted_;
+  obs::Counter* admitted_;
+  obs::Counter* rejected_;
+  obs::Histogram* latency_ms_;
 
   std::uint64_t deploy_counter_ = 0;
   // ack request id -> owning pending request

@@ -10,13 +10,30 @@ namespace rasc::core {
 
 AppSupervisor::AppSupervisor(sim::Simulator& simulator,
                              sim::Network& network, Coordinator& coordinator,
-                             Composer& composer, Params params)
+                             Composer& composer, Params params,
+                             obs::MetricRegistry* registry)
     : simulator_(simulator),
       network_(network),
       coordinator_(coordinator),
       composer_(composer),
       params_(params),
-      node_(coordinator.node()) {}
+      node_(coordinator.node()),
+      owned_metrics_(registry ? nullptr
+                              : std::make_unique<obs::MetricRegistry>()),
+      metrics_(registry ? registry : owned_metrics_.get()) {
+  obs::Labels labels;
+  labels.node = node_;
+  probes_sent_ = &metrics_->counter("supervisor.probes_sent", labels);
+  probe_timeouts_ = &metrics_->counter("supervisor.probe_timeouts", labels);
+  strikes_ = &metrics_->counter("supervisor.strikes", labels);
+  recoveries_started_ =
+      &metrics_->counter("supervisor.recoveries_started", labels);
+  recoveries_succeeded_ =
+      &metrics_->counter("supervisor.recoveries_succeeded", labels);
+  recoveries_failed_ =
+      &metrics_->counter("supervisor.recoveries_failed", labels);
+  gave_up_ = &metrics_->counter("supervisor.gave_up", labels);
+}
 
 AppSupervisor::AppSupervisor(sim::Simulator& simulator,
                              sim::Network& network, Coordinator& coordinator,
@@ -73,6 +90,7 @@ void AppSupervisor::run_check(runtime::AppId app) {
   Watched& w = *it->second;
 
   const std::uint64_t rid = ++probe_counter_;
+  probes_sent_->add();
   w.pending_probe = rid;
   probe_routing_[rid] = app;
   auto probe = std::make_shared<runtime::SinkHealthRequest>();
@@ -90,6 +108,7 @@ void AppSupervisor::run_check(runtime::AppId app) {
         }
         probe_routing_.erase(rid);
         wit->second->pending_probe = 0;
+        probe_timeouts_->add();
         // An unreachable destination is at least as bad as starvation.
         strike(app);
       });
@@ -139,6 +158,7 @@ void AppSupervisor::strike(runtime::AppId app) {
   const auto it = watched_.find(app);
   if (it == watched_.end()) return;
   Watched& w = *it->second;
+  strikes_->add();
   if (++w.strikes < params_.strikes_to_recover) {
     schedule_check(app);
     return;
@@ -170,6 +190,7 @@ void AppSupervisor::recover(runtime::AppId app) {
 
   if (params_.max_recoveries > 0 &&
       w->recoveries >= params_.max_recoveries) {
+    gave_up_->add();
     if (w->events) {
       w->events(Event{Event::Kind::kGaveUp, app, 0});
     }
@@ -179,6 +200,7 @@ void AppSupervisor::recover(runtime::AppId app) {
   RASC_LOG(kInfo) << "supervisor: app " << app
                   << " starving; tearing down and re-composing";
   teardown_everywhere(*w, app);
+  recoveries_started_->add();
   if (w->events) {
     w->events(Event{Event::Kind::kRecovering, app, 0});
   }
@@ -197,11 +219,13 @@ void AppSupervisor::recover(runtime::AppId app) {
         [this, retry, recoveries, stream_stop, events,
          app](const SubmitOutcome& outcome) {
           if (!outcome.compose.admitted) {
+            recoveries_failed_->add();
             if (events) {
               events(Event{Event::Kind::kRecoveryFailed, app, retry.app});
             }
             return;
           }
+          recoveries_succeeded_->add();
           if (events) {
             events(Event{Event::Kind::kRecovered, app, retry.app});
           }

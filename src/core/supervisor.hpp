@@ -43,9 +43,12 @@ class AppSupervisor {
   };
   using EventCallback = std::function<void(const Event&)>;
 
+  /// `registry` is the deployment-wide metric registry (null: a private
+  /// one is owned). Probe, strike and recovery outcomes are published
+  /// under supervisor.* with this node's label.
   AppSupervisor(sim::Simulator& simulator, sim::Network& network,
-                Coordinator& coordinator, Composer& composer,
-                Params params);
+                Coordinator& coordinator, Composer& composer, Params params,
+                obs::MetricRegistry* registry = nullptr);
   AppSupervisor(sim::Simulator& simulator, sim::Network& network,
                 Coordinator& coordinator, Composer& composer);
   ~AppSupervisor();
@@ -97,6 +100,16 @@ class AppSupervisor {
   Composer& composer_;
   Params params_;
   sim::NodeIndex node_;
+
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  obs::MetricRegistry* metrics_;
+  obs::Counter* probes_sent_;
+  obs::Counter* probe_timeouts_;
+  obs::Counter* strikes_;
+  obs::Counter* recoveries_started_;
+  obs::Counter* recoveries_succeeded_;
+  obs::Counter* recoveries_failed_;
+  obs::Counter* gave_up_;
 
   std::map<runtime::AppId, std::unique_ptr<Watched>> watched_;
   std::map<std::uint64_t, runtime::AppId> probe_routing_;

@@ -8,19 +8,22 @@ Host::Host(sim::Simulator& simulator, sim::Network& network,
            overlay::PastryNode& pastry,
            const runtime::ServiceCatalog& catalog,
            monitor::NodeMonitor::Params monitor_params,
-           runtime::NodeRuntime::Params runtime_params) {
+           runtime::NodeRuntime::Params runtime_params,
+           obs::MetricRegistry* registry, obs::UnitTrace* trace) {
   const sim::NodeIndex node = pastry.addr();
-  monitor_ = std::make_unique<monitor::NodeMonitor>(simulator, network, node,
-                                                    monitor_params);
+  monitor_ = std::make_unique<monitor::NodeMonitor>(
+      simulator, network, node, monitor_params, registry);
   stats_ = std::make_unique<monitor::StatsAgent>(simulator, network, node,
                                                  *monitor_);
   runtime_ = std::make_unique<runtime::NodeRuntime>(
-      simulator, network, node, *monitor_, catalog, runtime_params);
+      simulator, network, node, *monitor_, catalog, runtime_params, registry,
+      trace);
   coordinator_ = std::make_unique<core::Coordinator>(
-      simulator, network, pastry, *stats_, catalog);
+      simulator, network, pastry, *stats_, catalog, registry);
   recovery_composer_ = std::make_unique<core::MinCostComposer>();
   supervisor_ = std::make_unique<core::AppSupervisor>(
-      simulator, network, *coordinator_, *recovery_composer_);
+      simulator, network, *coordinator_, *recovery_composer_,
+      core::AppSupervisor::Params(), registry);
 
   // Data units tail-dropped at this node's port queues are congestion
   // losses this node caused: they feed the drop-ratio the composers see.

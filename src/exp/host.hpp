@@ -18,10 +18,15 @@ namespace rasc::exp {
 
 class Host {
  public:
+  /// `registry`/`trace` are the deployment-wide metric registry and
+  /// data-unit lifecycle trace shared by every subsystem on this node;
+  /// when null each subsystem owns a private registry (and no tracing).
   Host(sim::Simulator& simulator, sim::Network& network,
        overlay::PastryNode& pastry, const runtime::ServiceCatalog& catalog,
        monitor::NodeMonitor::Params monitor_params,
-       runtime::NodeRuntime::Params runtime_params);
+       runtime::NodeRuntime::Params runtime_params,
+       obs::MetricRegistry* registry = nullptr,
+       obs::UnitTrace* trace = nullptr);
 
   monitor::NodeMonitor& monitor() { return *monitor_; }
   monitor::StatsAgent& stats_agent() { return *stats_; }

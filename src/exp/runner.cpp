@@ -35,6 +35,11 @@ std::unique_ptr<core::Composer> make_composer(const std::string& name,
 }  // namespace
 
 RunMetrics run_experiment(const RunConfig& config) {
+  return run_experiment(config, nullptr);
+}
+
+RunMetrics run_experiment(const RunConfig& config,
+                          std::vector<obs::MetricRow>* snapshot_out) {
   World world(config.world);
   auto& simulator = world.simulator();
 
@@ -84,7 +89,10 @@ RunMetrics run_experiment(const RunConfig& config) {
 
   simulator.run_until(run_end);
 
-  // Collect per-node counters and sink statistics.
+  // Collect the §4.2 stream statistics from the live endpoints, in node
+  // order. Sink stats are floating-point summaries whose merge order
+  // matters for bit-exactness, and live endpoints exclude torn-down
+  // applications (the registry's sink.* cells outlive teardown).
   for (std::size_t n = 0; n < world.size(); ++n) {
     const auto& rt = world.host(n).runtime();
     metrics.emitted += rt.total_emitted();
@@ -94,13 +102,20 @@ RunMetrics run_experiment(const RunConfig& config) {
     metrics.out_of_order += sink.out_of_order;
     metrics.delay_ms.merge(sink.delay_ms);
     metrics.jitter_ms.merge(sink.jitter_ms);
-    metrics.drops_queue_full += rt.units_dropped_queue_full();
-    metrics.drops_deadline += rt.units_dropped_deadline();
-    metrics.unroutable += rt.units_unroutable();
-    metrics.drops_network +=
-        world.network().out_queue_drops(sim::NodeIndex(n)) +
-        world.network().in_queue_drops(sim::NodeIndex(n));
   }
+
+  // Drop totals come straight from the registry: integer counters, so
+  // the label-order sum is exact and teardown cannot lose them.
+  const auto& registry = world.metrics();
+  metrics.drops_queue_full = registry.counter_total("runtime.drops_queue_full");
+  metrics.drops_deadline = registry.counter_total("runtime.drops_deadline");
+  metrics.unroutable = registry.counter_total("runtime.units_unroutable");
+  metrics.drops_network = registry.counter_total("net.port_drops_out") +
+                          registry.counter_total("net.port_drops_in");
+
+  if (snapshot_out != nullptr) *snapshot_out = registry.snapshot();
+  if (!config.metrics_csv.empty()) registry.write_csv(config.metrics_csv);
+  if (!config.metrics_json.empty()) registry.write_json(config.metrics_json);
   return metrics;
 }
 

@@ -8,6 +8,7 @@
 
 #include "exp/workload.hpp"
 #include "exp/world.hpp"
+#include "obs/metric_registry.hpp"
 #include "util/summary_stats.hpp"
 
 namespace rasc::exp {
@@ -24,6 +25,10 @@ struct RunConfig {
   /// Drain margin: sources stop this long before measurement ends so
   /// in-flight units can land.
   sim::SimDuration drain = sim::sec(3);
+  /// When non-empty: write the world's full registry snapshot here after
+  /// the run (deterministic key order; see obs::MetricRegistry).
+  std::string metrics_csv;
+  std::string metrics_json;
 };
 
 struct RunMetrics {
@@ -70,6 +75,10 @@ struct RunMetrics {
 };
 
 /// Runs one full experiment. Deterministic in `config` (including seeds).
+/// `snapshot_out` (optional) receives the world's registry snapshot taken
+/// at the end of the run, after the RunMetrics were collected.
+RunMetrics run_experiment(const RunConfig& config,
+                          std::vector<obs::MetricRow>* snapshot_out);
 RunMetrics run_experiment(const RunConfig& config);
 
 }  // namespace rasc::exp

@@ -1,5 +1,6 @@
 #include "exp/sweep.hpp"
 
+#include <filesystem>
 #include <sstream>
 #include <utility>
 
@@ -41,6 +42,10 @@ SweepResult run_sweep(const SweepConfig& config, util::ThreadPool& pool) {
     }
   }
 
+  if (!config.metrics_dir.empty()) {
+    std::filesystem::create_directories(config.metrics_dir);
+  }
+
   pool.parallel_for(cells.size(), [&](std::size_t i) {
     const Cell& cell = cells[i];
     RunConfig run = config.base;
@@ -48,6 +53,12 @@ SweepResult run_sweep(const SweepConfig& config, util::ThreadPool& pool) {
     run.workload.avg_rate_kbps = cell.rate;
     // Same world per repetition across algorithms and rates.
     run.world.seed = config.base_seed + std::uint64_t(cell.rep) * 7919;
+    if (!config.metrics_dir.empty()) {
+      std::ostringstream name;
+      name << config.metrics_dir << "/" << cell.algorithm << "_r"
+           << cell.rate << "_rep" << cell.rep << ".csv";
+      run.metrics_csv = name.str();
+    }
     RunMetrics metrics = run_experiment(run);
     // The map was fully populated above, so this lookup never mutates the
     // tree and each worker writes a disjoint (cell, rep) slot — lock-free.

@@ -27,6 +27,10 @@ struct SweepConfig {
   std::uint64_t base_seed = 42;
   /// 0 = all hardware threads.
   std::size_t threads = 0;
+  /// When non-empty: every cell writes its registry snapshot to
+  /// `<metrics_dir>/<algorithm>_r<rate>_rep<k>.csv` (directory is
+  /// created; filenames are deterministic in the cell coordinates).
+  std::string metrics_dir;
 };
 
 struct SweepResult {

@@ -9,12 +9,14 @@
 namespace rasc::exp {
 
 World::World(const WorldConfig& config) : config_(config) {
+  trace_.set_enabled(config.enable_unit_trace);
   simulator_ = std::make_unique<sim::Simulator>(config.seed);
 
   auto topo_rng = simulator_->rng().split(0x746f706f /* "topo" */);
   network_ = std::make_unique<sim::Network>(
       *simulator_,
-      sim::make_planetlab_like(config.nodes, topo_rng, config.net));
+      sim::make_planetlab_like(config.nodes, topo_rng, config.net),
+      &metrics_, &trace_);
 
   overlay_ = std::make_unique<overlay::Overlay>(
       overlay::build_overlay(*simulator_, *network_, config.nodes));
@@ -70,7 +72,7 @@ World::World(const WorldConfig& config) : config_(config) {
   for (std::size_t n = 0; n < config.nodes; ++n) {
     hosts_.push_back(std::make_unique<Host>(
         *simulator_, *network_, overlay_->at(n), catalog_,
-        config.monitor_params, config.runtime_params));
+        config.monitor_params, config.runtime_params, &metrics_, &trace_));
     Host* host = hosts_.back().get();
     overlay_->set_fallback(
         n, [host](const sim::Packet& p) { host->handle_packet(p); });

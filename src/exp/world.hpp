@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "exp/host.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/unit_trace.hpp"
 #include "overlay/builder.hpp"
 #include "runtime/service.hpp"
 #include "sim/network.hpp"
@@ -32,6 +34,10 @@ struct WorldConfig {
   /// generated svc0..svcN catalog (domain-specific examples: transcoders
   /// with rate ratios, aggregators, ...). num_services is ignored.
   std::vector<runtime::ServiceSpec> custom_services;
+  /// Record per-data-unit lifecycle hops in the world's UnitTrace.
+  /// Off by default: the trace is observational only (it never perturbs
+  /// simulation state), but recording costs memory and time.
+  bool enable_unit_trace = false;
   std::uint64_t seed = 1;
 };
 
@@ -60,8 +66,19 @@ class World {
 
   const WorldConfig& config() const { return config_; }
 
+  /// Deployment-wide metric registry every subsystem emits through.
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+  /// Deployment-wide data-unit lifecycle trace (recording only when
+  /// WorldConfig::enable_unit_trace).
+  obs::UnitTrace& unit_trace() { return trace_; }
+  const obs::UnitTrace& unit_trace() const { return trace_; }
+
  private:
   WorldConfig config_;
+  // Declared before the network and hosts that hold pointers into them.
+  obs::MetricRegistry metrics_;
+  obs::UnitTrace trace_;
   std::unique_ptr<sim::Simulator> simulator_;
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<overlay::Overlay> overlay_;

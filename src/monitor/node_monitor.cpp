@@ -7,7 +7,8 @@ NodeMonitor::NodeMonitor(sim::Simulator& simulator, sim::Network& network,
     : NodeMonitor(simulator, network, node, Params()) {}
 
 NodeMonitor::NodeMonitor(sim::Simulator& simulator, sim::Network& network,
-                         sim::NodeIndex node, Params params)
+                         sim::NodeIndex node, Params params,
+                         obs::MetricRegistry* registry)
     : simulator_(simulator),
       network_(network),
       node_(node),
@@ -15,7 +16,17 @@ NodeMonitor::NodeMonitor(sim::Simulator& simulator, sim::Network& network,
       in_kbps_window_(params.bandwidth_window),
       out_kbps_window_(params.bandwidth_window),
       cpu_window_(params.bandwidth_window),
-      outcomes_(params.outcome_window) {
+      outcomes_(params.outcome_window),
+      owned_registry_(registry ? nullptr
+                               : std::make_unique<obs::MetricRegistry>()),
+      registry_(registry ? registry : owned_registry_.get()) {
+  obs::Labels labels;
+  labels.node = node_;
+  in_kbps_gauge_ = &registry_->gauge("monitor.in_kbps", labels);
+  out_kbps_gauge_ = &registry_->gauge("monitor.out_kbps", labels);
+  cpu_fraction_gauge_ = &registry_->gauge("monitor.cpu_fraction", labels);
+  drop_ratio_gauge_ = &registry_->gauge("monitor.drop_ratio", labels);
+  queue_length_gauge_ = &registry_->gauge("monitor.queue_length", labels);
   last_bytes_in_ = network_.bytes_received(node_);
   last_bytes_out_ = network_.bytes_sent(node_);
   sample_event_ = simulator_.call_after(params_.sample_period,
@@ -40,6 +51,11 @@ void NodeMonitor::sample_bandwidth() {
   cpu_busy_accum_ = 0;
   last_bytes_in_ = in_now;
   last_bytes_out_ = out_now;
+  in_kbps_gauge_->set(in_kbps_window_.mean());
+  out_kbps_gauge_->set(out_kbps_window_.mean());
+  cpu_fraction_gauge_->set(cpu_window_.mean());
+  drop_ratio_gauge_->set(outcomes_.ratio());
+  queue_length_gauge_->set(double(queue_length_));
   sample_event_ = simulator_.call_after(params_.sample_period,
                                         [this] { sample_bandwidth(); });
 }

@@ -4,14 +4,21 @@
 // (sampled from the network's byte counters on a fixed period), the
 // fraction of data units dropped, and per-component service-time and
 // arrival-rate statistics fed in by the stream runtime.
+//
+// Each sample tick also publishes the window means to monitor.* gauges
+// in the attached obs::MetricRegistry (a private one when none is
+// attached), so registry snapshots show what the stats protocol would
+// currently advertise.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "monitor/node_stats.hpp"
 #include "monitor/rate_meter.hpp"
 #include "monitor/window.hpp"
+#include "obs/metric_registry.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
@@ -35,9 +42,11 @@ class NodeMonitor {
     bool advertise_reservations = false;
   };
 
-  /// Starts periodic bandwidth sampling immediately.
+  /// Starts periodic bandwidth sampling immediately. `registry` is the
+  /// deployment-wide metric registry (null: a private one is owned).
   NodeMonitor(sim::Simulator& simulator, sim::Network& network,
-              sim::NodeIndex node, Params params);
+              sim::NodeIndex node, Params params,
+              obs::MetricRegistry* registry = nullptr);
   NodeMonitor(sim::Simulator& simulator, sim::Network& network,
               sim::NodeIndex node);
   ~NodeMonitor();
@@ -100,6 +109,14 @@ class NodeMonitor {
   double reserved_in_kbps_ = 0;
   double reserved_out_kbps_ = 0;
   double reserved_cpu_fraction_ = 0;
+
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* registry_;
+  obs::Gauge* in_kbps_gauge_;
+  obs::Gauge* out_kbps_gauge_;
+  obs::Gauge* cpu_fraction_gauge_;
+  obs::Gauge* drop_ratio_gauge_;
+  obs::Gauge* queue_length_gauge_;
 
   sim::EventId sample_event_ = 0;
   bool stopped_ = false;

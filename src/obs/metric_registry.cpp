@@ -1,0 +1,260 @@
+#include "obs/metric_registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <stdexcept>
+
+namespace rasc::obs {
+
+void Histogram::merge(const Histogram& other) {
+  summary_.merge(other.summary_);
+  // Reservoir samples re-inserted in ascending order: deterministic no
+  // matter what insertion/query history either side had.
+  for (double x : other.reservoir_.sorted_samples()) reservoir_.add(x);
+}
+
+const char* to_string(MetricRow::Kind kind) {
+  switch (kind) {
+    case MetricRow::Kind::kCounter: return "counter";
+    case MetricRow::Kind::kGauge: return "gauge";
+    case MetricRow::Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+template <typename T>
+T& MetricRegistry::get_cell(CellMap<T>& cells, std::string_view name,
+                            Labels labels) {
+  Key key{std::string(name), std::move(labels)};
+  auto it = cells.find(key);
+  if (it == cells.end()) {
+    it = cells.emplace(std::move(key), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+template <typename T>
+const T* MetricRegistry::find_cell(const CellMap<T>& cells,
+                                   std::string_view name,
+                                   const Labels& labels) {
+  const auto it = cells.find(Key{std::string(name), labels});
+  return it == cells.end() ? nullptr : it->second.get();
+}
+
+Counter& MetricRegistry::counter(std::string_view name, Labels labels) {
+  return get_cell(counters_, name, std::move(labels));
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name, Labels labels) {
+  return get_cell(gauges_, name, std::move(labels));
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name, Labels labels) {
+  return get_cell(histograms_, name, std::move(labels));
+}
+
+const Counter* MetricRegistry::find_counter(std::string_view name,
+                                            const Labels& labels) const {
+  return find_cell(counters_, name, labels);
+}
+
+const Gauge* MetricRegistry::find_gauge(std::string_view name,
+                                        const Labels& labels) const {
+  return find_cell(gauges_, name, labels);
+}
+
+const Histogram* MetricRegistry::find_histogram(std::string_view name,
+                                                const Labels& labels) const {
+  return find_cell(histograms_, name, labels);
+}
+
+namespace {
+
+/// Smallest possible label set: lower_bound anchor for a name scan.
+obs::Labels min_labels() {
+  obs::Labels l;
+  l.node = std::numeric_limits<std::int32_t>::min();
+  l.app = std::numeric_limits<std::int64_t>::min();
+  return l;
+}
+
+}  // namespace
+
+std::int64_t MetricRegistry::counter_total(std::string_view name) const {
+  std::int64_t total = 0;
+  for (auto it = counters_.lower_bound(Key{std::string(name), min_labels()});
+       it != counters_.end() && it->first.first == name; ++it) {
+    total += it->second->value();
+  }
+  return total;
+}
+
+Histogram MetricRegistry::histogram_total(std::string_view name) const {
+  Histogram total;
+  for (auto it =
+           histograms_.lower_bound(Key{std::string(name), min_labels()});
+       it != histograms_.end() && it->first.first == name; ++it) {
+    total.merge(*it->second);
+  }
+  return total;
+}
+
+void MetricRegistry::merge_from(const MetricRegistry& other) {
+  for (const auto& [key, cell] : other.counters_) {
+    get_cell(counters_, key.first, key.second).add(cell->value());
+  }
+  for (const auto& [key, cell] : other.gauges_) {
+    get_cell(gauges_, key.first, key.second).set(cell->value());
+  }
+  for (const auto& [key, cell] : other.histograms_) {
+    get_cell(histograms_, key.first, key.second).merge(*cell);
+  }
+}
+
+std::vector<MetricRow> MetricRegistry::snapshot() const {
+  std::vector<MetricRow> rows;
+  rows.reserve(size());
+  // The three maps are each (name, labels)-sorted; a final stable sort by
+  // the same key interleaves them into one total order.
+  for (const auto& [key, cell] : counters_) {
+    MetricRow row;
+    row.name = key.first;
+    row.labels = key.second;
+    row.kind = MetricRow::Kind::kCounter;
+    row.value = double(cell->value());
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [key, cell] : gauges_) {
+    MetricRow row;
+    row.name = key.first;
+    row.labels = key.second;
+    row.kind = MetricRow::Kind::kGauge;
+    row.value = cell->value();
+    rows.push_back(std::move(row));
+  }
+  for (const auto& [key, cell] : histograms_) {
+    MetricRow row;
+    row.name = key.first;
+    row.labels = key.second;
+    row.kind = MetricRow::Kind::kHistogram;
+    const auto& s = cell->summary();
+    row.count = std::int64_t(s.count());
+    row.mean = s.mean();
+    row.stddev = s.stddev();
+    row.min = s.min();
+    row.max = s.max();
+    row.p50 = cell->percentile(0.50);
+    row.p95 = cell->percentile(0.95);
+    row.p99 = cell->percentile(0.99);
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const MetricRow& a, const MetricRow& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.labels < b.labels;
+                   });
+  return rows;
+}
+
+namespace {
+
+/// Fixed-precision numeric field: enough digits to round-trip the values
+/// we export while keeping files stable across compilers.
+void put_number(std::ostream& out, double v) {
+  out << std::setprecision(12) << v;
+}
+
+void put_json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void MetricRegistry::write_csv(const std::vector<MetricRow>& rows,
+                               std::ostream& out) {
+  out << "metric,kind,node,app,component,value,count,mean,stddev,min,max,"
+         "p50,p95,p99\n";
+  for (const auto& row : rows) {
+    out << row.name << ',' << to_string(row.kind) << ',' << row.labels.node
+        << ',' << row.labels.app << ',' << row.labels.component << ',';
+    put_number(out, row.value);
+    out << ',' << row.count << ',';
+    put_number(out, row.mean);
+    out << ',';
+    put_number(out, row.stddev);
+    out << ',';
+    put_number(out, row.min);
+    out << ',';
+    put_number(out, row.max);
+    out << ',';
+    put_number(out, row.p50);
+    out << ',';
+    put_number(out, row.p95);
+    out << ',';
+    put_number(out, row.p99);
+    out << '\n';
+  }
+}
+
+void MetricRegistry::write_json(const std::vector<MetricRow>& rows,
+                                std::ostream& out) {
+  out << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    out << "  {\"metric\": ";
+    put_json_string(out, row.name);
+    out << ", \"kind\": \"" << to_string(row.kind) << '"';
+    out << ", \"node\": " << row.labels.node;
+    out << ", \"app\": " << row.labels.app;
+    out << ", \"component\": ";
+    put_json_string(out, row.labels.component);
+    if (row.kind == MetricRow::Kind::kHistogram) {
+      out << ", \"count\": " << row.count;
+      out << ", \"mean\": ";
+      put_number(out, row.mean);
+      out << ", \"stddev\": ";
+      put_number(out, row.stddev);
+      out << ", \"min\": ";
+      put_number(out, row.min);
+      out << ", \"max\": ";
+      put_number(out, row.max);
+      out << ", \"p50\": ";
+      put_number(out, row.p50);
+      out << ", \"p95\": ";
+      put_number(out, row.p95);
+      out << ", \"p99\": ";
+      put_number(out, row.p99);
+    } else {
+      out << ", \"value\": ";
+      put_number(out, row.value);
+    }
+    out << '}' << (i + 1 < rows.size() ? "," : "") << '\n';
+  }
+  out << "]\n";
+}
+
+void MetricRegistry::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_csv(snapshot(), out);
+}
+
+void MetricRegistry::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_json(snapshot(), out);
+}
+
+}  // namespace rasc::obs

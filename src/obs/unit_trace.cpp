@@ -1,0 +1,76 @@
+#include "obs/unit_trace.hpp"
+
+#include <algorithm>
+
+namespace rasc::obs {
+
+const char* to_string(Hop hop) {
+  switch (hop) {
+    case Hop::kEmitted: return "emitted";
+    case Hop::kPortQueued: return "port-queued";
+    case Hop::kScheduled: return "scheduled";
+    case Hop::kExecuted: return "executed";
+    case Hop::kDropped: return "dropped";
+    case Hop::kDelivered: return "delivered";
+  }
+  return "?";
+}
+
+const char* to_string(DropReason reason) {
+  switch (reason) {
+    case DropReason::kNone: return "none";
+    case DropReason::kLaxityExpired: return "laxity-expired";
+    case DropReason::kQueueFull: return "queue-full";
+    case DropReason::kPortTailDrop: return "port-tail-drop";
+    case DropReason::kNodeFailed: return "node-failed";
+    case DropReason::kLinkLoss: return "link-loss";
+    case DropReason::kUnroutable: return "unroutable";
+  }
+  return "?";
+}
+
+UnitTrace::UnitTrace(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void UnitTrace::record(const UnitId& unit, Hop hop, std::int32_t node,
+                       std::int64_t at_us, DropReason reason) {
+  ++recorded_;
+  ++hop_counts_[std::size_t(hop)];
+  if (hop == Hop::kDropped) ++drop_counts_[std::size_t(reason)];
+  TraceEvent event{unit, hop, reason, node, at_us};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> UnitTrace::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Ring order: [next_, end) is the older half once wrapped.
+  for (std::size_t i = next_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (std::size_t i = 0; i < next_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+std::vector<TraceEvent> UnitTrace::unit_history(const UnitId& unit) const {
+  std::vector<TraceEvent> out;
+  for (const auto& event : events()) {
+    if (event.unit == unit) out.push_back(event);
+  }
+  return out;
+}
+
+void UnitTrace::clear() {
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+  std::fill(std::begin(hop_counts_), std::end(hop_counts_), 0);
+  std::fill(std::begin(drop_counts_), std::end(drop_counts_), 0);
+}
+
+}  // namespace rasc::obs

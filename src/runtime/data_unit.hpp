@@ -13,6 +13,9 @@ using AppId = std::int64_t;
 
 struct DataUnit final : sim::Message {
   const char* kind() const override { return "runtime.data_unit"; }
+  std::optional<obs::UnitId> unit_id() const override {
+    return obs::UnitId{app, substream, seq};
+  }
 
   AppId app = 0;
   std::int32_t substream = 0;

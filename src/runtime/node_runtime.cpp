@@ -1,5 +1,6 @@
 #include "runtime/node_runtime.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/logging.hpp"
@@ -16,7 +17,9 @@ NodeRuntime::NodeRuntime(sim::Simulator& simulator, sim::Network& network,
 NodeRuntime::NodeRuntime(sim::Simulator& simulator, sim::Network& network,
                          sim::NodeIndex node,
                          monitor::NodeMonitor& node_monitor,
-                         const ServiceCatalog& catalog, Params params)
+                         const ServiceCatalog& catalog, Params params,
+                         obs::MetricRegistry* registry,
+                         obs::UnitTrace* trace)
     : simulator_(simulator),
       network_(network),
       node_(node),
@@ -24,13 +27,49 @@ NodeRuntime::NodeRuntime(sim::Simulator& simulator, sim::Network& network,
       catalog_(catalog),
       params_(params),
       scheduler_(params.policy, params.max_ready_queue),
-      exec_rng_(simulator.rng().split(0x65786563u ^ std::uint64_t(node))) {}
+      exec_rng_(simulator.rng().split(0x65786563u ^ std::uint64_t(node))),
+      owned_registry_(registry ? nullptr
+                               : std::make_unique<obs::MetricRegistry>()),
+      registry_(registry ? registry : owned_registry_.get()),
+      trace_(trace) {
+  obs::Labels labels;
+  labels.node = node_;
+  units_received_ = &registry_->counter("runtime.units_received", labels);
+  dropped_queue_full_ =
+      &registry_->counter("runtime.drops_queue_full", labels);
+  dropped_deadline_ = &registry_->counter("runtime.drops_deadline", labels);
+  units_processed_ = &registry_->counter("runtime.units_processed", labels);
+  units_unroutable_ =
+      &registry_->counter("runtime.units_unroutable", labels);
+}
 
 double NodeRuntime::reservation_kbps(double rate_ups,
                                      std::int64_t unit_bytes) const {
   const double wire_bytes =
       double(unit_bytes + sim::Network::kFrameOverheadBytes);
   return rate_ups * wire_bytes * 8.0 / 1000.0;
+}
+
+obs::Labels NodeRuntime::endpoint_labels(AppId app, std::int32_t substream,
+                                         std::uint32_t incarnation) const {
+  obs::Labels labels;
+  labels.node = node_;
+  labels.app = app;
+  labels.component = "ss";
+  labels.component += std::to_string(substream);
+  if (incarnation > 0) {
+    labels.component += '#';
+    labels.component += std::to_string(incarnation);
+  }
+  return labels;
+}
+
+std::vector<std::uint64_t> NodeRuntime::sorted_endpoint_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(endpoints_.size());
+  for (const auto& [key, endpoint] : endpoints_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
 }
 
 bool NodeRuntime::handle_packet(const sim::Packet& packet) {
@@ -77,10 +116,12 @@ bool NodeRuntime::handle_packet(const sim::Packet& packet) {
     reply->app = hq->app;
     reply->request_id = hq->request_id;
     std::int64_t delivered = -1;
-    for (const auto& [key, sink] : sinks_) {
-      if (key.first != hq->app) continue;
+    for (const std::uint64_t key : sorted_endpoint_keys()) {
+      if (AppId(key >> 32) != hq->app) continue;
+      const auto& endpoint = endpoints_.at(key);
+      if (!endpoint.sink.has_value()) continue;
       if (delivered < 0) delivered = 0;
-      delivered += sink.stats().delivered;
+      delivered += endpoint.sink->delivered();
     }
     reply->delivered = delivered;
     network_.send(node_, hq->requester, SinkHealthReply::kBytes,
@@ -127,11 +168,15 @@ void NodeRuntime::deploy_component(const ComponentKey& key,
 void NodeRuntime::deploy_sink(AppId app, std::int32_t substream,
                               double rate_units_per_sec,
                               std::int64_t unit_bytes) {
-  const auto key = std::make_pair(app, substream);
-  sinks_.emplace(key, StreamSink(rate_units_per_sec,
-                                 params_.timely_tolerance_periods));
+  const std::uint64_t key = endpoint_key(app, substream);
+  const std::uint32_t incarnation = sink_incarnations_[key]++;
+  Endpoint& endpoint = endpoints_[key];
+  endpoint.sink.emplace(rate_units_per_sec,
+                        params_.timely_tolerance_periods,
+                        /*reorder_tolerance_periods=*/1.0, registry_,
+                        endpoint_labels(app, substream, incarnation));
   const double in_kbps = reservation_kbps(rate_units_per_sec, unit_bytes);
-  sink_reservations_[key] = in_kbps;
+  endpoint.sink_reserved_kbps = in_kbps;
   monitor_.add_reservation(in_kbps, 0);
 }
 
@@ -140,14 +185,17 @@ void NodeRuntime::deploy_source(AppId app, std::int32_t substream,
                                 std::int64_t unit_bytes,
                                 std::vector<Placement> first_stage,
                                 sim::SimTime start_at, sim::SimTime stop_at) {
-  const auto key = std::make_pair(app, substream);
+  const std::uint64_t key = endpoint_key(app, substream);
+  const std::uint32_t incarnation = source_incarnations_[key]++;
   auto source = std::make_unique<StreamSource>(
       simulator_, network_, node_, app, substream, rate_units_per_sec,
-      unit_bytes, std::move(first_stage));
+      unit_bytes, std::move(first_stage), registry_,
+      endpoint_labels(app, substream, incarnation), trace_);
   source->run(start_at, stop_at);
   const double out_kbps = reservation_kbps(rate_units_per_sec, unit_bytes);
-  sources_[key] = std::move(source);
-  source_reservations_[key] = out_kbps;
+  Endpoint& endpoint = endpoints_[key];
+  endpoint.source = std::move(source);
+  endpoint.source_reserved_kbps = out_kbps;
   monitor_.add_reservation(0, out_kbps);
 }
 
@@ -169,47 +217,36 @@ void NodeRuntime::teardown_app(AppId app) {
       ++it;
     }
   }
-  for (auto it = sinks_.begin(); it != sinks_.end();) {
-    if (it->first.first == app) {
-      const auto res = sink_reservations_.find(it->first);
-      if (res != sink_reservations_.end()) {
-        monitor_.add_reservation(-res->second, 0);
-        sink_reservations_.erase(res);
-      }
-      it = sinks_.erase(it);
-    } else {
-      ++it;
+  // The app's endpoints occupy one contiguous key range; release in
+  // ascending substream order for deterministic teardown.
+  for (const std::uint64_t key : sorted_endpoint_keys()) {
+    if (AppId(key >> 32) != app) continue;
+    auto it = endpoints_.find(key);
+    Endpoint& endpoint = it->second;
+    if (endpoint.sink.has_value()) {
+      monitor_.add_reservation(-endpoint.sink_reserved_kbps, 0);
     }
-  }
-  for (auto it = sources_.begin(); it != sources_.end();) {
-    if (it->first.first == app) {
-      it->second->stop();
-      const auto res = source_reservations_.find(it->first);
-      if (res != source_reservations_.end()) {
-        monitor_.add_reservation(0, -res->second);
-        source_reservations_.erase(res);
-      }
-      it = sources_.erase(it);
-    } else {
-      ++it;
+    if (endpoint.source) {
+      endpoint.source->stop();
+      monitor_.add_reservation(0, -endpoint.source_reserved_kbps);
     }
+    endpoints_.erase(it);
   }
 }
 
 std::int64_t NodeRuntime::total_emitted() const {
   std::int64_t total = 0;
-  for (const auto& [key, source] : sources_) {
-    (void)key;
-    total += source->emitted();
+  for (const auto& [key, endpoint] : endpoints_) {
+    if (endpoint.source) total += endpoint.source->emitted();
   }
   return total;
 }
 
 SinkStats NodeRuntime::aggregate_sink_stats() const {
   SinkStats total;
-  for (const auto& [key, sink] : sinks_) {
-    (void)key;
-    total.merge(sink.stats());
+  for (const std::uint64_t key : sorted_endpoint_keys()) {
+    const auto& endpoint = endpoints_.at(key);
+    if (endpoint.sink.has_value()) total.merge(endpoint.sink->stats());
   }
   return total;
 }
@@ -221,31 +258,42 @@ const Component* NodeRuntime::find_component(const ComponentKey& key) const {
 
 const StreamSink* NodeRuntime::find_sink(AppId app,
                                          std::int32_t substream) const {
-  const auto it = sinks_.find({app, substream});
-  return it == sinks_.end() ? nullptr : &it->second;
+  const auto it = endpoints_.find(endpoint_key(app, substream));
+  if (it == endpoints_.end() || !it->second.sink.has_value()) return nullptr;
+  return &*it->second.sink;
 }
 
 const StreamSource* NodeRuntime::find_source(AppId app,
                                              std::int32_t substream) const {
-  const auto it = sources_.find({app, substream});
-  return it == sources_.end() ? nullptr : it->second.get();
+  const auto it = endpoints_.find(endpoint_key(app, substream));
+  return it == endpoints_.end() ? nullptr : it->second.source.get();
 }
 
 void NodeRuntime::on_data_unit(
     const std::shared_ptr<const DataUnit>& unit) {
-  ++units_received_;
+  units_received_->add();
+  const obs::UnitId unit_id{unit->app, unit->substream, unit->seq};
 
   // Destined for a sink hosted here?
-  const auto sink_it = sinks_.find({unit->app, unit->substream});
+  const auto endpoint_it =
+      endpoints_.find(endpoint_key(unit->app, unit->substream));
+  const StreamSink* sink =
+      endpoint_it != endpoints_.end() && endpoint_it->second.sink.has_value()
+          ? &*endpoint_it->second.sink
+          : nullptr;
   const ComponentKey key{unit->app, unit->substream, unit->stage};
   const auto comp_it = components_.find(key);
 
   if (comp_it == components_.end()) {
-    if (sink_it != sinks_.end()) {
-      sink_it->second.on_unit(*unit, simulator_.now());
+    if (sink != nullptr) {
+      endpoint_it->second.sink->on_unit(*unit, simulator_.now());
+      RASC_TRACE(trace_, unit_id, obs::Hop::kDelivered, node_,
+                 simulator_.now());
     } else {
-      ++units_unroutable_;
+      units_unroutable_->add();
       monitor_.on_unit_dropped();
+      RASC_TRACE(trace_, unit_id, obs::Hop::kDropped, node_,
+                 simulator_.now(), obs::DropReason::kUnroutable);
     }
     return;
   }
@@ -261,11 +309,15 @@ void NodeRuntime::on_data_unit(
   scheduled.exec_time = component.expected_exec_time();
 
   if (!scheduler_.enqueue(std::move(scheduled))) {
-    ++dropped_queue_full_;
+    dropped_queue_full_->add();
     component.count_drop();
     monitor_.on_unit_dropped();
+    RASC_TRACE(trace_, unit_id, obs::Hop::kDropped, node_, simulator_.now(),
+               obs::DropReason::kQueueFull);
     return;
   }
+  RASC_TRACE(trace_, unit_id, obs::Hop::kScheduled, node_,
+             simulator_.now());
   monitor_.on_queue_length(std::int64_t(scheduler_.size()));
   maybe_dispatch();
 }
@@ -275,9 +327,13 @@ void NodeRuntime::maybe_dispatch() {
   std::vector<ScheduledUnit> expired;
   auto next = scheduler_.dispatch(simulator_.now(), expired);
   for (auto& e : expired) {
-    ++dropped_deadline_;
+    dropped_deadline_->add();
     e.component->count_drop();
     monitor_.on_unit_dropped();
+    RASC_TRACE(trace_,
+               (obs::UnitId{e.unit->app, e.unit->substream, e.unit->seq}),
+               obs::Hop::kDropped, node_, simulator_.now(),
+               obs::DropReason::kLaxityExpired);
   }
   monitor_.on_queue_length(std::int64_t(scheduler_.size()));
   if (!next) return;
@@ -301,10 +357,14 @@ void NodeRuntime::maybe_dispatch() {
 void NodeRuntime::finish_unit(ScheduledUnit scheduled,
                               sim::SimDuration actual) {
   cpu_busy_ = false;
-  ++units_processed_;
+  units_processed_->add();
   monitor_.on_unit_processed();
   monitor_.on_cpu_busy(actual);
   scheduled.component->on_executed(actual);
+  RASC_TRACE(trace_,
+             (obs::UnitId{scheduled.unit->app, scheduled.unit->substream,
+                          scheduled.unit->seq}),
+             obs::Hop::kExecuted, node_, simulator_.now());
 
   auto outputs = scheduled.component->process(*scheduled.unit);
   for (auto& out : outputs) {

@@ -4,13 +4,23 @@
 // scheduler loop (paper §3.4), forwards processed units downstream, hosts
 // destination sinks and stream sources, and feeds the resource monitor
 // (drops, queue length, reservations).
+//
+// Telemetry: every tally (received/processed/dropped counts, sink
+// delivery stats, source emissions) is an obs::MetricRegistry cell under
+// runtime.* / sink.* / source.* names labeled with this node; scheduler
+// outcomes additionally feed the per-unit lifecycle trace when one is
+// attached. Without an external registry the runtime owns a private one,
+// so the emit path is identical either way.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "monitor/node_monitor.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/unit_trace.hpp"
 #include "runtime/component.hpp"
 #include "runtime/deploy_messages.hpp"
 #include "runtime/scheduler.hpp"
@@ -32,9 +42,13 @@ class NodeRuntime {
     double timely_tolerance_periods = 1.0;
   };
 
+  /// `registry` is the deployment-wide metric registry (null: the runtime
+  /// owns a private one); `trace` the optional data-unit lifecycle trace.
   NodeRuntime(sim::Simulator& simulator, sim::Network& network,
               sim::NodeIndex node, monitor::NodeMonitor& node_monitor,
-              const ServiceCatalog& catalog, Params params);
+              const ServiceCatalog& catalog, Params params,
+              obs::MetricRegistry* registry = nullptr,
+              obs::UnitTrace* trace = nullptr);
   NodeRuntime(sim::Simulator& simulator, sim::Network& network,
               sim::NodeIndex node, monitor::NodeMonitor& node_monitor,
               const ServiceCatalog& catalog);
@@ -71,27 +85,60 @@ class NodeRuntime {
 
   /// Sum of units emitted by every source hosted on this node.
   std::int64_t total_emitted() const;
-  /// Merged stats of every sink hosted on this node.
+  /// Merged stats of every sink hosted on this node (deterministic
+  /// (app, substream) merge order).
   SinkStats aggregate_sink_stats() const;
 
-  std::int64_t units_received() const { return units_received_; }
+  std::int64_t units_received() const { return units_received_->value(); }
   std::int64_t units_dropped_queue_full() const {
-    return dropped_queue_full_;
+    return dropped_queue_full_->value();
   }
-  std::int64_t units_dropped_deadline() const { return dropped_deadline_; }
-  std::int64_t units_processed() const { return units_processed_; }
+  std::int64_t units_dropped_deadline() const {
+    return dropped_deadline_->value();
+  }
+  std::int64_t units_processed() const { return units_processed_->value(); }
   /// Units addressed to a component/sink this node does not host (stale
   /// plans, failures). They are dropped and counted.
-  std::int64_t units_unroutable() const { return units_unroutable_; }
+  std::int64_t units_unroutable() const { return units_unroutable_->value(); }
 
   sim::NodeIndex node() const { return node_; }
+  /// The registry this runtime emits through (shared or private).
+  obs::MetricRegistry& metrics() { return *registry_; }
+
+  /// Packs a stream endpoint identity into the endpoint-table key. App
+  /// ids and substream indices are non-negative and fit 32 bits each.
+  static std::uint64_t endpoint_key(AppId app, std::int32_t substream) {
+    return (std::uint64_t(std::uint32_t(app)) << 32) |
+           std::uint64_t(std::uint32_t(substream));
+  }
 
  private:
+  /// Sink and/or source endpoint of one (app, substream) on this node,
+  /// plus the bandwidth reserved for each at deploy time.
+  struct Endpoint {
+    std::optional<StreamSink> sink;
+    std::unique_ptr<StreamSource> source;
+    double sink_reserved_kbps = 0;
+    double source_reserved_kbps = 0;
+
+    bool empty() const { return !sink.has_value() && source == nullptr; }
+  };
+
   void on_data_unit(const std::shared_ptr<const DataUnit>& unit);
   void maybe_dispatch();
   void finish_unit(ScheduledUnit scheduled, sim::SimDuration actual);
   void send_ack(sim::NodeIndex to, std::uint64_t request_id, bool ok);
   double reservation_kbps(double rate_ups, std::int64_t unit_bytes) const;
+
+  /// Ascending (app, substream) key order — the deterministic iteration
+  /// order every aggregate over the endpoint table uses.
+  std::vector<std::uint64_t> sorted_endpoint_keys() const;
+
+  /// Labels a per-endpoint metric; re-deployments of the same
+  /// (app, substream) get a fresh incarnation suffix so their registry
+  /// cells never alias.
+  obs::Labels endpoint_labels(AppId app, std::int32_t substream,
+                              std::uint32_t incarnation) const;
 
   sim::Simulator& simulator_;
   sim::Network& network_;
@@ -103,6 +150,10 @@ class NodeRuntime {
   bool cpu_busy_ = false;
   util::Xoshiro256 exec_rng_;
 
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* registry_;
+  obs::UnitTrace* trace_;
+
   std::unordered_map<ComponentKey, std::unique_ptr<Component>,
                      ComponentKeyHash>
       components_;
@@ -112,17 +163,18 @@ class NodeRuntime {
       component_reservations_;
   std::unordered_map<ComponentKey, double, ComponentKeyHash>
       component_cpu_reservations_;
-  std::map<std::pair<AppId, std::int32_t>, StreamSink> sinks_;
-  std::map<std::pair<AppId, std::int32_t>, double> sink_reservations_;
-  std::map<std::pair<AppId, std::int32_t>, std::unique_ptr<StreamSource>>
-      sources_;
-  std::map<std::pair<AppId, std::int32_t>, double> source_reservations_;
 
-  std::int64_t units_received_ = 0;
-  std::int64_t dropped_queue_full_ = 0;
-  std::int64_t dropped_deadline_ = 0;
-  std::int64_t units_processed_ = 0;
-  std::int64_t units_unroutable_ = 0;
+  /// Stream endpoints keyed by endpoint_key(app, substream).
+  std::unordered_map<std::uint64_t, Endpoint> endpoints_;
+  /// Deploy counts per endpoint key (never erased): metric incarnations.
+  std::unordered_map<std::uint64_t, std::uint32_t> sink_incarnations_;
+  std::unordered_map<std::uint64_t, std::uint32_t> source_incarnations_;
+
+  obs::Counter* units_received_;
+  obs::Counter* dropped_queue_full_;
+  obs::Counter* dropped_deadline_;
+  obs::Counter* units_processed_;
+  obs::Counter* units_unroutable_;
 };
 
 }  // namespace rasc::runtime

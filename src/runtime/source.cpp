@@ -9,14 +9,20 @@ StreamSource::StreamSource(sim::Simulator& simulator, sim::Network& network,
                            sim::NodeIndex node, AppId app,
                            std::int32_t substream, double rate_ups,
                            std::int64_t unit_bytes,
-                           std::vector<Placement> first_stage)
+                           std::vector<Placement> first_stage,
+                           obs::MetricRegistry* registry, obs::Labels labels,
+                           obs::UnitTrace* trace)
     : simulator_(simulator),
       network_(network),
       node_(node),
       app_(app),
       substream_(substream),
       unit_bytes_(unit_bytes),
-      first_stage_(std::move(first_stage)) {
+      first_stage_(std::move(first_stage)),
+      trace_(trace) {
+  if (registry) {
+    emitted_cell_ = &registry->counter("source.units_emitted", labels);
+  }
   assert(rate_ups > 0);
   assert(!first_stage_.empty());
   period_ = sim::SimDuration(1e6 / rate_ups);
@@ -56,9 +62,12 @@ void StreamSource::emit() {
   unit->stage = 0;
   unit->size_bytes = unit_bytes_;
   unit->created_at = simulator_.now();
+  RASC_TRACE(trace_, obs::UnitId{app_, substream_, emitted_},
+             obs::Hop::kEmitted, node_, simulator_.now());
   const std::size_t pick = wrr_ ? wrr_->next() : 0;
   network_.send(node_, first_stage_[pick].node, unit_bytes_, std::move(unit));
   ++emitted_;
+  if (emitted_cell_) emitted_cell_->add();
 
   // Exact grid: next emission at start + emitted * period.
   const sim::SimTime next = start_ + emitted_ * period_;

@@ -7,6 +7,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metric_registry.hpp"
+#include "obs/unit_trace.hpp"
 #include "runtime/data_unit.hpp"
 #include "runtime/plan.hpp"
 #include "runtime/wrr.hpp"
@@ -19,10 +21,15 @@ class StreamSource {
  public:
   /// Emits `rate_ups` units/sec of `unit_bytes` each from `node`,
   /// spreading them over `first_stage` proportionally to allocated rates.
+  /// When attached to a registry, emissions are mirrored to the
+  /// source.units_emitted counter under `labels`; `trace` (optional)
+  /// receives an emitted hop per unit.
   StreamSource(sim::Simulator& simulator, sim::Network& network,
                sim::NodeIndex node, AppId app, std::int32_t substream,
                double rate_ups, std::int64_t unit_bytes,
-               std::vector<Placement> first_stage);
+               std::vector<Placement> first_stage,
+               obs::MetricRegistry* registry = nullptr,
+               obs::Labels labels = {}, obs::UnitTrace* trace = nullptr);
   ~StreamSource();
 
   StreamSource(const StreamSource&) = delete;
@@ -52,7 +59,11 @@ class StreamSource {
   std::optional<WeightedRoundRobin> wrr_;
   sim::SimTime start_ = 0;
   sim::SimTime until_ = 0;
+  /// Doubles as the next sequence number and the emission-grid index, so
+  /// it stays a plain member; the registry cell mirrors it for export.
   std::int64_t emitted_ = 0;
+  obs::Counter* emitted_cell_ = nullptr;
+  obs::UnitTrace* trace_ = nullptr;
   sim::EventId next_event_ = 0;
   bool running_ = false;
 };

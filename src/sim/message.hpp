@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
+#include "obs/unit_trace.hpp"
 #include "sim/time.hpp"
 
 namespace rasc::sim {
@@ -22,6 +24,11 @@ struct Message {
   virtual ~Message() = default;
   /// Human-readable message kind, for logging and tests.
   virtual const char* kind() const = 0;
+  /// Lifecycle-trace identity for payloads that are stream data units;
+  /// nullopt for control traffic. Lets the network attribute port drops
+  /// and node-failure losses to the exact unit without knowing the
+  /// runtime's types.
+  virtual std::optional<obs::UnitId> unit_id() const { return std::nullopt; }
 };
 
 using MessagePtr = std::shared_ptr<const Message>;

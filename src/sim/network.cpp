@@ -7,21 +7,50 @@
 
 namespace rasc::sim {
 
-Network::Network(Simulator& simulator, Topology topology)
+namespace {
+
+obs::Labels node_labels(std::size_t node) {
+  obs::Labels labels;
+  labels.node = std::int32_t(node);
+  return labels;
+}
+
+}  // namespace
+
+Network::Network(Simulator& simulator, Topology topology,
+                 obs::MetricRegistry* registry, obs::UnitTrace* trace)
     : simulator_(simulator),
       topology_(std::move(topology)),
+      owned_registry_(registry ? nullptr
+                               : std::make_unique<obs::MetricRegistry>()),
+      registry_(registry ? registry : owned_registry_.get()),
+      trace_(trace),
       handlers_(topology_.size()),
       drop_handlers_(topology_.size()),
       out_free_at_(topology_.size(), 0),
       in_free_at_(topology_.size(), 0),
-      bytes_sent_(topology_.size(), 0),
-      bytes_received_(topology_.size(), 0),
-      received_by_kind_(topology_.size()),
       sent_by_kind_(topology_.size()),
-      out_queue_drops_(topology_.size(), 0),
-      in_queue_drops_(topology_.size(), 0),
+      received_by_kind_(topology_.size()),
       up_(topology_.size(), true),
-      loss_rng_(simulator.rng().split(0x6e657477 /* "netw" */)) {}
+      loss_rng_(simulator.rng().split(0x6e657477 /* "netw" */)) {
+  const std::size_t n = topology_.size();
+  bytes_sent_.reserve(n);
+  bytes_received_.reserve(n);
+  out_queue_drops_.reserve(n);
+  in_queue_drops_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes_sent_.push_back(&registry_->counter("net.bytes_sent",
+                                              node_labels(i)));
+    bytes_received_.push_back(
+        &registry_->counter("net.bytes_received", node_labels(i)));
+    out_queue_drops_.push_back(
+        &registry_->counter("net.port_drops_out", node_labels(i)));
+    in_queue_drops_.push_back(
+        &registry_->counter("net.port_drops_in", node_labels(i)));
+  }
+  packets_sent_ = &registry_->counter("net.packets_sent");
+  packets_dropped_ = &registry_->counter("net.packets_dropped");
+}
 
 void Network::set_handler(NodeIndex node, Handler handler) {
   handlers_.at(std::size_t(node)) = std::move(handler);
@@ -35,11 +64,91 @@ void Network::set_drop_handler(NodeIndex node, DropHandler handler) {
   drop_handlers_.at(std::size_t(node)) = std::move(handler);
 }
 
+Network::KindId Network::kind_id(const Message* payload) {
+  static const char* const kNullKind = "null";
+  const char* kind = payload ? payload->kind() : kNullKind;
+  const auto cached = kind_ptr_cache_.find(kind);
+  if (cached != kind_ptr_cache_.end()) return cached->second;
+
+  const auto [it, inserted] =
+      kind_ids_.emplace(kind, KindId(kind_names_.size()));
+  if (inserted) {
+    // New kind: grow one counter column per node.
+    kind_names_.emplace_back(kind);
+    for (std::size_t n = 0; n < topology_.size(); ++n) {
+      obs::Labels labels = node_labels(n);
+      labels.component = kind;
+      sent_by_kind_[n].push_back(
+          &registry_->counter("net.sent_bytes_by_kind", labels));
+      received_by_kind_[n].push_back(
+          &registry_->counter("net.received_bytes_by_kind", labels));
+    }
+  }
+  kind_ptr_cache_.emplace(kind, it->second);
+  return it->second;
+}
+
+std::int64_t Network::received_bytes_of_kind(NodeIndex node,
+                                             KindId kind) const {
+  const auto& column = received_by_kind_[std::size_t(node)];
+  return kind < column.size() ? column[kind]->value() : 0;
+}
+
+std::int64_t Network::sent_bytes_of_kind(NodeIndex node, KindId kind) const {
+  const auto& column = sent_by_kind_[std::size_t(node)];
+  return kind < column.size() ? column[kind]->value() : 0;
+}
+
+std::map<std::string, std::int64_t> Network::received_by_kind(
+    NodeIndex node) const {
+  std::map<std::string, std::int64_t> view;
+  const auto& column = received_by_kind_[std::size_t(node)];
+  for (std::size_t k = 0; k < column.size(); ++k) {
+    if (column[k]->value() > 0) view[kind_names_[k]] = column[k]->value();
+  }
+  return view;
+}
+
+std::map<std::string, std::int64_t> Network::sent_by_kind(
+    NodeIndex node) const {
+  std::map<std::string, std::int64_t> view;
+  const auto& column = sent_by_kind_[std::size_t(node)];
+  for (std::size_t k = 0; k < column.size(); ++k) {
+    if (column[k]->value() > 0) view[kind_names_[k]] = column[k]->value();
+  }
+  return view;
+}
+
+void Network::count_lost(const Packet& packet, obs::DropReason reason) {
+  packets_dropped_->add();
+#if RASC_OBS_TRACING
+  if (trace_ && trace_->enabled() && packet.payload) {
+    if (const auto id = packet.payload->unit_id()) {
+      const NodeIndex at = reason == obs::DropReason::kPortTailDrop
+                               ? packet.src
+                               : packet.dst;
+      trace_->record(*id, obs::Hop::kDropped, at, simulator_.now(), reason);
+    }
+  }
+#else
+  (void)packet;
+  (void)reason;
+#endif
+}
+
 void Network::notify_drop(NodeIndex node, const Packet& packet,
                           bool outgoing) {
-  ++packets_dropped_;
+  packets_dropped_->add();
   auto& counter = outgoing ? out_queue_drops_ : in_queue_drops_;
-  ++counter[std::size_t(node)];
+  counter[std::size_t(node)]->add();
+#if RASC_OBS_TRACING
+  if (trace_ && trace_->enabled() && packet.payload) {
+    if (const auto id = packet.payload->unit_id()) {
+      trace_->record(*id, obs::Hop::kDropped, node, simulator_.now(),
+                     obs::DropReason::kPortTailDrop);
+    }
+  }
+#endif
   const auto& handler = drop_handlers_[std::size_t(node)];
   if (handler) handler(packet, outgoing);
 }
@@ -61,10 +170,10 @@ void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
   packet.size_bytes = size_bytes;
   packet.payload = std::move(payload);
   packet.sent_at = simulator_.now();
-  ++packets_sent_;
+  packets_sent_->add();
 
   if (!up_[std::size_t(src)] || !up_[std::size_t(dst)]) {
-    ++packets_dropped_;
+    count_lost(packet, obs::DropReason::kNodeFailed);
     return;
   }
 
@@ -85,10 +194,16 @@ void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
     notify_drop(src, packet, /*outgoing=*/true);
     return;
   }
-  bytes_sent_[std::size_t(src)] += wire_bytes;
-  sent_by_kind_[std::size_t(src)]
-              [packet.payload ? packet.payload->kind() : "null"] +=
-      wire_bytes;
+  bytes_sent_[std::size_t(src)]->add(wire_bytes);
+  const KindId kind = kind_id(packet.payload.get());
+  sent_by_kind_[std::size_t(src)][kind]->add(wire_bytes);
+#if RASC_OBS_TRACING
+  if (trace_ && trace_->enabled() && packet.payload) {
+    if (const auto id = packet.payload->unit_id()) {
+      trace_->record(*id, obs::Hop::kPortQueued, src, simulator_.now());
+    }
+  }
+#endif
   const SimTime departed = start + serialization_time(wire_bytes, bw_out);
   out_free_at_[std::size_t(src)] = departed;
 
@@ -109,11 +224,11 @@ void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
 
 void Network::arrive(Packet packet) {
   if (!up_[std::size_t(packet.dst)]) {
-    ++packets_dropped_;
+    count_lost(packet, obs::DropReason::kNodeFailed);
     return;
   }
   if (topology_.loss_rate > 0 && loss_rng_.bernoulli(topology_.loss_rate)) {
-    ++packets_dropped_;
+    count_lost(packet, obs::DropReason::kLinkLoss);
     return;
   }
   // Input-port serialization, contended in true arrival order because this
@@ -134,18 +249,18 @@ void Network::arrive(Packet packet) {
 
 void Network::deliver(const Packet& packet) {
   if (!up_[std::size_t(packet.dst)]) {
-    ++packets_dropped_;
+    count_lost(packet, obs::DropReason::kNodeFailed);
     return;
   }
   // Loopback traffic never touches the access link: it must not count
   // toward measured bandwidth use, or co-located pipeline stages would
   // look like congestion to the monitor.
   if (packet.src != packet.dst) {
-    bytes_received_[std::size_t(packet.dst)] +=
+    const std::int64_t wire_bytes =
         packet.size_bytes + kFrameOverheadBytes;
-    received_by_kind_[std::size_t(packet.dst)]
-                     [packet.payload ? packet.payload->kind() : "null"] +=
-        packet.size_bytes + kFrameOverheadBytes;
+    bytes_received_[std::size_t(packet.dst)]->add(wire_bytes);
+    const KindId kind = kind_id(packet.payload.get());
+    received_by_kind_[std::size_t(packet.dst)][kind]->add(wire_bytes);
   }
   const auto& handler = handlers_[std::size_t(packet.dst)];
   if (handler) {
@@ -155,7 +270,7 @@ void Network::deliver(const Packet& packet) {
                     << " dropped: no handler (kind="
                     << (packet.payload ? packet.payload->kind() : "null")
                     << ")";
-    ++packets_dropped_;
+    count_lost(packet, obs::DropReason::kUnroutable);
   }
 }
 

@@ -12,14 +12,24 @@
 // Both serialization steps are what make RASC's b_in/b_out constraints
 // (paper §3.2) physically binding: overload a node and queueing delay —
 // hence deadline misses, drops and jitter — emerges here.
+//
+// Traffic accounting lives in an obs::MetricRegistry (one shared with the
+// rest of the deployment, or a private one when none is supplied):
+// per-node byte/packet/drop counters plus per-(node, kind) wire bytes.
+// Message kinds are interned to dense ids on first sight, so the per-send
+// bookkeeping is flat vector indexing, not a string-keyed map lookup.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "obs/metric_registry.hpp"
+#include "obs/unit_trace.hpp"
 #include "sim/message.hpp"
 #include "sim/simulator.hpp"
 #include "sim/topology.hpp"
@@ -34,7 +44,15 @@ class Network {
   /// the loss into their monitoring.
   using DropHandler = std::function<void(const Packet&, bool outgoing)>;
 
-  Network(Simulator& simulator, Topology topology);
+  /// Dense id of an interned message kind (per-Network scope).
+  using KindId = std::uint32_t;
+
+  /// `registry` receives the traffic accounting; when null the network
+  /// owns a private registry (tests, standalone use). `trace`, when
+  /// non-null, gets port-drop / node-failure hops for data units.
+  Network(Simulator& simulator, Topology topology,
+          obs::MetricRegistry* registry = nullptr,
+          obs::UnitTrace* trace = nullptr);
 
   /// Registers the upper-layer handler invoked when a packet is delivered
   /// to `node`.
@@ -61,32 +79,35 @@ class Network {
   /// Cumulative payload+frame bytes that have *started* transmission from
   /// `node` (counted at departure start).
   std::int64_t bytes_sent(NodeIndex node) const {
-    return bytes_sent_[std::size_t(node)];
+    return bytes_sent_[std::size_t(node)]->value();
   }
   /// Cumulative bytes delivered to `node` (counted at delivery).
   std::int64_t bytes_received(NodeIndex node) const {
-    return bytes_received_[std::size_t(node)];
+    return bytes_received_[std::size_t(node)]->value();
   }
-  std::int64_t packets_sent() const { return packets_sent_; }
-  std::int64_t packets_dropped() const { return packets_dropped_; }
+  std::int64_t packets_sent() const { return packets_sent_->value(); }
+  std::int64_t packets_dropped() const { return packets_dropped_->value(); }
   /// Tail drops at `node`'s port queues.
   std::int64_t out_queue_drops(NodeIndex node) const {
-    return out_queue_drops_[std::size_t(node)];
+    return out_queue_drops_[std::size_t(node)]->value();
   }
   std::int64_t in_queue_drops(NodeIndex node) const {
-    return in_queue_drops_[std::size_t(node)];
+    return in_queue_drops_[std::size_t(node)]->value();
   }
 
-  /// Diagnostic: received wire bytes per message kind (excludes loopback).
-  const std::map<std::string, std::int64_t>& received_by_kind(
-      NodeIndex node) const {
-    return received_by_kind_[std::size_t(node)];
-  }
-  /// Diagnostic: sent wire bytes per message kind (excludes loopback).
-  const std::map<std::string, std::int64_t>& sent_by_kind(
-      NodeIndex node) const {
-    return sent_by_kind_[std::size_t(node)];
-  }
+  // --- Per-kind accounting (interned kinds, flat storage) ---
+
+  /// Interned message kinds, in id order. Index with a KindId.
+  const std::vector<std::string>& kind_names() const { return kind_names_; }
+  /// Received wire bytes of one interned kind at `node` (0 for an id this
+  /// network has not seen).
+  std::int64_t received_bytes_of_kind(NodeIndex node, KindId kind) const;
+  std::int64_t sent_bytes_of_kind(NodeIndex node, KindId kind) const;
+
+  /// Diagnostic compatibility views: per-kind wire bytes as name-keyed
+  /// maps (excludes loopback; only kinds with nonzero totals appear).
+  std::map<std::string, std::int64_t> received_by_kind(NodeIndex node) const;
+  std::map<std::string, std::int64_t> sent_by_kind(NodeIndex node) const;
 
   /// Earliest time the out port of `node` is free (for tests).
   SimTime out_port_free_at(NodeIndex node) const {
@@ -111,22 +132,41 @@ class Network {
   void deliver(const Packet& packet);
 
   void notify_drop(NodeIndex node, const Packet& packet, bool outgoing);
+  void count_lost(const Packet& packet, obs::DropReason reason);
+
+  /// Interns the payload's kind, growing the per-node kind columns.
+  KindId kind_id(const Message* payload);
 
   Simulator& simulator_;
   Topology topology_;
+
+  std::unique_ptr<obs::MetricRegistry> owned_registry_;
+  obs::MetricRegistry* registry_;
+  obs::UnitTrace* trace_;
+
   std::vector<Handler> handlers_;
   std::vector<DropHandler> drop_handlers_;
   std::vector<SimTime> out_free_at_;
   std::vector<SimTime> in_free_at_;
-  std::vector<std::int64_t> bytes_sent_;
-  std::vector<std::int64_t> bytes_received_;
-  std::vector<std::map<std::string, std::int64_t>> received_by_kind_;
-  std::vector<std::map<std::string, std::int64_t>> sent_by_kind_;
-  std::vector<std::int64_t> out_queue_drops_;
-  std::vector<std::int64_t> in_queue_drops_;
+
+  // Registry-backed cells, cached as raw pointers for flat indexing.
+  std::vector<obs::Counter*> bytes_sent_;
+  std::vector<obs::Counter*> bytes_received_;
+  std::vector<obs::Counter*> out_queue_drops_;
+  std::vector<obs::Counter*> in_queue_drops_;
+  obs::Counter* packets_sent_;
+  obs::Counter* packets_dropped_;
+
+  // Kind interning: `kind()` returns string literals, so a pointer cache
+  // short-circuits the by-content lookup after each call site's first
+  // send. Per-kind byte cells are indexed [node][kind id].
+  std::unordered_map<const char*, KindId> kind_ptr_cache_;
+  std::map<std::string, KindId> kind_ids_;
+  std::vector<std::string> kind_names_;
+  std::vector<std::vector<obs::Counter*>> sent_by_kind_;
+  std::vector<std::vector<obs::Counter*>> received_by_kind_;
+
   std::vector<bool> up_;
-  std::int64_t packets_sent_ = 0;
-  std::int64_t packets_dropped_ = 0;
   util::Xoshiro256 loss_rng_;
 };
 

@@ -53,6 +53,12 @@ void Reservoir::add(double x) {
   if (j < capacity_) samples_[j] = x;
 }
 
+std::vector<double> Reservoir::sorted_samples() const {
+  std::vector<double> copy = samples_;
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
 double Reservoir::percentile(double q) const {
   if (samples_.empty()) return 0.0;
   if (!sorted_) {

