@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
   std::printf("stream up: %lld units delivered in 10 s; killing node %d "
               "(hosts stage 0)\n",
               (long long)delivered_before, victim);
-  network.set_node_up(victim, false);
+  network.fail_node(victim);
 
   // Let the outage bite: deliveries stall.
   simulator.run_until(simulator.now() + sim::sec(5));
@@ -125,7 +125,13 @@ int main(int argc, char** argv) {
       sink_after ? sink_after->stats().delay_ms.mean() : 0.0);
 
   // ---- Part 2: automatic recovery via the AppSupervisor ----
-  std::printf("\npart 2: supervised stream, automatic recovery\n");
+  // Bring the first victim back first: restore_node resurrects the node
+  // with empty port queues (a rebooted box, not a paused one).
+  network.restore_node(victim);
+  std::printf("\nnode %d restored (failures so far: %lld, restores: %lld)\n",
+              victim, (long long)network.node_failures(victim),
+              (long long)network.node_restores(victim));
+  std::printf("part 2: supervised stream, automatic recovery\n");
   core::ServiceRequest req3 = req;
   req3.app = 3;
   bool admitted3 = false;
@@ -160,7 +166,7 @@ int main(int argc, char** argv) {
                    });
   const auto victim3 = plan3.substreams[0].stages[0].placements[0].node;
   std::printf("  killing node %d (hosts app 3 stage 0)\n", victim3);
-  network.set_node_up(victim3, false);
+  network.fail_node(victim3);
   for (std::size_t n = 0; n < world.size(); ++n) {
     if (sim::NodeIndex(n) != victim3) {
       world.overlay().at(n).purge_peer(victim3);

@@ -7,11 +7,18 @@
 //       --requests 60 --reps 3 --bw-min 300 --bw-max 4000
 //       [--policy llf|fifo|edf] [--no-cpu] [--reservations] [--csv out.csv]
 //       [--metrics-csv snap.csv] [--metrics-json snap.json]
+//       [--chaos-scenario churn:period=4s] [--chaos-seed 7] [--supervise]
+//       [--slo "delivered>=0.8,recovery<=10s"] [--slo-report slo.csv]
 //
 // --metrics-csv / --metrics-json dump the deployment-wide metric registry
 // snapshot (every net.*/runtime.*/sink.*/monitor.*/compose.* cell, stable
 // key order) after each repetition; with --reps > 1 the rep index is
 // appended to the file stem.
+//
+// --chaos-scenario injects a named fault scenario (see chaos/scenario.hpp
+// for the library and override syntax); --slo asserts delivery/recovery
+// bounds and makes the process exit nonzero when any repetition violates
+// them, so chaos runs can gate CI.
 #include <cstdio>
 #include <string>
 
@@ -68,6 +75,14 @@ int main(int argc, char** argv) {
 
   if (flags.get_bool("no-cpu", false)) cfg.algorithm = "mincost-nocpu";
 
+  cfg.chaos_scenario = flags.get_string("chaos-scenario", "");
+  cfg.chaos_seed = std::uint64_t(flags.get_int("chaos-seed", 0));
+  cfg.supervise = flags.get_bool("supervise", false);
+  const std::string slo_spec = flags.get_string("slo", "");
+  if (!slo_spec.empty()) cfg.slo = chaos::parse_slo(slo_spec);
+  const std::string slo_report = flags.get_string("slo-report", "");
+  const std::string timeline_csv = flags.get_string("chaos-timeline", "");
+
   const int reps = int(flags.get_int("reps", 1));
   const std::uint64_t seed = std::uint64_t(flags.get_int("seed", 42));
   const std::string csv_path = flags.get_string("csv", "");
@@ -96,10 +111,13 @@ int main(int argc, char** argv) {
   }
 
   util::SummaryStats composed, delivered, timely, delay, jitter;
+  bool slo_violated = false;
   for (int rep = 0; rep < reps; ++rep) {
     cfg.world.seed = seed + std::uint64_t(rep) * 7919;
     cfg.metrics_csv = rep_path(metrics_csv, rep);
     cfg.metrics_json = rep_path(metrics_json, rep);
+    cfg.slo_report = rep_path(slo_report, rep);
+    cfg.chaos_timeline_csv = rep_path(timeline_csv, rep);
     const auto m = exp::run_experiment(cfg);
     std::printf(
         "rep %d: composed %d/%d | emitted %lld | delivered %.3f | timely "
@@ -109,6 +127,18 @@ int main(int argc, char** argv) {
         m.delivered_fraction(), m.timely_fraction(),
         m.out_of_order_fraction(), m.mean_delay_ms(), m.mean_jitter_ms(),
         m.splitting_degree(), (long long)m.drops_network);
+    if (m.faults_injected > 0 || m.slo_pass >= 0) {
+      std::printf(
+          "rep %d: chaos faults %lld | recoveries %lld | gave up %lld | "
+          "recovery %s | slo %s\n",
+          rep, (long long)m.faults_injected, (long long)m.recoveries,
+          (long long)m.gave_up,
+          m.recovery_ms >= 0
+              ? (std::to_string(std::int64_t(m.recovery_ms)) + " ms").c_str()
+              : "n/a",
+          m.slo_pass < 0 ? "n/a" : (m.slo_pass == 1 ? "PASS" : "FAIL"));
+    }
+    if (m.slo_pass == 0) slo_violated = true;
     composed.add(m.composed);
     delivered.add(m.delivered_fraction());
     timely.add(m.timely_fraction());
@@ -130,5 +160,5 @@ int main(int argc, char** argv) {
         reps, composed.mean(), delivered.mean(), timely.mean(),
         delay.mean(), jitter.mean());
   }
-  return 0;
+  return slo_violated ? 1 : 0;
 }

@@ -1,0 +1,266 @@
+#include "chaos/scenario.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace rasc::chaos {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRestore:
+      return "restore";
+    case FaultKind::kBandwidth:
+      return "bandwidth";
+    case FaultKind::kLatency:
+      return "latency";
+    case FaultKind::kLoss:
+      return "loss";
+    case FaultKind::kMonitorBlackout:
+      return "monitor-blackout";
+    case FaultKind::kControlDelay:
+      return "control-delay";
+    case FaultKind::kControlDuplicate:
+      return "control-duplicate";
+  }
+  return "?";
+}
+
+std::vector<std::string> scenario_names() {
+  return {"none",    "single-crash",  "multi-crash",      "churn",
+          "flapping-link", "cascade", "monitor-blackout", "control-jitter"};
+}
+
+Scenario make_scenario(const std::string& name) {
+  Scenario s;
+  s.name = name;
+  const auto lowest = [](int rank) {
+    Target t;
+    t.kind = TargetKind::kLowestBw;
+    t.rank = rank;
+    return t;
+  };
+
+  if (name == "none") {
+    return s;
+  }
+  if (name == "single-crash") {
+    // One random node dies mid-run and stays dead: the baseline recovery
+    // drill (paper §1's "adjusts the rates" under a component-host loss).
+    Fault f;
+    f.kind = FaultKind::kCrash;
+    f.at = sim::sec(10);
+    s.faults.push_back(f);
+    return s;
+  }
+  if (name == "multi-crash") {
+    // Correlated failure: several nodes die at the same instant (rack /
+    // site outage). `count` is the failure-scale knob the recovery-latency
+    // experiment sweeps.
+    Fault f;
+    f.kind = FaultKind::kCrash;
+    f.at = sim::sec(10);
+    f.count = 3;
+    s.faults.push_back(f);
+    return s;
+  }
+  if (name == "churn") {
+    // Rolling restarts: every period one random node is down for a few
+    // seconds and then comes back. Exercises restore_node and the
+    // composers' willingness to re-use returned capacity.
+    Fault f;
+    f.kind = FaultKind::kCrash;
+    f.at = sim::sec(8);
+    f.duration = sim::sec(3);
+    f.period = sim::sec(6);
+    f.repeats = 6;
+    s.faults.push_back(f);
+    return s;
+  }
+  if (name == "flapping-link") {
+    // The most bandwidth-starved access link repeatedly collapses to a
+    // quarter of its capacity and recovers: queueing drops come and go
+    // faster than the monitor window fully turns over.
+    Fault f;
+    f.kind = FaultKind::kBandwidth;
+    f.target = lowest(0);
+    f.at = sim::sec(8);
+    f.duration = sim::sec(2);
+    f.magnitude = 0.25;
+    f.period = sim::sec(4);
+    f.repeats = 8;
+    s.faults.push_back(f);
+    return s;
+  }
+  if (name == "cascade") {
+    // Cascading overload: the two weakest links degrade in sequence, then
+    // the weakest node dies outright — load displaced by each stage makes
+    // the next one worse.
+    Fault d0;
+    d0.kind = FaultKind::kBandwidth;
+    d0.target = lowest(0);
+    d0.at = sim::sec(8);
+    d0.magnitude = 0.3;
+    s.faults.push_back(d0);
+    Fault d1;
+    d1.kind = FaultKind::kBandwidth;
+    d1.target = lowest(1);
+    d1.at = sim::sec(14);
+    d1.magnitude = 0.5;
+    s.faults.push_back(d1);
+    Fault crash;
+    crash.kind = FaultKind::kCrash;
+    crash.target = lowest(0);
+    crash.at = sim::sec(20);
+    s.faults.push_back(crash);
+    return s;
+  }
+  if (name == "monitor-blackout") {
+    // A third of the monitors stop folding in new samples for a stretch:
+    // composition runs on stale statistics (the staleness regime the
+    // paper's baselines suffered from).
+    Fault f;
+    f.kind = FaultKind::kMonitorBlackout;
+    f.at = sim::sec(8);
+    f.duration = sim::sec(12);
+    f.count = 4;
+    s.faults.push_back(f);
+    return s;
+  }
+  if (name == "control-jitter") {
+    // Control-plane trouble without data-plane damage: stats replies,
+    // deployment messages and probes arrive late or twice.
+    Fault delay;
+    delay.kind = FaultKind::kControlDelay;
+    delay.at = sim::sec(6);
+    delay.duration = sim::sec(20);
+    delay.magnitude = 80;  // ms
+    delay.probability = 0.3;
+    s.faults.push_back(delay);
+    Fault dup;
+    dup.kind = FaultKind::kControlDuplicate;
+    dup.at = sim::sec(6);
+    dup.duration = sim::sec(20);
+    dup.probability = 0.15;
+    s.faults.push_back(dup);
+    return s;
+  }
+  throw std::invalid_argument("unknown chaos scenario: " + name);
+}
+
+namespace {
+
+sim::SimDuration parse_time(const std::string& key, const std::string& v) {
+  std::size_t suffix = 0;
+  double value = 0;
+  try {
+    value = std::stod(v, &suffix);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("chaos scenario key " + key +
+                                ": bad time: " + v);
+  }
+  const std::string unit = v.substr(suffix);
+  if (unit == "us") return sim::SimDuration(value);
+  if (unit == "ms") return sim::from_seconds(value / 1000.0);
+  if (unit == "s" || unit.empty()) return sim::from_seconds(value);
+  throw std::invalid_argument("chaos scenario key " + key +
+                              ": unknown time unit: " + unit);
+}
+
+double parse_num(const std::string& key, const std::string& v) {
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("chaos scenario key " + key +
+                                ": not a number: " + v);
+  }
+}
+
+}  // namespace
+
+Scenario parse_scenario(const std::string& spec) {
+  const auto colon = spec.find(':');
+  Scenario s = make_scenario(spec.substr(0, colon));
+  if (colon == std::string::npos) return s;
+
+  std::stringstream ss(spec.substr(colon + 1));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("chaos scenario: expected key=value, got " +
+                                  item);
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      s.seed = std::uint64_t(parse_num(key, value));
+      continue;
+    }
+    if (s.faults.empty()) {
+      throw std::invalid_argument(
+          "chaos scenario: cannot override fields of the empty scenario");
+    }
+    for (Fault& f : s.faults) {
+      if (key == "at") {
+        f.at = parse_time(key, value);
+      } else if (key == "duration") {
+        f.duration = parse_time(key, value);
+      } else if (key == "period") {
+        f.period = parse_time(key, value);
+      } else if (key == "node") {
+        f.target.kind = TargetKind::kExplicit;
+        f.target.node = sim::NodeIndex(parse_num(key, value));
+      } else if (key == "rank") {
+        f.target.kind = TargetKind::kLowestBw;
+        f.target.rank = int(parse_num(key, value));
+      } else if (key == "count") {
+        f.count = int(parse_num(key, value));
+      } else if (key == "repeats") {
+        f.repeats = int(parse_num(key, value));
+      } else if (key == "mag") {
+        f.magnitude = parse_num(key, value);
+      } else if (key == "prob") {
+        f.probability = parse_num(key, value);
+      } else {
+        throw std::invalid_argument("chaos scenario: unknown key: " + key);
+      }
+    }
+  }
+  return s;
+}
+
+std::string to_json(const Scenario& scenario) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << scenario.name << "\",\"seed\":" << scenario.seed
+     << ",\"faults\":[";
+  for (std::size_t i = 0; i < scenario.faults.size(); ++i) {
+    const Fault& f = scenario.faults[i];
+    if (i) os << ",";
+    os << "{\"kind\":\"" << to_string(f.kind) << "\",\"at_us\":" << f.at
+       << ",\"duration_us\":" << f.duration << ",\"magnitude\":"
+       << f.magnitude << ",\"probability\":" << f.probability
+       << ",\"count\":" << f.count << ",\"period_us\":" << f.period
+       << ",\"repeats\":" << f.repeats << ",\"target\":";
+    switch (f.target.kind) {
+      case TargetKind::kExplicit:
+        os << "{\"node\":" << f.target.node << "}";
+        break;
+      case TargetKind::kRandom:
+        os << "\"random\"";
+        break;
+      case TargetKind::kLowestBw:
+        os << "{\"lowest_bw_rank\":" << f.target.rank << "}";
+        break;
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace rasc::chaos

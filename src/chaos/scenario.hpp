@@ -1,0 +1,110 @@
+// Declarative fault scenarios for the chaos engine.
+//
+// A Scenario is a small, serializable spec: a list of Fault entries, each
+// describing *what* goes wrong (crash, bandwidth/latency degradation,
+// injected wire loss, monitor blackout, control-plane delay/duplication),
+// *where* (an explicit node, a seeded-random pick, or the k-th most
+// bandwidth-starved access link), *when* (onset relative to arming, an
+// optional duration after which the fault clears, and an optional
+// repetition period for flapping/churn), and *how hard* (a kind-specific
+// magnitude). The chaos::Injector expands a Scenario into a concrete,
+// fully deterministic timeline at arm() time — all randomness (target
+// picks) is drawn then, from a generator seeded only by Scenario::seed,
+// so the same (scenario, seed) pair always yields the same fault
+// timeline regardless of what the simulated system does.
+//
+// Scenarios come from three places: the built-in library
+// (`make_scenario`), the compact flag DSL (`parse_scenario`, used by
+// rasc_cli's --chaos-scenario), or hand-built structs in tests. The JSON
+// form (`to_json`) is export-only: a diffable fixture of what a spec
+// expanded to, not an input format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace rasc::chaos {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,             // node down; restored after `duration` when > 0
+  kRestore,           // explicit un-fail (churn scripts)
+  kBandwidth,         // scale the access link to `magnitude` x nominal
+  kLatency,           // add `magnitude` ms of one-way latency
+  kLoss,              // independent arrival-loss probability `magnitude`
+  kMonitorBlackout,   // freeze the node's resource monitor (stale stats)
+  kControlDelay,      // delay control packets `magnitude` ms w.p. `probability`
+  kControlDuplicate,  // duplicate control packets w.p. `probability`
+};
+inline constexpr std::size_t kFaultKindCount = 8;
+
+const char* to_string(FaultKind kind);
+
+enum class TargetKind : std::uint8_t {
+  kExplicit,  // Target::node
+  kRandom,    // uniform over the topology (injector RNG, drawn at arm())
+  kLowestBw,  // Target::rank-th lowest min(bw_in, bw_out) access link
+};
+
+struct Target {
+  TargetKind kind = TargetKind::kRandom;
+  sim::NodeIndex node = sim::kInvalidNode;  // kExplicit
+  int rank = 0;                             // kLowestBw
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kCrash;
+  Target target;
+  /// Onset, relative to Injector::arm()'s start time.
+  sim::SimTime at = 0;
+  /// How long the fault holds before the injector clears it (restores the
+  /// node / resets the scale). 0 = for the rest of the run.
+  sim::SimDuration duration = 0;
+  /// Kind-specific intensity: bandwidth scale factor, added latency in
+  /// ms, loss probability, or control-delay in ms.
+  double magnitude = 0;
+  /// Per-packet probability for the control-plane kinds.
+  double probability = 1.0;
+  /// Number of distinct simultaneous targets (correlated failures).
+  int count = 1;
+  /// Repeat every `period` (0 = one-shot), `repeats` occurrences total.
+  sim::SimDuration period = 0;
+  int repeats = 1;
+};
+
+struct Scenario {
+  std::string name = "none";
+  /// Seeds the injector's target/packet RNG. Independent of the world
+  /// seed: the same scenario hits the same victims in any world.
+  std::uint64_t seed = 1;
+  std::vector<Fault> faults;
+
+  bool empty() const { return faults.empty(); }
+};
+
+/// Names of the built-in scenario library, in catalog order.
+std::vector<std::string> scenario_names();
+
+/// Returns a built-in scenario ("none", "single-crash", "multi-crash",
+/// "churn", "flapping-link", "cascade", "monitor-blackout",
+/// "control-jitter"). Throws std::invalid_argument for unknown names.
+Scenario make_scenario(const std::string& name);
+
+/// Parses the flag DSL: `name[:key=value,...]`. The name selects a
+/// library scenario; keys override fields on *every* fault of it:
+///   at, duration, period  — times ("8s", "500ms", "250us"; bare = s)
+///   node                  — explicit target node index
+///   count, repeats, rank  — integers
+///   mag, prob             — doubles
+///   seed                  — scenario seed
+/// Examples: "single-crash:at=10s,node=3", "churn:period=4s,repeats=12".
+/// Throws std::invalid_argument on unknown names/keys or bad values.
+Scenario parse_scenario(const std::string& spec);
+
+/// JSON rendering of the spec (export/diagnostics only).
+std::string to_json(const Scenario& scenario);
+
+}  // namespace rasc::chaos

@@ -1,0 +1,217 @@
+#include "chaos/slo.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rasc::chaos {
+
+namespace {
+
+double parse_bound(const std::string& key, const std::string& v) {
+  try {
+    return std::stod(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("slo spec " + key + ": not a number: " + v);
+  }
+}
+
+sim::SimDuration parse_slo_time(const std::string& key,
+                                const std::string& v) {
+  std::size_t suffix = 0;
+  double value = 0;
+  try {
+    value = std::stod(v, &suffix);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("slo spec " + key + ": bad time: " + v);
+  }
+  const std::string unit = v.substr(suffix);
+  if (unit == "ms") return sim::from_seconds(value / 1000.0);
+  if (unit == "s" || unit.empty()) return sim::from_seconds(value);
+  throw std::invalid_argument("slo spec " + key + ": unknown unit: " + unit);
+}
+
+}  // namespace
+
+SloSpec parse_slo(const std::string& spec) {
+  SloSpec out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    std::string key, value;
+    bool ge = false;
+    if (auto pos = item.find(">="); pos != std::string::npos) {
+      key = item.substr(0, pos);
+      value = item.substr(pos + 2);
+      ge = true;
+    } else if (pos = item.find("<="); pos != std::string::npos) {
+      key = item.substr(0, pos);
+      value = item.substr(pos + 2);
+    } else if (pos = item.find('='); pos != std::string::npos) {
+      key = item.substr(0, pos);
+      value = item.substr(pos + 1);
+    } else {
+      throw std::invalid_argument("slo spec: expected key>=v, key<=v or "
+                                  "key=v, got " + item);
+    }
+    if (key == "delivered" && ge) {
+      out.delivered_floor = parse_bound(key, value);
+    } else if (key == "timely" && ge) {
+      out.timely_floor = parse_bound(key, value);
+    } else if (key == "drops" && !ge) {
+      out.drop_ceiling = parse_bound(key, value);
+    } else if (key == "recovery" && !ge) {
+      out.max_recovery = parse_slo_time(key, value);
+    } else if (key == "recovery-fraction") {
+      out.recovery_fraction = parse_bound(key, value);
+    } else if (key == "sample-ms") {
+      out.sample_period = parse_slo_time(key, value + "ms");
+    } else {
+      throw std::invalid_argument("slo spec: unknown or misdirected check: " +
+                                  item);
+    }
+  }
+  return out;
+}
+
+SloChecker::SloChecker(sim::Simulator& simulator,
+                       const obs::MetricRegistry& registry, SloSpec spec)
+    : simulator_(simulator), registry_(registry), spec_(std::move(spec)) {}
+
+SloChecker::~SloChecker() {
+  stopped_ = true;
+  simulator_.cancel(sample_event_);
+}
+
+std::int64_t SloChecker::delivered_now() const {
+  return registry_.counter_total("sink.delivered");
+}
+
+void SloChecker::start(sim::SimTime end) {
+  end_ = end;
+  last_delivered_ = delivered_now();
+  sample_event_ =
+      simulator_.call_after(spec_.sample_period, [this] { sample(); });
+}
+
+void SloChecker::note_fault(sim::SimTime at) {
+  if (fault_at_ < 0) fault_at_ = at;
+}
+
+void SloChecker::sample() {
+  if (stopped_) return;
+  const std::int64_t delivered = delivered_now();
+  const double rate = double(delivered - last_delivered_) /
+                      sim::to_seconds(spec_.sample_period);
+  last_delivered_ = delivered;
+  samples_.emplace_back(simulator_.now(), rate);
+  if (simulator_.now() + spec_.sample_period > end_) return;
+  sample_event_ =
+      simulator_.call_after(spec_.sample_period, [this] { sample(); });
+}
+
+SloChecker::Report SloChecker::finalize(
+    const std::string& scenario_name) const {
+  Report report;
+  report.scenario = scenario_name;
+  report.fault_at = fault_at_;
+
+  const double emitted =
+      double(registry_.counter_total("source.units_emitted"));
+  const double delivered = double(registry_.counter_total("sink.delivered"));
+  const double timely = double(registry_.counter_total("sink.timely"));
+  const double drops =
+      double(registry_.counter_total("runtime.drops_queue_full") +
+             registry_.counter_total("runtime.drops_deadline") +
+             registry_.counter_total("runtime.units_unroutable") +
+             registry_.counter_total("net.port_drops_out") +
+             registry_.counter_total("net.port_drops_in"));
+
+  const auto push = [&report](const std::string& name, double value,
+                              double bound, bool pass) {
+    report.checks.push_back(Check{name, value, bound, pass});
+    report.pass = report.pass && pass;
+  };
+
+  if (spec_.delivered_floor >= 0) {
+    const double f = emitted > 0 ? delivered / emitted : 0;
+    push("delivered_fraction", f, spec_.delivered_floor,
+         f >= spec_.delivered_floor);
+  }
+  if (spec_.timely_floor >= 0) {
+    const double f = delivered > 0 ? timely / delivered : 0;
+    push("timely_fraction", f, spec_.timely_floor, f >= spec_.timely_floor);
+  }
+  if (spec_.drop_ceiling >= 0) {
+    const double f = emitted > 0 ? drops / emitted : 0;
+    push("drop_fraction", f, spec_.drop_ceiling, f <= spec_.drop_ceiling);
+  }
+
+  if (spec_.max_recovery > 0) {
+    if (fault_at_ < 0) {
+      // No fault was ever signalled: vacuously recovered at t=0.
+      report.recovery_us = 0;
+      push("recovery_seconds", 0, sim::to_seconds(spec_.max_recovery), true);
+    } else {
+      // Pre-fault baseline: mean rate over the samples before the fault.
+      double baseline = 0;
+      int baseline_n = 0;
+      for (const auto& [t, rate] : samples_) {
+        if (t <= fault_at_) {
+          baseline += rate;
+          ++baseline_n;
+        }
+      }
+      if (baseline_n > 0) baseline /= baseline_n;
+      report.prefault_rate = baseline;
+      const double threshold = spec_.recovery_fraction * baseline;
+      // First post-fault sample at/above threshold whose successor (when
+      // one exists) also holds — a single lucky burst does not count.
+      for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const auto& [t, rate] = samples_[i];
+        if (t <= fault_at_ || rate < threshold) continue;
+        if (i + 1 < samples_.size() && samples_[i + 1].second < threshold) {
+          continue;
+        }
+        report.recovery_us = t - fault_at_;
+        break;
+      }
+      const bool recovered =
+          baseline_n > 0 && report.recovery_us >= 0 &&
+          report.recovery_us <= spec_.max_recovery;
+      push("recovery_seconds",
+           report.recovery_us >= 0 ? sim::to_seconds(report.recovery_us)
+                                   : -1,
+           sim::to_seconds(spec_.max_recovery), recovered);
+    }
+  }
+  return report;
+}
+
+std::string SloChecker::Report::summary() const {
+  std::ostringstream os;
+  os << (pass ? "PASS" : "FAIL") << " [" << scenario << "]";
+  for (const auto& c : checks) {
+    os << " " << c.name << "=" << c.value << (c.pass ? "(ok)" : "(VIOLATED)");
+  }
+  return os.str();
+}
+
+void SloChecker::write_report(const Report& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("slo: cannot write report: " + path);
+  }
+  out << "check,value,bound,pass\n";
+  for (const auto& c : report.checks) {
+    out << c.name << "," << c.value << "," << c.bound << ","
+        << (c.pass ? 1 : 0) << "\n";
+  }
+  out << "scenario," << report.scenario << ",,\n";
+  out << "fault_at_us," << report.fault_at << ",,\n";
+  out << "recovery_us," << report.recovery_us << ",,\n";
+  out << "overall,,," << (report.pass ? 1 : 0) << "\n";
+}
+
+}  // namespace rasc::chaos

@@ -1,0 +1,116 @@
+// SLO verification for chaos runs.
+//
+// An SloChecker samples the deployment-wide obs::MetricRegistry on a
+// fixed simulated-time period and, at the end of the run, turns the
+// series into a pass/fail report:
+//
+//  - delivered floor:  sink.delivered / source.units_emitted  >= bound
+//  - timely floor:     sink.timely   / sink.delivered         >= bound
+//  - drop ceiling:     (scheduler + port + unroutable drops) / emitted <= bound
+//  - recovery bound:   time from the first injected fault until the
+//    windowed delivered rate climbs back to `recovery_fraction` x the
+//    pre-fault rate (and stays there) <= bound
+//
+// The checker is observational: sampling reads counters and never
+// schedules anything the system can observe, draws no randomness, and
+// exists only when a spec is supplied — so a run without SLOs is
+// event-for-event identical to one before this subsystem existed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace rasc::chaos {
+
+struct SloSpec {
+  /// Floors/ceilings over the whole run; the negative defaults disable
+  /// each check.
+  double delivered_floor = -1;  // delivered fraction >=
+  double timely_floor = -1;     // timely fraction of delivered >=
+  double drop_ceiling = -1;     // dropped fraction of emitted <=
+  /// Recovery-time bound; 0 disables the check.
+  sim::SimDuration max_recovery = 0;
+  /// "Recovered" = windowed delivered rate >= this fraction of the mean
+  /// pre-fault rate, sustained to the end of the next sample too.
+  double recovery_fraction = 0.5;
+  sim::SimDuration sample_period = sim::msec(500);
+
+  bool any() const {
+    return delivered_floor >= 0 || timely_floor >= 0 || drop_ceiling >= 0 ||
+           max_recovery > 0;
+  }
+};
+
+/// Parses "delivered>=0.8,timely>=0.6,drops<=0.1,recovery<=10s"
+/// (keys: delivered, timely, drops, recovery, recovery-fraction,
+/// sample-ms; any subset). Throws std::invalid_argument on bad specs.
+SloSpec parse_slo(const std::string& spec);
+
+class SloChecker {
+ public:
+  struct Check {
+    std::string name;
+    double value = 0;
+    double bound = 0;
+    bool pass = true;
+  };
+
+  struct Report {
+    std::string scenario;
+    bool pass = true;
+    sim::SimTime fault_at = -1;        // -1: no fault was signalled
+    sim::SimDuration recovery_us = -1; // -1: never recovered / n.a.
+    double prefault_rate = 0;          // delivered units/sec before fault
+    std::vector<Check> checks;
+
+    std::string summary() const;
+  };
+
+  SloChecker(sim::Simulator& simulator, const obs::MetricRegistry& registry,
+             SloSpec spec);
+  ~SloChecker();
+
+  SloChecker(const SloChecker&) = delete;
+  SloChecker& operator=(const SloChecker&) = delete;
+
+  /// Starts periodic sampling until `end`.
+  void start(sim::SimTime end);
+
+  /// Marks the fault onset that starts the recovery clock (idempotent:
+  /// the first call wins). Typically wired to Injector hooks.
+  void note_fault(sim::SimTime at);
+
+  /// Evaluates every enabled check against the sampled series and the
+  /// registry's final counters.
+  Report finalize(const std::string& scenario_name) const;
+
+  /// Writes a report as CSV: one row per check plus recovery metadata.
+  static void write_report(const Report& report, const std::string& path);
+
+  /// (time, delivered-units/sec over the preceding period) samples.
+  const std::vector<std::pair<sim::SimTime, double>>& samples() const {
+    return samples_;
+  }
+
+ private:
+  void sample();
+  std::int64_t delivered_now() const;
+
+  sim::Simulator& simulator_;
+  const obs::MetricRegistry& registry_;
+  SloSpec spec_;
+
+  sim::SimTime end_ = 0;
+  sim::EventId sample_event_ = 0;
+  bool stopped_ = false;
+  std::int64_t last_delivered_ = 0;
+  sim::SimTime fault_at_ = -1;
+  std::vector<std::pair<sim::SimTime, double>> samples_;
+};
+
+}  // namespace rasc::chaos

@@ -20,7 +20,13 @@ AppSupervisor::AppSupervisor(sim::Simulator& simulator,
       node_(coordinator.node()),
       owned_metrics_(registry ? nullptr
                               : std::make_unique<obs::MetricRegistry>()),
-      metrics_(registry ? registry : owned_metrics_.get()) {
+      metrics_(registry ? registry : owned_metrics_.get()),
+      // Deterministic per (jitter_seed, node); independent of the
+      // simulation's root RNG so supervised and unsupervised runs stay
+      // event-for-event comparable.
+      backoff_rng_(params.jitter_seed ^
+                   (std::uint64_t(coordinator.node()) *
+                    0xD1B54A32D192ED03ull)) {
   obs::Labels labels;
   labels.node = node_;
   probes_sent_ = &metrics_->counter("supervisor.probes_sent", labels);
@@ -46,6 +52,10 @@ AppSupervisor::~AppSupervisor() {
     simulator_.cancel(w->timer);
     simulator_.cancel(w->probe_timeout_event);
   }
+  for (auto& [app, event] : pending_retries_) {
+    (void)app;
+    simulator_.cancel(event);
+  }
 }
 
 void AppSupervisor::watch(const ServiceRequest& request,
@@ -65,6 +75,11 @@ void AppSupervisor::watch(const ServiceRequest& request,
 }
 
 void AppSupervisor::forget(runtime::AppId app) {
+  if (const auto retry = pending_retries_.find(app);
+      retry != pending_retries_.end()) {
+    simulator_.cancel(retry->second);
+    pending_retries_.erase(retry);
+  }
   const auto it = watched_.find(app);
   if (it == watched_.end()) return;
   simulator_.cancel(it->second->timer);
@@ -181,6 +196,23 @@ void AppSupervisor::teardown_everywhere(const Watched& w,
   }
 }
 
+sim::SimDuration AppSupervisor::backoff_delay(int failed_attempts) {
+  // Capped exponential: base * 2^k for the k-th retry after a failure.
+  double delay = sim::to_seconds(params_.recovery_backoff);
+  for (int i = 0; i < failed_attempts; ++i) {
+    delay *= 2.0;
+    if (delay >= sim::to_seconds(params_.recovery_backoff_max)) {
+      delay = sim::to_seconds(params_.recovery_backoff_max);
+      break;
+    }
+  }
+  if (params_.recovery_jitter > 0) {
+    delay *= 1.0 - params_.recovery_jitter +
+             2.0 * params_.recovery_jitter * backoff_rng_.uniform01();
+  }
+  return sim::from_seconds(delay);
+}
+
 void AppSupervisor::recover(runtime::AppId app) {
   const auto it = watched_.find(app);
   if (it == watched_.end()) return;
@@ -200,40 +232,75 @@ void AppSupervisor::recover(runtime::AppId app) {
   RASC_LOG(kInfo) << "supervisor: app " << app
                   << " starving; tearing down and re-composing";
   teardown_everywhere(*w, app);
-  recoveries_started_->add();
   if (w->events) {
     w->events(Event{Event::Kind::kRecovering, app, 0});
   }
 
-  ServiceRequest retry = w->request;
-  retry.app = next_recovered_app_++;
-  const auto recoveries = w->recoveries + 1;
-  const auto stream_stop = w->stream_stop;
-  auto events = w->events;
+  auto state = std::make_shared<RecoveryState>();
+  state->request = w->request;
+  state->stream_stop = w->stream_stop;
+  state->events = w->events;
+  state->original_app = app;
+  state->attempts_done = w->recoveries;
 
-  // Small settle delay so teardowns land before fresh stats are gathered.
-  simulator_.call_after(sim::msec(300), [this, retry, recoveries,
-                                         stream_stop, events, app] {
-    coordinator_.submit(
-        retry, composer_, /*stream_start=*/0, stream_stop,
-        [this, retry, recoveries, stream_stop, events,
-         app](const SubmitOutcome& outcome) {
-          if (!outcome.compose.admitted) {
-            recoveries_failed_->add();
-            if (events) {
-              events(Event{Event::Kind::kRecoveryFailed, app, retry.app});
-            }
-            return;
-          }
-          recoveries_succeeded_->add();
-          if (events) {
-            events(Event{Event::Kind::kRecovered, app, retry.app});
-          }
-          // Keep watching under the new identity.
-          watch(retry, outcome.compose.plan, stream_stop, events);
-          watched_[retry.app]->recoveries = recoveries;
-        });
-  });
+  // Un-jittered settle delay so teardowns land before fresh stats are
+  // gathered; jitter only kicks in for retries after a failure.
+  schedule_recompose(std::move(state), params_.recovery_backoff);
+}
+
+void AppSupervisor::schedule_recompose(std::shared_ptr<RecoveryState> state,
+                                       sim::SimDuration delay) {
+  const auto original = state->original_app;
+  pending_retries_[original] =
+      simulator_.call_after(delay, [this, state = std::move(state)] {
+        pending_retries_.erase(state->original_app);
+        if (simulator_.now() >= state->stream_stop) {
+          // The stream would already be over; nothing left to recover.
+          return;
+        }
+        ServiceRequest retry = state->request;
+        retry.app = next_recovered_app_++;
+        recoveries_started_->add();
+        coordinator_.submit(
+            retry, composer_, /*stream_start=*/0, state->stream_stop,
+            [this, state, retry](const SubmitOutcome& outcome) {
+              if (!outcome.compose.admitted) {
+                recoveries_failed_->add();
+                ++state->attempts_done;
+                if (state->events) {
+                  state->events(Event{Event::Kind::kRecoveryFailed,
+                                      state->original_app, retry.app});
+                }
+                if (params_.max_recoveries > 0 &&
+                    state->attempts_done >= params_.max_recoveries) {
+                  gave_up_->add();
+                  if (state->events) {
+                    state->events(
+                        Event{Event::Kind::kGaveUp, state->original_app, 0});
+                  }
+                  return;
+                }
+                schedule_recompose(state,
+                                   backoff_delay(state->attempts_done));
+                return;
+              }
+              recoveries_succeeded_->add();
+              if (state->events) {
+                state->events(Event{Event::Kind::kRecovered,
+                                    state->original_app, retry.app});
+              }
+              // Keep watching under the new identity; the whole episode
+              // counts as one more recovery against the budget. watch()
+              // may decline (stream about to end), so look the entry up
+              // rather than assuming it stuck.
+              watch(retry, outcome.compose.plan, state->stream_stop,
+                    state->events);
+              if (const auto w = watched_.find(retry.app);
+                  w != watched_.end()) {
+                w->second->recoveries = state->attempts_done + 1;
+              }
+            });
+      });
 }
 
 }  // namespace rasc::core

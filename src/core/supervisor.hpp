@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "core/coordinator.hpp"
+#include "util/rng.hpp"
 
 namespace rasc::core {
 
@@ -30,8 +31,22 @@ class AppSupervisor {
     int strikes_to_recover = 2;
     /// Probe timeout.
     sim::SimDuration probe_timeout = sim::msec(1500);
-    /// Maximum recoveries per application (0 = unlimited).
+    /// Maximum recovery attempts per application (0 = unlimited). Failed
+    /// re-compositions count against the budget too.
     int max_recoveries = 3;
+    /// Settle delay before the first re-composition (teardowns must land
+    /// before fresh stats are gathered); also the base of the exponential
+    /// backoff applied to retries after a failed re-composition.
+    sim::SimDuration recovery_backoff = sim::msec(300);
+    /// Cap on the backed-off retry delay.
+    sim::SimDuration recovery_backoff_max = sim::sec(15);
+    /// Retry delays are scaled by uniform(1 +/- jitter) so supervisors on
+    /// different nodes do not re-probe a congested deployment in
+    /// lockstep. Drawn from a private seeded RNG — deterministic per
+    /// (jitter_seed, node), and never touching the simulation's root
+    /// stream. 0 disables jitter.
+    double recovery_jitter = 0.2;
+    std::uint64_t jitter_seed = 0x524153435F535550ull;  // "RASC_SUP"
   };
 
   /// Events reported to the owner.
@@ -87,11 +102,25 @@ class AppSupervisor {
     sim::EventId probe_timeout_event = 0;
   };
 
+  /// One in-flight recovery episode: the original request being retried
+  /// under fresh app ids until composition succeeds or the attempt
+  /// budget runs out.
+  struct RecoveryState {
+    ServiceRequest request;
+    sim::SimTime stream_stop = 0;
+    EventCallback events;
+    runtime::AppId original_app = 0;
+    int attempts_done = 0;  // prior recoveries + failed retries so far
+  };
+
   void schedule_check(runtime::AppId app);
   void run_check(runtime::AppId app);
   void on_probe_result(runtime::AppId app, std::int64_t delivered);
   void strike(runtime::AppId app);
   void recover(runtime::AppId app);
+  void schedule_recompose(std::shared_ptr<RecoveryState> state,
+                          sim::SimDuration delay);
+  sim::SimDuration backoff_delay(int failed_attempts);
   void teardown_everywhere(const Watched& w, runtime::AppId app);
 
   sim::Simulator& simulator_;
@@ -113,8 +142,11 @@ class AppSupervisor {
 
   std::map<runtime::AppId, std::unique_ptr<Watched>> watched_;
   std::map<std::uint64_t, runtime::AppId> probe_routing_;
+  /// Pending re-composition timers, keyed by the original app id.
+  std::map<runtime::AppId, sim::EventId> pending_retries_;
   std::uint64_t probe_counter_ = 0;
   runtime::AppId next_recovered_app_ = 1'000'000;  // fresh id space
+  util::Xoshiro256 backoff_rng_;
 };
 
 }  // namespace rasc::core

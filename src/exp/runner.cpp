@@ -3,6 +3,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "chaos/injector.hpp"
+#include "chaos/scenario.hpp"
 #include "core/greedy_composer.hpp"
 #include "core/mincost_composer.hpp"
 #include "core/random_composer.hpp"
@@ -53,6 +55,19 @@ RunMetrics run_experiment(const RunConfig& config,
   RunMetrics metrics;
   metrics.requests = int(requests.size());
 
+  // Chaos setup. Everything below is conditional: with no scenario and
+  // no SLO spec, no object is created, nothing is scheduled and no
+  // random stream is touched, so the run is event-for-event identical
+  // to a build without the chaos subsystem.
+  const bool chaos_on =
+      !config.chaos_scenario.empty() && config.chaos_scenario != "none";
+  chaos::Scenario scenario;
+  if (chaos_on) {
+    scenario = chaos::parse_scenario(config.chaos_scenario);
+    if (config.chaos_seed != 0) scenario.seed = config.chaos_seed;
+  }
+  const bool supervise = config.supervise || chaos_on;
+
   const sim::SimTime t0 = simulator.now();
   const sim::SimTime last_submit =
       t0 + sim::SimDuration(requests.size()) * config.submit_gap;
@@ -65,18 +80,24 @@ RunMetrics run_experiment(const RunConfig& config,
     const auto& request = requests[i];
     const sim::SimTime when = t0 + sim::SimDuration(i) * config.submit_gap;
     simulator.call_at(when, [&world, &metrics, &request, &composer,
-                             stream_stop] {
+                             stream_stop, supervise] {
       auto& coordinator =
           world.host(std::size_t(request.source)).coordinator();
       coordinator.submit(
           request, *composer, /*stream_start=*/0, stream_stop,
-          [&metrics, &request](const core::SubmitOutcome& outcome) {
+          [&world, &metrics, &request, stream_stop,
+           supervise](const core::SubmitOutcome& outcome) {
             if (outcome.compose.admitted) {
               ++metrics.composed;
               metrics.components +=
                   std::int64_t(outcome.compose.plan.component_count());
               for (const auto& sub : outcome.compose.plan.substreams) {
                 metrics.stages += std::int64_t(sub.stages.size());
+              }
+              if (supervise) {
+                world.host(std::size_t(request.source))
+                    .supervisor()
+                    .watch(request, outcome.compose.plan, stream_stop, {});
               }
             } else {
               RASC_LOG(kDebug)
@@ -85,6 +106,41 @@ RunMetrics run_experiment(const RunConfig& config,
             }
           });
     });
+  }
+
+  std::unique_ptr<chaos::SloChecker> slo_checker;
+  if (config.slo.any()) {
+    slo_checker = std::make_unique<chaos::SloChecker>(
+        simulator, world.metrics(), config.slo);
+    slo_checker->start(run_end);
+  }
+
+  std::unique_ptr<chaos::Injector> injector;
+  if (chaos_on) {
+    chaos::Hooks hooks;
+    // A crashed node must also vanish from the overlay: its neighbors
+    // drop it from their routing tables (re-discovery on restore is the
+    // overlay's normal join path).
+    hooks.on_crash = [&world](sim::NodeIndex victim) {
+      for (std::size_t n = 0; n < world.size(); ++n) {
+        if (sim::NodeIndex(n) != victim) {
+          world.overlay().at(n).purge_peer(victim);
+        }
+      }
+    };
+    hooks.set_monitor_blackout = [&world](sim::NodeIndex node, bool on) {
+      world.host(std::size_t(node)).monitor().set_blackout(on);
+    };
+    if (slo_checker != nullptr) {
+      auto* checker = slo_checker.get();
+      hooks.on_first_fault = [checker](sim::SimTime at) {
+        checker->note_fault(at);
+      };
+    }
+    injector = std::make_unique<chaos::Injector>(
+        simulator, world.network(), scenario, std::move(hooks),
+        &world.metrics());
+    injector->arm(t0, run_end);
   }
 
   simulator.run_until(run_end);
@@ -112,6 +168,27 @@ RunMetrics run_experiment(const RunConfig& config,
   metrics.unroutable = registry.counter_total("runtime.units_unroutable");
   metrics.drops_network = registry.counter_total("net.port_drops_out") +
                           registry.counter_total("net.port_drops_in");
+  metrics.recoveries =
+      registry.counter_total("supervisor.recoveries_succeeded");
+  metrics.gave_up = registry.counter_total("supervisor.gave_up");
+
+  if (injector != nullptr) {
+    metrics.faults_injected = injector->applied();
+    if (!config.chaos_timeline_csv.empty()) {
+      injector->write_timeline_csv(config.chaos_timeline_csv);
+    }
+  }
+  if (slo_checker != nullptr) {
+    const auto report =
+        slo_checker->finalize(chaos_on ? scenario.name : "none");
+    metrics.slo_pass = report.pass ? 1 : 0;
+    if (report.recovery_us >= 0) {
+      metrics.recovery_ms = sim::to_seconds(report.recovery_us) * 1000.0;
+    }
+    if (!config.slo_report.empty()) {
+      chaos::SloChecker::write_report(report, config.slo_report);
+    }
+  }
 
   if (snapshot_out != nullptr) *snapshot_out = registry.snapshot();
   if (!config.metrics_csv.empty()) registry.write_csv(config.metrics_csv);

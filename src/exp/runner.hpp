@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "chaos/slo.hpp"
 #include "exp/workload.hpp"
 #include "exp/world.hpp"
 #include "obs/metric_registry.hpp"
@@ -29,6 +30,25 @@ struct RunConfig {
   /// the run (deterministic key order; see obs::MetricRegistry).
   std::string metrics_csv;
   std::string metrics_json;
+
+  // --- Chaos / resilience (all off by default; a run with no scenario
+  // and no SLO is event-for-event identical to pre-chaos builds) ---
+
+  /// chaos::parse_scenario spec, e.g. "single-crash" or
+  /// "churn:period=4s,repeats=8". Empty or "none" disables injection.
+  std::string chaos_scenario;
+  /// Overrides the scenario's own fault seed when nonzero.
+  std::uint64_t chaos_seed = 0;
+  /// SLO checks evaluated over the run; see chaos::parse_slo. An empty
+  /// spec (no checks enabled) skips the checker entirely.
+  chaos::SloSpec slo;
+  /// When non-empty: the SLO pass/fail report CSV is written here.
+  std::string slo_report;
+  /// When non-empty: the expanded fault timeline CSV is written here.
+  std::string chaos_timeline_csv;
+  /// Watch every admitted app with its source node's AppSupervisor.
+  /// Implied by a chaos scenario.
+  bool supervise = false;
 };
 
 struct RunMetrics {
@@ -53,6 +73,13 @@ struct RunMetrics {
   std::int64_t unroutable = 0;
   /// Packets tail-dropped at access-link port queues (all kinds).
   std::int64_t drops_network = 0;
+
+  /// Chaos/resilience outcomes (all zero / -1 on plain runs).
+  std::int64_t faults_injected = 0;
+  std::int64_t recoveries = 0;  // supervisor recoveries that succeeded
+  std::int64_t gave_up = 0;     // apps the supervisor abandoned
+  double recovery_ms = -1;      // SLO recovery time; -1 = n/a or never
+  int slo_pass = -1;            // -1 = no SLO evaluated, else 0/1
 
   double composed_fraction() const {
     return requests ? double(composed) / requests : 0;

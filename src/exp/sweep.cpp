@@ -56,8 +56,14 @@ SweepResult run_sweep(const SweepConfig& config, util::ThreadPool& pool) {
     if (!config.metrics_dir.empty()) {
       std::ostringstream name;
       name << config.metrics_dir << "/" << cell.algorithm << "_r"
-           << cell.rate << "_rep" << cell.rep << ".csv";
-      run.metrics_csv = name.str();
+           << cell.rate << "_rep" << cell.rep;
+      run.metrics_csv = name.str() + ".csv";
+      // Chaos cells also drop their SLO verdict and fault timeline next
+      // to the snapshot, keyed by the same cell coordinates.
+      if (run.slo.any()) run.slo_report = name.str() + ".slo.csv";
+      if (!run.chaos_scenario.empty() && run.chaos_scenario != "none") {
+        run.chaos_timeline_csv = name.str() + ".faults.csv";
+      }
     }
     RunMetrics metrics = run_experiment(run);
     // The map was fully populated above, so this lookup never mutates the

@@ -38,8 +38,26 @@ NodeMonitor::~NodeMonitor() {
   simulator_.cancel(sample_event_);
 }
 
+void NodeMonitor::set_blackout(bool on) {
+  if (on == blackout_) return;
+  blackout_ = on;
+  if (!on) {
+    // Re-base the byte counters: the traffic that flowed during the
+    // blackout must not be misread as one giant burst on the first
+    // post-blackout sample.
+    last_bytes_in_ = network_.bytes_received(node_);
+    last_bytes_out_ = network_.bytes_sent(node_);
+    cpu_busy_accum_ = 0;
+  }
+}
+
 void NodeMonitor::sample_bandwidth() {
   if (stopped_) return;
+  if (blackout_) {
+    sample_event_ = simulator_.call_after(params_.sample_period,
+                                          [this] { sample_bandwidth(); });
+    return;
+  }
   const std::int64_t in_now = network_.bytes_received(node_);
   const std::int64_t out_now = network_.bytes_sent(node_);
   const double secs = sim::to_seconds(params_.sample_period);

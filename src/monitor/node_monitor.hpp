@@ -84,6 +84,12 @@ class NodeMonitor {
     if (reserved_cpu_fraction_ < 0) reserved_cpu_fraction_ = 0;
   }
 
+  /// Chaos hook: while blacked out, sample ticks keep their cadence but
+  /// neither update windows nor publish gauges, so the stats protocol
+  /// keeps advertising the last pre-blackout snapshot (stale reports).
+  void set_blackout(bool on);
+  bool blackout() const { return blackout_; }
+
   /// Current snapshot for the stats protocol / oracle composition.
   NodeStats snapshot() const;
 
@@ -120,6 +126,7 @@ class NodeMonitor {
 
   sim::EventId sample_event_ = 0;
   bool stopped_ = false;
+  bool blackout_ = false;
 };
 
 }  // namespace rasc::monitor

@@ -217,6 +217,21 @@ void NodeRuntime::teardown_app(AppId app) {
       ++it;
     }
   }
+  // Queued units of the app point at the components just destroyed; take
+  // them out before the scheduler can dispatch (or expire) them. They
+  // count as unroutable: their processing chain no longer exists.
+  const auto purged = scheduler_.purge_app(app);
+  if (!purged.empty()) {
+    for (const auto& p : purged) {
+      units_unroutable_->add();
+      monitor_.on_unit_dropped();
+      RASC_TRACE(trace_, (obs::UnitId{p.unit->app, p.unit->substream,
+                                      p.unit->seq}),
+                 obs::Hop::kDropped, node_, simulator_.now(),
+                 obs::DropReason::kUnroutable);
+    }
+    monitor_.on_queue_length(std::int64_t(scheduler_.size()));
+  }
   // The app's endpoints occupy one contiguous key range; release in
   // ascending substream order for deterministic teardown.
   for (const std::uint64_t key : sorted_endpoint_keys()) {
@@ -357,6 +372,23 @@ void NodeRuntime::maybe_dispatch() {
 void NodeRuntime::finish_unit(ScheduledUnit scheduled,
                               sim::SimDuration actual) {
   cpu_busy_ = false;
+  // The app may have been torn down while this unit held the CPU; the
+  // raw component pointer would dangle. The CPU time was still spent.
+  const ComponentKey key{scheduled.unit->app, scheduled.unit->substream,
+                         scheduled.unit->stage};
+  const auto it = components_.find(key);
+  if (it == components_.end() || it->second.get() != scheduled.component) {
+    monitor_.on_cpu_busy(actual);
+    units_unroutable_->add();
+    monitor_.on_unit_dropped();
+    RASC_TRACE(trace_,
+               (obs::UnitId{scheduled.unit->app, scheduled.unit->substream,
+                            scheduled.unit->seq}),
+               obs::Hop::kDropped, node_, simulator_.now(),
+               obs::DropReason::kUnroutable);
+    maybe_dispatch();
+    return;
+  }
   units_processed_->add();
   monitor_.on_unit_processed();
   monitor_.on_cpu_busy(actual);

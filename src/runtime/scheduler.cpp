@@ -144,7 +144,7 @@ std::optional<ScheduledUnit> Scheduler::dispatch(
       // which keeps this loop a single peek in the common case.
       if (top.key >= now) break;
       heap_pop(lax);
-      if (dual_heap && stale(top)) continue;
+      if (stale(top)) continue;
       expired.push_back(release(top.slot));
     }
   }
@@ -152,16 +152,26 @@ std::optional<ScheduledUnit> Scheduler::dispatch(
   while (!heap_.empty()) {
     const Entry top = heap_.front();
     heap_pop(heap_);
-    if (dual_heap && stale(top)) continue;
-    // Under EDF, removals through one heap strand stale entries in the
-    // other; reclaim them once they clearly dominate the heap.
-    if (dual_heap) {
-      if (heap_.size() > 2 * live_ + 64) compact(heap_);
-      if (laxity_heap_.size() > 2 * live_ + 64) compact(laxity_heap_);
+    if (stale(top)) continue;
+    // Removals through the other heap (EDF) or purge_app strand stale
+    // entries; reclaim them once they clearly dominate the heap.
+    if (heap_.size() > 2 * live_ + 64) compact(heap_);
+    if (dual_heap && laxity_heap_.size() > 2 * live_ + 64) {
+      compact(laxity_heap_);
     }
     return release(top.slot);
   }
   return std::nullopt;
+}
+
+std::vector<ScheduledUnit> Scheduler::purge_app(AppId app) {
+  std::vector<ScheduledUnit> purged;
+  for (std::uint32_t slot = 0; slot < std::uint32_t(slots_.size()); ++slot) {
+    if (slot_seq_[slot] == kFreeSlot) continue;
+    if (slots_[slot].unit->app != app) continue;
+    purged.push_back(release(slot));
+  }
+  return purged;
 }
 
 }  // namespace rasc::runtime

@@ -16,7 +16,9 @@
 // by deadline but still expires by laxity, so it keeps a second laxity
 // heap; a unit removed through one heap leaves a stale entry in the other,
 // detected by a per-slot sequence tag and skipped lazily. FIFO heaps on
-// (arrival, insertion order) and never expires anything.
+// (arrival, insertion order) and never expires anything. purge_app
+// (application teardown) strands stale entries the same way under every
+// policy, so all dispatch paths run the staleness check.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +67,12 @@ class Scheduler {
   /// runnable remains.
   std::optional<ScheduledUnit> dispatch(sim::SimTime now,
                                         std::vector<ScheduledUnit>& expired);
+
+  /// Removes every queued unit of `app` (application teardown: their
+  /// components are about to be destroyed and ScheduledUnit::component
+  /// would dangle). Returns the removed units in slot order. Heap entries
+  /// are stranded stale and skipped lazily by dispatch.
+  std::vector<ScheduledUnit> purge_app(AppId app);
 
   std::size_t size() const { return live_; }
   bool empty() const { return live_ == 0; }

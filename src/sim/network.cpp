@@ -32,7 +32,10 @@ Network::Network(Simulator& simulator, Topology topology,
       sent_by_kind_(topology_.size()),
       received_by_kind_(topology_.size()),
       up_(topology_.size(), true),
-      loss_rng_(simulator.rng().split(0x6e657477 /* "netw" */)) {
+      loss_rng_(simulator.rng().split(0x6e657477 /* "netw" */)),
+      bw_scale_(topology_.size(), 1.0),
+      extra_latency_(topology_.size(), 0),
+      injected_loss_(topology_.size(), 0.0) {
   const std::size_t n = topology_.size();
   bytes_sent_.reserve(n);
   bytes_received_.reserve(n);
@@ -62,6 +65,55 @@ void Network::set_node_up(NodeIndex node, bool up) {
 
 void Network::set_drop_handler(NodeIndex node, DropHandler handler) {
   drop_handlers_.at(std::size_t(node)) = std::move(handler);
+}
+
+void Network::fail_node(NodeIndex node) {
+  auto up = up_.at(std::size_t(node));
+  if (!up) return;
+  up_[std::size_t(node)] = false;
+  registry_->counter("net.node_failures", node_labels(std::size_t(node)))
+      .add();
+}
+
+void Network::restore_node(NodeIndex node) {
+  auto up = up_.at(std::size_t(node));
+  if (up) return;
+  up_[std::size_t(node)] = true;
+  // The restarted node's port queues are empty: packets that were mid-
+  // serialization at failure time are gone, not waiting.
+  out_free_at_[std::size_t(node)] = simulator_.now();
+  in_free_at_[std::size_t(node)] = simulator_.now();
+  registry_->counter("net.node_restores", node_labels(std::size_t(node)))
+      .add();
+}
+
+std::int64_t Network::node_failures(NodeIndex node) const {
+  const auto* c = registry_->find_counter("net.node_failures",
+                                          node_labels(std::size_t(node)));
+  return c ? c->value() : 0;
+}
+
+std::int64_t Network::node_restores(NodeIndex node) const {
+  const auto* c = registry_->find_counter("net.node_restores",
+                                          node_labels(std::size_t(node)));
+  return c ? c->value() : 0;
+}
+
+void Network::set_bandwidth_scale(NodeIndex node, double scale) {
+  bw_scale_.at(std::size_t(node)) = scale < 0.001 ? 0.001 : scale;
+}
+
+void Network::set_extra_latency(NodeIndex node, SimDuration extra) {
+  extra_latency_.at(std::size_t(node)) = extra < 0 ? 0 : extra;
+}
+
+void Network::set_injected_loss(NodeIndex node, double rate) {
+  injected_loss_.at(std::size_t(node)) =
+      rate < 0 ? 0 : (rate > 1 ? 1.0 : rate);
+}
+
+void Network::set_send_interceptor(SendInterceptor interceptor) {
+  send_interceptor_ = std::move(interceptor);
 }
 
 Network::KindId Network::kind_id(const Message* payload) {
@@ -164,6 +216,44 @@ void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
                    MessagePtr payload) {
   assert(src >= 0 && std::size_t(src) < size());
   assert(dst >= 0 && std::size_t(dst) < size());
+
+  // Chaos interception happens before any accounting so a delayed packet
+  // is counted once, when it actually enters the port queue. Copies it
+  // spawns re-enter send() with the depth guard up and are not
+  // re-intercepted.
+  if (send_interceptor_ && intercept_depth_ == 0) {
+    const SendPerturbation p = send_interceptor_(src, dst, payload.get());
+    for (int i = 0; i < p.duplicates; ++i) {
+      MessagePtr copy = payload;
+      simulator_.call_after(0, [this, src, dst, size_bytes,
+                                c = std::move(copy)]() mutable {
+        ++intercept_depth_;
+        send(src, dst, size_bytes, std::move(c));
+        --intercept_depth_;
+      });
+    }
+    if (p.drop) {
+      Packet lost;
+      lost.src = src;
+      lost.dst = dst;
+      lost.size_bytes = size_bytes;
+      lost.payload = std::move(payload);
+      lost.sent_at = simulator_.now();
+      packets_sent_->add();
+      count_lost(lost, obs::DropReason::kLinkLoss);
+      return;
+    }
+    if (p.extra_delay > 0) {
+      simulator_.call_after(p.extra_delay, [this, src, dst, size_bytes,
+                                            pl = std::move(payload)]() mutable {
+        ++intercept_depth_;
+        send(src, dst, size_bytes, std::move(pl));
+        --intercept_depth_;
+      });
+      return;
+    }
+  }
+
   Packet packet;
   packet.src = src;
   packet.dst = dst;
@@ -187,7 +277,8 @@ void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
 
   // Output-port FIFO with tail drop: refuse the packet when the queue
   // already represents more than max_port_backlog of serialization time.
-  const double bw_out = topology_.nodes[std::size_t(src)].bw_out_kbps;
+  const double bw_out = topology_.nodes[std::size_t(src)].bw_out_kbps *
+                        bw_scale_[std::size_t(src)];
   const SimTime start =
       std::max(simulator_.now(), out_free_at_[std::size_t(src)]);
   if (start - simulator_.now() > topology_.max_port_backlog) {
@@ -208,7 +299,8 @@ void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
   out_free_at_[std::size_t(src)] = departed;
 
   SimDuration latency =
-      topology_.latency_us[std::size_t(src)][std::size_t(dst)];
+      topology_.latency_us[std::size_t(src)][std::size_t(dst)] +
+      extra_latency_[std::size_t(src)] + extra_latency_[std::size_t(dst)];
   if (topology_.latency_jitter > 0) {
     latency = SimDuration(double(latency) *
                           loss_rng_.uniform_double(
@@ -227,7 +319,15 @@ void Network::arrive(Packet packet) {
     count_lost(packet, obs::DropReason::kNodeFailed);
     return;
   }
-  if (topology_.loss_rate > 0 && loss_rng_.bernoulli(topology_.loss_rate)) {
+  // Wire loss: topology-wide rate, combined with any chaos-injected loss
+  // at the destination. The combine happens only when injection is
+  // active so a chaos-free run draws the exact same RNG sequence.
+  double loss_rate = topology_.loss_rate;
+  const double injected = injected_loss_[std::size_t(packet.dst)];
+  if (injected > 0) {
+    loss_rate = 1.0 - (1.0 - loss_rate) * (1.0 - injected);
+  }
+  if (loss_rate > 0 && loss_rng_.bernoulli(loss_rate)) {
     count_lost(packet, obs::DropReason::kLinkLoss);
     return;
   }
@@ -235,7 +335,8 @@ void Network::arrive(Packet packet) {
   // runs at the propagation-arrival event. Tail drop when the receive
   // queue is over budget.
   const std::int64_t wire_bytes = packet.size_bytes + kFrameOverheadBytes;
-  const double bw_in = topology_.nodes[std::size_t(packet.dst)].bw_in_kbps;
+  const double bw_in = topology_.nodes[std::size_t(packet.dst)].bw_in_kbps *
+                       bw_scale_[std::size_t(packet.dst)];
   const SimTime start =
       std::max(simulator_.now(), in_free_at_[std::size_t(packet.dst)]);
   if (start - simulator_.now() > topology_.max_port_backlog) {

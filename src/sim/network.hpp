@@ -71,8 +71,52 @@ class Network {
 
   /// Marks a node as failed: all traffic to/from it is silently dropped
   /// (used by the failure-recovery example and fault-injection tests).
+  /// Raw toggle — no counters; prefer fail_node/restore_node.
   void set_node_up(NodeIndex node, bool up);
   bool node_up(NodeIndex node) const { return up_[std::size_t(node)]; }
+
+  // --- Chaos hooks (no-ops until used: the baseline packet path is
+  // byte-identical while every scale is 1.0 and every rate is 0) ---
+
+  /// Takes the node down and counts the transition under
+  /// net.node_failures{node}. No-op if already down.
+  void fail_node(NodeIndex node);
+  /// Counterpart to fail_node: brings the node back with *empty* port
+  /// queues — whatever was serializing at failure time died with the
+  /// node — and counts it under net.node_restores{node}. No-op if up.
+  void restore_node(NodeIndex node);
+  std::int64_t node_failures(NodeIndex node) const;
+  std::int64_t node_restores(NodeIndex node) const;
+
+  /// Scales `node`'s access bandwidth (both directions); 1.0 = nominal.
+  /// Clamped below to 0.001 so serialization time stays finite.
+  void set_bandwidth_scale(NodeIndex node, double scale);
+  double bandwidth_scale(NodeIndex node) const {
+    return bw_scale_[std::size_t(node)];
+  }
+
+  /// Extra one-way propagation latency added to every packet `node`
+  /// sends or receives (degraded / rerouted link).
+  void set_extra_latency(NodeIndex node, SimDuration extra);
+
+  /// Independent per-packet loss probability applied to arrivals at
+  /// `node`, on top of the topology-wide loss_rate.
+  void set_injected_loss(NodeIndex node, double rate);
+
+  /// What a send interceptor may do to one packet before it touches the
+  /// port queues. Duplicates re-enter send() immediately; a delayed
+  /// packet re-enters after `extra_delay`. Neither is re-intercepted.
+  struct SendPerturbation {
+    bool drop = false;
+    SimDuration extra_delay = 0;
+    int duplicates = 0;
+  };
+  using SendInterceptor =
+      std::function<SendPerturbation(NodeIndex src, NodeIndex dst,
+                                     const Message* payload)>;
+  /// Installs (or, with nullptr, removes) the chaos send interceptor.
+  /// Consulted once per original send() call.
+  void set_send_interceptor(SendInterceptor interceptor);
 
   // --- Traffic accounting (ground truth for the resource monitor) ---
 
@@ -168,6 +212,15 @@ class Network {
 
   std::vector<bool> up_;
   util::Xoshiro256 loss_rng_;
+
+  // Chaos state. Defaults leave the packet path bit-identical to a
+  // chaos-free build: scale 1.0 multiplies exactly, extra latency 0 adds
+  // exactly, loss 0 draws nothing, null interceptor tests one pointer.
+  std::vector<double> bw_scale_;
+  std::vector<SimDuration> extra_latency_;
+  std::vector<double> injected_loss_;
+  SendInterceptor send_interceptor_;
+  int intercept_depth_ = 0;  // delayed/duplicated copies skip re-intercept
 };
 
 }  // namespace rasc::sim

@@ -44,4 +44,18 @@ Topology make_planetlab_like(std::size_t n, util::Xoshiro256& rng,
   return t;
 }
 
+std::vector<std::size_t> nodes_by_ascending_bandwidth(const Topology& t) {
+  std::vector<std::size_t> order(t.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&t](std::size_t a, std::size_t b) {
+                     const double ba = std::min(t.nodes[a].bw_in_kbps,
+                                                t.nodes[a].bw_out_kbps);
+                     const double bb = std::min(t.nodes[b].bw_in_kbps,
+                                                t.nodes[b].bw_out_kbps);
+                     return ba < bb;
+                   });
+  return order;
+}
+
 }  // namespace rasc::sim

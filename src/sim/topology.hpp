@@ -66,4 +66,9 @@ struct PlanetLabParams {
 Topology make_planetlab_like(std::size_t n, util::Xoshiro256& rng,
                              const PlanetLabParams& params = {});
 
+/// Node indices ordered by ascending min(bw_in, bw_out), ties broken by
+/// index. Chaos scenarios use this to aim at the bottleneck access links
+/// deterministically ("flap the weakest link", "overload the k weakest").
+std::vector<std::size_t> nodes_by_ascending_bandwidth(const Topology& t);
+
 }  // namespace rasc::sim

@@ -16,21 +16,26 @@ Flags::Flags(int argc, const char* const* argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      record(arg.substr(0, eq), arg.substr(eq + 1));
       continue;
     }
     // --no-name  -> name=false
     if (arg.rfind("no-", 0) == 0) {
-      values_[arg.substr(3)] = "false";
+      record(arg.substr(3), "false");
       continue;
     }
     // --name value (if the next token is not itself a flag), else boolean.
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      record(std::move(arg), argv[++i]);
     } else {
-      values_[arg] = "true";
+      record(std::move(arg), "true");
     }
   }
+}
+
+void Flags::record(std::string name, std::string value) {
+  ++occurrences_[name];
+  values_[std::move(name)] = std::move(value);
 }
 
 std::optional<std::string> Flags::raw(const std::string& name) {
@@ -97,6 +102,17 @@ std::vector<double> Flags::get_double_list(const std::string& name,
 }
 
 void Flags::finish() const {
+  std::string duplicate;
+  for (const auto& [name, count] : occurrences_) {
+    if (count > 1) {
+      if (!duplicate.empty()) duplicate += ", ";
+      duplicate += "--" + name;
+    }
+  }
+  if (!duplicate.empty()) {
+    // A silently-ignored first value is a debugging trap: refuse.
+    throw std::invalid_argument("duplicate flags: " + duplicate);
+  }
   std::string unknown;
   for (const auto& [name, value] : values_) {
     (void)value;

@@ -1,7 +1,8 @@
 // Tiny command-line flag parser for bench binaries and examples.
 //
 // Supports --name=value, --name value, and boolean --name / --no-name.
-// Unknown flags are an error (catches typos in sweep scripts).
+// Unknown and repeated flags are errors (catches typos and
+// copy-paste-doubled overrides in sweep scripts).
 #pragma once
 
 #include <cstdint>
@@ -30,7 +31,7 @@ class Flags {
                                       std::vector<double> def);
 
   /// Call after all getters: throws std::invalid_argument listing any flag
-  /// the program never asked about.
+  /// the program never asked about, and any flag given more than once.
   void finish() const;
 
   /// Positional (non-flag) arguments, in order.
@@ -39,7 +40,10 @@ class Flags {
  private:
   std::optional<std::string> raw(const std::string& name);
 
+  void record(std::string name, std::string value);
+
   std::map<std::string, std::string> values_;
+  std::map<std::string, int> occurrences_;
   std::map<std::string, bool> consumed_;
   std::vector<std::string> positional_;
 };

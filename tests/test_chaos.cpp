@@ -1,0 +1,453 @@
+// Chaos subsystem: scenario parsing, deterministic fault-timeline
+// expansion, injection through the network hooks, drop-reason taxonomy
+// under injected faults, SLO checking (including the negative control:
+// a run with recovery disabled must FAIL the recovery SLO), and the
+// tier-1 replay guarantee — same (scenario, seed) twice, byte-identical
+// metrics snapshots and timelines.
+#include "chaos/injector.hpp"
+#include "chaos/scenario.hpp"
+#include "chaos/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/mincost_composer.hpp"
+#include "exp/runner.hpp"
+#include "exp/world.hpp"
+
+namespace rasc::chaos {
+namespace {
+
+// ---------------------------------------------------------------------
+// Scenario spec + parser
+
+TEST(Scenario, LibraryNamesAllResolve) {
+  const auto names = scenario_names();
+  ASSERT_GE(names.size(), 7u);
+  for (const auto& name : names) {
+    const auto sc = make_scenario(name);
+    EXPECT_EQ(sc.name, name);
+  }
+  EXPECT_TRUE(make_scenario("none").empty());
+  EXPECT_EQ(make_scenario("single-crash").faults.size(), 1u);
+  EXPECT_EQ(make_scenario("multi-crash").faults.at(0).count, 3);
+}
+
+TEST(Scenario, ParseAppliesOverrides) {
+  const auto sc = parse_scenario("churn:period=4s,repeats=3,seed=9");
+  EXPECT_EQ(sc.seed, 9u);
+  ASSERT_FALSE(sc.faults.empty());
+  EXPECT_EQ(sc.faults[0].period, sim::sec(4));
+  EXPECT_EQ(sc.faults[0].repeats, 3);
+
+  const auto explicit_crash = parse_scenario("single-crash:node=3,at=500ms");
+  EXPECT_EQ(explicit_crash.faults.at(0).target.kind, TargetKind::kExplicit);
+  EXPECT_EQ(explicit_crash.faults.at(0).target.node, 3);
+  EXPECT_EQ(explicit_crash.faults.at(0).at, sim::msec(500));
+}
+
+TEST(Scenario, ParseRejectsBadSpecs) {
+  EXPECT_THROW(parse_scenario("meteor-strike"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("single-crash:wat=1"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("single-crash:at=3parsecs"),
+               std::invalid_argument);
+  // "none" has no faults to override (seed alone is allowed).
+  EXPECT_THROW(parse_scenario("none:at=3s"), std::invalid_argument);
+  EXPECT_EQ(parse_scenario("none:seed=5").seed, 5u);
+}
+
+TEST(Scenario, JsonExportMentionsEveryFault) {
+  const auto sc = make_scenario("cascade");
+  const auto json = to_json(sc);
+  EXPECT_NE(json.find("\"cascade\""), std::string::npos);
+  EXPECT_NE(json.find("bandwidth"), std::string::npos);
+  EXPECT_NE(json.find("crash"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Injector: deterministic expansion and application
+
+TEST(Injector, TimelineIsDeterministicAcrossInstances) {
+  const auto sc = parse_scenario("multi-crash:seed=11");
+  std::string jsons[2];
+  for (int i = 0; i < 2; ++i) {
+    sim::Simulator sim;
+    sim::Network net(sim, sim::make_uniform_topology(8, 1000.0,
+                                                     sim::msec(10)));
+    Injector injector(sim, net, sc);
+    injector.arm(0, sim::sec(60));
+    jsons[i] = injector.timeline_json();
+  }
+  EXPECT_EQ(jsons[0], jsons[1]);
+}
+
+TEST(Injector, SeedSelectsDifferentVictims) {
+  std::string jsons[2];
+  const std::uint64_t seeds[2] = {11, 12};
+  for (int i = 0; i < 2; ++i) {
+    std::ostringstream spec;
+    spec << "multi-crash:seed=" << seeds[i];
+    sim::Simulator sim;
+    sim::Network net(sim, sim::make_uniform_topology(8, 1000.0,
+                                                     sim::msec(10)));
+    Injector injector(sim, net, parse_scenario(spec.str()));
+    injector.arm(0, sim::sec(60));
+    jsons[i] = injector.timeline_json();
+  }
+  EXPECT_NE(jsons[0], jsons[1]);
+}
+
+TEST(Injector, ChurnCrashesAndRestoresNodes) {
+  sim::Simulator sim;
+  obs::MetricRegistry registry;
+  sim::Network net(sim, sim::make_uniform_topology(6, 1000.0, sim::msec(10)),
+                   &registry);
+  int crashes_seen = 0, restores_seen = 0;
+  Hooks hooks;
+  hooks.on_crash = [&crashes_seen](sim::NodeIndex) { ++crashes_seen; };
+  hooks.on_restore = [&restores_seen](sim::NodeIndex) { ++restores_seen; };
+  Injector injector(sim, net, make_scenario("churn"), std::move(hooks),
+                    &registry);
+  injector.arm(0, sim::sec(60));
+  // churn: 6 crash onsets with 3 s outages — 12 timeline entries.
+  ASSERT_EQ(injector.timeline().size(), 12u);
+  sim.run_all();
+  EXPECT_EQ(injector.applied(), 12u);
+  EXPECT_EQ(crashes_seen, 6);
+  EXPECT_EQ(restores_seen, 6);
+  EXPECT_EQ(registry.counter_total("chaos.crashes"), 6);
+  EXPECT_EQ(registry.counter_total("chaos.restores"), 6);
+  EXPECT_EQ(registry.counter_total("net.node_failures"), 6);
+  EXPECT_EQ(registry.counter_total("net.node_restores"), 6);
+  // Everyone is back up at the end.
+  for (std::size_t n = 0; n < 6; ++n) {
+    EXPECT_TRUE(net.node_up(sim::NodeIndex(n)));
+  }
+}
+
+TEST(Injector, EntriesPastRunEndAreDropped) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::make_uniform_topology(4, 1000.0, sim::msec(10)));
+  Injector injector(sim, net, make_scenario("single-crash"));
+  injector.arm(0, sim::sec(5));  // crash is scheduled at 10 s
+  EXPECT_TRUE(injector.timeline().empty());
+}
+
+TEST(Injector, ExplicitTargetOutsideTopologyThrows) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::make_uniform_topology(4, 1000.0, sim::msec(10)));
+  Injector injector(sim, net, parse_scenario("single-crash:node=17"));
+  EXPECT_THROW(injector.arm(0, sim::sec(60)), std::invalid_argument);
+}
+
+TEST(Injector, LowestBwTargetPicksStarvedLink) {
+  sim::Simulator sim;
+  auto topo = sim::make_uniform_topology(5, 1000.0, sim::msec(10));
+  topo.nodes[3].bw_in_kbps = 50.0;  // clear bottleneck
+  sim::Network net(sim, std::move(topo));
+  Injector injector(sim, net, make_scenario("flapping-link"));
+  injector.arm(0, sim::sec(60));
+  ASSERT_FALSE(injector.timeline().empty());
+  for (const auto& entry : injector.timeline()) {
+    EXPECT_EQ(entry.node, 3);
+  }
+}
+
+// ---------------------------------------------------------------------
+// SLO parsing and checking
+
+TEST(Slo, ParseSpecs) {
+  const auto spec =
+      parse_slo("delivered>=0.8,timely>=0.6,drops<=0.1,recovery<=10s");
+  EXPECT_DOUBLE_EQ(spec.delivered_floor, 0.8);
+  EXPECT_DOUBLE_EQ(spec.timely_floor, 0.6);
+  EXPECT_DOUBLE_EQ(spec.drop_ceiling, 0.1);
+  EXPECT_EQ(spec.max_recovery, sim::sec(10));
+  EXPECT_TRUE(spec.any());
+  EXPECT_FALSE(parse_slo("").any());
+  EXPECT_THROW(parse_slo("delivered<=0.8"), std::invalid_argument);
+  EXPECT_THROW(parse_slo("uptime>=1"), std::invalid_argument);
+}
+
+/// Drives a synthetic sink.delivered series: steady 100 units/sec, a
+/// total outage at 10 s, and (optionally) a comeback at `resume`.
+void drive_delivery(sim::Simulator& sim, obs::MetricRegistry& registry,
+                    sim::SimTime end, sim::SimTime outage,
+                    sim::SimTime resume) {
+  auto& emitted = registry.counter("source.units_emitted");
+  auto& delivered = registry.counter("sink.delivered");
+  for (sim::SimTime t = 0; t < end; t += sim::msec(100)) {
+    sim.call_at(t, [t, outage, resume, &emitted, &delivered] {
+      emitted.add(10);
+      if (t < outage || (resume > 0 && t >= resume)) delivered.add(10);
+    });
+  }
+}
+
+TEST(Slo, RecoveryBoundFailsWhenRateNeverReturns) {
+  sim::Simulator sim;
+  obs::MetricRegistry registry;
+  SloSpec spec;
+  spec.max_recovery = sim::sec(5);
+  SloChecker checker(sim, registry, spec);
+  drive_delivery(sim, registry, sim::sec(30), sim::sec(10), /*resume=*/0);
+  checker.start(sim::sec(30));
+  checker.note_fault(sim::sec(10));
+  sim.run_until(sim::sec(30));
+  const auto report = checker.finalize("synthetic");
+  EXPECT_FALSE(report.pass);
+  EXPECT_EQ(report.recovery_us, -1);
+  EXPECT_NE(report.summary().find("FAIL"), std::string::npos);
+}
+
+TEST(Slo, RecoveryBoundPassesWhenRateReturns) {
+  sim::Simulator sim;
+  obs::MetricRegistry registry;
+  SloSpec spec;
+  spec.max_recovery = sim::sec(5);
+  SloChecker checker(sim, registry, spec);
+  drive_delivery(sim, registry, sim::sec(30), sim::sec(10),
+                 /*resume=*/sim::sec(12));
+  checker.start(sim::sec(30));
+  checker.note_fault(sim::sec(10));
+  sim.run_until(sim::sec(30));
+  const auto report = checker.finalize("synthetic");
+  EXPECT_TRUE(report.pass);
+  EXPECT_GT(report.recovery_us, 0);
+  EXPECT_LE(report.recovery_us, sim::sec(3));
+  EXPECT_GT(report.prefault_rate, 50.0);
+}
+
+TEST(Slo, DeliveredFloorChecksFraction) {
+  sim::Simulator sim;
+  obs::MetricRegistry registry;
+  registry.counter("source.units_emitted").add(1000);
+  registry.counter("sink.delivered").add(600);
+  SloSpec spec;
+  spec.delivered_floor = 0.8;
+  SloChecker checker(sim, registry, spec);
+  checker.start(sim::sec(1));
+  const auto report = checker.finalize("synthetic");
+  ASSERT_EQ(report.checks.size(), 1u);
+  EXPECT_FALSE(report.pass);
+  EXPECT_DOUBLE_EQ(report.checks[0].value, 0.6);
+}
+
+}  // namespace
+}  // namespace rasc::chaos
+
+// ---------------------------------------------------------------------
+// Full-world chaos: injection against a live deployment
+
+namespace rasc::chaos {
+namespace {
+
+exp::WorldConfig world_config() {
+  exp::WorldConfig wc;
+  wc.nodes = 16;
+  wc.num_services = 6;
+  wc.services_per_node = 4;
+  wc.seed = 23;
+  wc.net.bw_min_kbps = 1500;
+  wc.net.bw_max_kbps = 4000;
+  return wc;
+}
+
+core::ServiceRequest request_for(exp::World& world, runtime::AppId app) {
+  core::ServiceRequest req;
+  req.app = app;
+  req.source = 0;
+  req.destination = sim::NodeIndex(world.size() - 1);
+  req.unit_bytes = 1250;
+  req.substreams = {{{"svc0", "svc1"}, 150.0}};
+  return req;
+}
+
+runtime::AppPlan submit_and_wait(exp::World& world, core::Composer& composer,
+                                 const core::ServiceRequest& req,
+                                 sim::SimTime stop) {
+  runtime::AppPlan plan;
+  bool admitted = false;
+  world.host(std::size_t(req.source))
+      .coordinator()
+      .submit(req, composer, 0, stop,
+              [&](const core::SubmitOutcome& o) {
+                admitted = o.compose.admitted;
+                plan = o.compose.plan;
+              });
+  auto& sim = world.simulator();
+  sim.run_until(sim.now() + sim::sec(6));
+  EXPECT_TRUE(admitted);
+  return plan;
+}
+
+Hooks world_hooks(exp::World& world) {
+  Hooks hooks;
+  hooks.on_crash = [&world](sim::NodeIndex victim) {
+    for (std::size_t n = 0; n < world.size(); ++n) {
+      if (sim::NodeIndex(n) != victim) {
+        world.overlay().at(n).purge_peer(victim);
+      }
+    }
+  };
+  return hooks;
+}
+
+/// One supervised-or-not single-crash run against the app's actual
+/// stage-0 host; returns the SLO report.
+SloChecker::Report crash_run(bool supervised) {
+  exp::World world(world_config());
+  auto& sim = world.simulator();
+  core::MinCostComposer composer;
+  const auto req = request_for(world, 1);
+  const sim::SimTime stop = sim.now() + sim::sec(80);
+  const auto plan = submit_and_wait(world, composer, req, stop);
+
+  if (supervised) {
+    world.host(0).supervisor().watch(req, plan, stop, {});
+  }
+
+  SloSpec spec;
+  spec.max_recovery = sim::sec(30);
+  SloChecker checker(sim, world.metrics(), spec);
+  checker.start(stop);
+
+  // Crash the node hosting the first component, 4 s from now.
+  Scenario scenario;
+  scenario.name = "stage0-crash";
+  Fault fault;
+  fault.kind = FaultKind::kCrash;
+  fault.target.kind = TargetKind::kExplicit;
+  fault.target.node = plan.substreams[0].stages[0].placements[0].node;
+  fault.at = sim::sec(4);
+  scenario.faults.push_back(fault);
+
+  auto hooks = world_hooks(world);
+  auto* checker_ptr = &checker;
+  hooks.on_first_fault = [checker_ptr](sim::SimTime at) {
+    checker_ptr->note_fault(at);
+  };
+  Injector injector(sim, world.network(), scenario, std::move(hooks),
+                    &world.metrics());
+  injector.arm(sim.now(), stop);
+  sim.run_until(stop);
+  return checker.finalize(scenario.name);
+}
+
+TEST(ChaosWorld, SloNegativeControlFailsWithoutRecovery) {
+  // Negative control: nobody re-composes the starved stream, so the
+  // delivered rate never comes back and the recovery SLO must FAIL. If
+  // this passes, the checker is vacuous.
+  const auto report = crash_run(/*supervised=*/false);
+  EXPECT_FALSE(report.pass);
+  EXPECT_EQ(report.recovery_us, -1);
+  EXPECT_GE(report.fault_at, 0);
+}
+
+TEST(ChaosWorld, SloPassesWithSupervisedRecovery) {
+  const auto report = crash_run(/*supervised=*/true);
+  EXPECT_TRUE(report.pass) << report.summary();
+  EXPECT_GT(report.recovery_us, 0);
+}
+
+TEST(ChaosWorld, InjectedFaultsEmitTraceDropReasons) {
+  exp::WorldConfig wc = world_config();
+  wc.enable_unit_trace = true;
+  exp::World world(wc);
+  auto& sim = world.simulator();
+  core::MinCostComposer composer;
+  const auto req = request_for(world, 1);
+  const sim::SimTime stop = sim.now() + sim::sec(60);
+  const auto plan = submit_and_wait(world, composer, req, stop);
+
+  // Phase 1: wire loss on the destination's access link — data units die
+  // with reason kLinkLoss.
+  world.network().set_injected_loss(req.destination, 0.5);
+  sim.run_until(sim.now() + sim::sec(6));
+  world.network().set_injected_loss(req.destination, 0.0);
+  EXPECT_GT(world.unit_trace().dropped_by(obs::DropReason::kLinkLoss), 0);
+
+  // Phase 2: crash a component host without telling anyone (no overlay
+  // purge, no supervision) — in-flight units aimed at it die with reason
+  // kNodeFailed.
+  world.network().fail_node(plan.substreams[0].stages[0].placements[0].node);
+  sim.run_until(sim.now() + sim::sec(6));
+  EXPECT_GT(world.unit_trace().dropped_by(obs::DropReason::kNodeFailed), 0);
+}
+
+// ---------------------------------------------------------------------
+// Runner integration: the tier-1 replay + no-op guarantees
+
+exp::RunConfig runner_config() {
+  exp::RunConfig cfg;
+  cfg.world.nodes = 12;
+  cfg.world.num_services = 6;
+  cfg.world.services_per_node = 3;
+  cfg.world.seed = 9;
+  cfg.world.net.bw_min_kbps = 3000;
+  cfg.world.net.bw_max_kbps = 6000;
+  cfg.workload.num_requests = 8;
+  cfg.workload.avg_rate_kbps = 100;
+  cfg.submit_gap = sim::msec(500);
+  cfg.steady_duration = sim::sec(8);
+  return cfg;
+}
+
+std::string snapshot_csv(const exp::RunConfig& cfg) {
+  std::vector<obs::MetricRow> rows;
+  (void)exp::run_experiment(cfg, &rows);
+  std::ostringstream out;
+  obs::MetricRegistry::write_csv(rows, out);
+  return out.str();
+}
+
+TEST(ChaosRunner, AbsentAndNoneScenariosAreByteIdentical) {
+  auto cfg = runner_config();
+  const auto baseline = snapshot_csv(cfg);
+  cfg.chaos_scenario = "none";
+  EXPECT_EQ(snapshot_csv(cfg), baseline)
+      << "--chaos-scenario none must not perturb the run at all";
+}
+
+TEST(ChaosRunner, SameScenarioAndSeedReplayIsByteIdentical) {
+  auto cfg = runner_config();
+  cfg.steady_duration = sim::sec(15);
+  cfg.chaos_scenario = "churn:at=3s,period=4s,repeats=3";
+  cfg.chaos_seed = 77;
+  cfg.slo = parse_slo("recovery<=30s");
+  const std::string timeline_a =
+      testing::TempDir() + "chaos_replay_a.csv";
+  const std::string timeline_b =
+      testing::TempDir() + "chaos_replay_b.csv";
+  cfg.chaos_timeline_csv = timeline_a;
+  const auto snap_a = snapshot_csv(cfg);
+  cfg.chaos_timeline_csv = timeline_b;
+  const auto snap_b = snapshot_csv(cfg);
+  EXPECT_EQ(snap_a, snap_b)
+      << "same (scenario, seed) must reproduce the same run byte-for-byte";
+
+  const auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  const auto faults_a = slurp(timeline_a);
+  EXPECT_FALSE(faults_a.empty());
+  EXPECT_EQ(faults_a, slurp(timeline_b));
+}
+
+TEST(ChaosRunner, ScenarioActuallyInjectsAndReports) {
+  auto cfg = runner_config();
+  cfg.steady_duration = sim::sec(20);
+  cfg.chaos_scenario = "single-crash:at=6s";
+  cfg.slo = parse_slo("recovery<=25s");
+  const auto metrics = exp::run_experiment(cfg);
+  EXPECT_GT(metrics.faults_injected, 0);
+  EXPECT_NE(metrics.slo_pass, -1);
+}
+
+}  // namespace
+}  // namespace rasc::chaos

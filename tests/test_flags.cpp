@@ -75,6 +75,27 @@ TEST(Flags, BadBooleanThrows) {
   EXPECT_THROW(f.get_bool("b", false), std::invalid_argument);
 }
 
+TEST(Flags, DuplicateFlagThrowsOnFinish) {
+  auto f = make({"--n=1", "--n=2"});
+  EXPECT_EQ(f.get_int("n", 0), 2) << "last occurrence wins before finish()";
+  EXPECT_THROW(f.finish(), std::invalid_argument);
+
+  // Mixed --name=value / --name value spellings are still duplicates.
+  auto g = make({"--rate=5", "--rate", "7"});
+  g.get_double("rate", 0);
+  EXPECT_THROW(g.finish(), std::invalid_argument);
+
+  // The error message names the duplicated flag.
+  auto h = make({"--seed=1", "--seed=1"});
+  h.get_int("seed", 0);
+  try {
+    h.finish();
+    FAIL() << "duplicate --seed must throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("seed"), std::string::npos);
+  }
+}
+
 TEST(Flags, EmptyListThrows) {
   auto f = make({"--rates=,"});
   EXPECT_THROW(f.get_double_list("rates", {}), std::invalid_argument);

@@ -243,6 +243,133 @@ TEST(NetworkJitter, LatencyJitterStaysWithinBounds) {
   EXPECT_GT(max_lat - min_lat, msec(10));  // jitter is actually happening
 }
 
+TEST(NetworkChaos, FailAndRestoreNodeCountAndReset) {
+  Simulator sim;
+  Network net(sim, make_uniform_topology(3, 1000.0, msec(10)));
+  std::vector<SimTime> times;
+  net.set_handler(1, [&times, &sim](const Packet&) {
+    times.push_back(sim.now());
+  });
+
+  net.fail_node(1);
+  net.fail_node(1);  // idempotent: second call is a no-op
+  EXPECT_FALSE(net.node_up(1));
+  EXPECT_EQ(net.node_failures(1), 1);
+
+  net.send(0, 1, 1000, std::make_shared<Ping>());
+  sim.run_all();
+  EXPECT_TRUE(times.empty());
+
+  net.restore_node(1);
+  net.restore_node(1);
+  EXPECT_TRUE(net.node_up(1));
+  EXPECT_EQ(net.node_restores(1), 1);
+  EXPECT_EQ(net.node_failures(2), 0);
+
+  // A restored node serves fresh traffic with clean port queues: base
+  // timing, no residual backlog from before the failure.
+  const SimTime t = sim.now();
+  net.send(0, 1, 1000, std::make_shared<Ping>());
+  sim.run_all();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0] - t, 8384 + 10000 + 8384);
+}
+
+TEST(NetworkChaos, BandwidthScaleStretchesSerialization) {
+  Simulator sim;
+  Network net(sim, make_uniform_topology(2, 1000.0, msec(10)));
+  std::vector<SimTime> times;
+  net.set_handler(1, [&times, &sim](const Packet&) {
+    times.push_back(sim.now());
+  });
+  // Sender at quarter speed: tx takes 4x, rx unchanged.
+  net.set_bandwidth_scale(0, 0.25);
+  EXPECT_DOUBLE_EQ(net.bandwidth_scale(0), 0.25);
+  net.send(0, 1, 1000, std::make_shared<Ping>());
+  sim.run_all();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 4 * 8384 + 10000 + 8384);
+  // Clearing back to 1.0 restores the exact base timing.
+  net.set_bandwidth_scale(0, 1.0);
+  times.clear();
+  const SimTime t = sim.now();
+  net.send(0, 1, 1000, std::make_shared<Ping>());
+  sim.run_all();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0] - t, 8384 + 10000 + 8384);
+}
+
+TEST(NetworkChaos, ExtraLatencyAddsToBothEndpoints) {
+  Simulator sim;
+  Network net(sim, make_uniform_topology(2, 1000.0, msec(10)));
+  std::vector<SimTime> times;
+  net.set_handler(1, [&times, &sim](const Packet&) {
+    times.push_back(sim.now());
+  });
+  net.set_extra_latency(0, msec(30));
+  net.set_extra_latency(1, msec(5));
+  net.send(0, 1, 1000, std::make_shared<Ping>());
+  sim.run_all();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0], 8384 + 10000 + 35000 + 8384);
+}
+
+TEST(NetworkChaos, InjectedLossDropsApproximateFraction) {
+  Simulator sim(77);
+  Network net(sim, make_uniform_topology(2, 100000.0, usec(10)));
+  int delivered = 0;
+  net.set_handler(1, [&delivered](const Packet&) { ++delivered; });
+  net.set_injected_loss(1, 0.4);
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    net.send(0, 1, 10, std::make_shared<Ping>());
+  }
+  sim.run_all();
+  EXPECT_NEAR(double(delivered) / n, 0.6, 0.05);
+  // Clearing the injection restores lossless delivery.
+  net.set_injected_loss(1, 0.0);
+  delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    net.send(0, 1, 10, std::make_shared<Ping>());
+  }
+  sim.run_all();
+  EXPECT_EQ(delivered, 100);
+}
+
+TEST(NetworkChaos, InterceptorDelaysAndDuplicates) {
+  Simulator sim;
+  Network net(sim, make_uniform_topology(2, 1000.0, msec(10)));
+  std::vector<SimTime> times;
+  net.set_handler(1, [&times, &sim](const Packet&) {
+    times.push_back(sim.now());
+  });
+  int intercepted = 0;
+  net.set_send_interceptor(
+      [&intercepted](NodeIndex, NodeIndex,
+                     const Message*) -> Network::SendPerturbation {
+        Network::SendPerturbation p;
+        ++intercepted;
+        p.duplicates = 1;
+        p.extra_delay = msec(50);
+        return p;
+      });
+  net.send(0, 1, 1000, std::make_shared<Ping>());
+  sim.run_all();
+  // Original delayed 50 ms; one copy sent immediately. The copy must not
+  // be re-intercepted (else duplication would cascade forever).
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(intercepted, 1);
+  EXPECT_EQ(times[1] - times[0], msec(50));
+  // Uninstalling restores plain delivery.
+  net.set_send_interceptor(nullptr);
+  times.clear();
+  const SimTime t = sim.now();
+  net.send(0, 1, 1000, std::make_shared<Ping>());
+  sim.run_all();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_EQ(times[0] - t, 8384 + 10000 + 8384);
+}
+
 TEST(NetworkJitter, ZeroJitterIsExactlyDeterministic) {
   Simulator sim(5);
   const auto topo = make_uniform_topology(2, 100000.0, msec(100));
