@@ -9,6 +9,7 @@
 //       [--metrics-csv snap.csv] [--metrics-json snap.json]
 //       [--chaos-scenario churn:period=4s] [--chaos-seed 7] [--supervise]
 //       [--slo "delivered>=0.8,recovery<=10s"] [--slo-report slo.csv]
+//       [--adapt-interval 2000] [--adapt-hysteresis 0.05]
 //
 // --metrics-csv / --metrics-json dump the deployment-wide metric registry
 // snapshot (every net.*/runtime.*/sink.*/monitor.*/compose.* cell, stable
@@ -19,6 +20,11 @@
 // for the library and override syntax); --slo asserts delivery/recovery
 // bounds and makes the process exit nonzero when any repetition violates
 // them, so chaos runs can gate CI.
+//
+// --adapt-interval (ms; 0 = off) turns on online rate re-allocation: each
+// admitted app is periodically re-solved against fresh statistics and
+// changed rates ship as in-place deltas (see core/rate_adapter.hpp);
+// --adapt-hysteresis sets the minimum relative cost improvement.
 #include <cstdio>
 #include <string>
 
@@ -74,6 +80,9 @@ int main(int argc, char** argv) {
   cfg.steady_duration = sim::sec(flags.get_int("steady-sec", 15));
 
   if (flags.get_bool("no-cpu", false)) cfg.algorithm = "mincost-nocpu";
+
+  cfg.adapt_interval = sim::msec(flags.get_int("adapt-interval", 0));
+  cfg.adapt_hysteresis = flags.get_double("adapt-hysteresis", 0.05);
 
   cfg.chaos_scenario = flags.get_string("chaos-scenario", "");
   cfg.chaos_seed = std::uint64_t(flags.get_int("chaos-seed", 0));
@@ -137,6 +146,12 @@ int main(int argc, char** argv) {
               ? (std::to_string(std::int64_t(m.recovery_ms)) + " ms").c_str()
               : "n/a",
           m.slo_pass < 0 ? "n/a" : (m.slo_pass == 1 ? "PASS" : "FAIL"));
+    }
+    if (m.adapt_attempts > 0) {
+      std::printf("rep %d: adapt attempts %lld | deltas %lld | teardowns "
+                  "%lld\n",
+                  rep, (long long)m.adapt_attempts, (long long)m.adapt_deltas,
+                  (long long)m.adapt_teardowns);
     }
     if (m.slo_pass == 0) slo_violated = true;
     composed.add(m.composed);

@@ -30,8 +30,9 @@ const char* to_string(FaultKind kind) {
 }
 
 std::vector<std::string> scenario_names() {
-  return {"none",    "single-crash",  "multi-crash",      "churn",
-          "flapping-link", "cascade", "monitor-blackout", "control-jitter"};
+  return {"none",          "single-crash", "multi-crash",
+          "churn",         "flapping-link", "cascade",
+          "monitor-blackout", "control-jitter", "load-drift"};
 }
 
 Scenario make_scenario(const std::string& name) {
@@ -93,6 +94,31 @@ Scenario make_scenario(const std::string& name) {
     f.period = sim::sec(4);
     f.repeats = 8;
     s.faults.push_back(f);
+    return s;
+  }
+  if (name == "load-drift") {
+    // Sustained capacity drift, not an outage: mid-run the two most
+    // bandwidth-starved access links sag to a fraction of nominal and
+    // stay there for most of the remaining stream. Components placed on
+    // them keep shedding units at their admission-time rates — exactly
+    // the regime in-place rate re-allocation is for. A delta replan
+    // shifts the split onto healthy providers without a teardown; the
+    // teardown-only baseline either recomposes from scratch or fails its
+    // delivery SLO.
+    Fault d0;
+    d0.kind = FaultKind::kBandwidth;
+    d0.target = lowest(0);
+    d0.at = sim::sec(10);
+    d0.duration = sim::sec(25);
+    d0.magnitude = 0.35;
+    s.faults.push_back(d0);
+    Fault d1;
+    d1.kind = FaultKind::kBandwidth;
+    d1.target = lowest(1);
+    d1.at = sim::sec(12);
+    d1.duration = sim::sec(23);
+    d1.magnitude = 0.45;
+    s.faults.push_back(d1);
     return s;
   }
   if (name == "cascade") {

@@ -1,0 +1,28 @@
+// Capped exponential backoff shared by the control-plane retry paths
+// (supervisor recovery episodes, coordinator discovery retries). Jitter is
+// layered on top by callers that need it — the bare ladder is deterministic
+// so retry schedules stay event-for-event reproducible.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace rasc::core {
+
+/// base * 2^failed_attempts, saturating at `max`. `failed_attempts` counts
+/// failures so far: 0 failures -> base, 1 -> 2*base, ...
+inline sim::SimDuration capped_backoff(sim::SimDuration base,
+                                       sim::SimDuration max,
+                                       int failed_attempts) {
+  double delay = sim::to_seconds(base);
+  const double cap = sim::to_seconds(max);
+  for (int i = 0; i < failed_attempts; ++i) {
+    delay *= 2.0;
+    if (delay >= cap) {
+      delay = cap;
+      break;
+    }
+  }
+  return sim::from_seconds(delay);
+}
+
+}  // namespace rasc::core

@@ -60,6 +60,10 @@ class ResidualTracker {
   double avail_out_kbps(sim::NodeIndex node) const;
   double avail_cpu_fraction(sim::NodeIndex node) const;
   double drop_ratio(sim::NodeIndex node) const;
+  /// False when the node's snapshot held no drop outcomes — its
+  /// drop_ratio is a placeholder zero, not a measurement. Cost models
+  /// should substitute a prior rather than treat the node as drop-free.
+  bool drop_known(sim::NodeIndex node) const;
 
   void consume(sim::NodeIndex node, double in_kbps, double out_kbps,
                double cpu_fraction = 0.0);
@@ -70,6 +74,7 @@ class ResidualTracker {
     double avail_out = 0;
     double avail_cpu = 0;
     double drop_ratio = 0;
+    bool drop_known = false;
   };
   std::map<sim::NodeIndex, Entry> entries_;
 };

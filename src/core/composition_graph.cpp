@@ -37,9 +37,10 @@ CompositionGraph::CompositionGraph(
   const flow::NodeId source_gate = graph_.add_node();
   const flow::NodeId dest_gate = graph_.add_node();
 
-  graph_.add_arc(source_, source_gate,
-                 to_flow_units(source_cap_delivered_ups), 0);
-  graph_.add_arc(dest_gate, sink_, to_flow_units(dest_cap_delivered_ups), 0);
+  source_gate_arc_ = graph_.add_arc(
+      source_, source_gate, to_flow_units(source_cap_delivered_ups), 0);
+  dest_gate_arc_ = graph_.add_arc(dest_gate, sink_,
+                                  to_flow_units(dest_cap_delivered_ups), 0);
 
   // Create candidate vertex pairs per stage.
   std::vector<std::vector<std::pair<flow::NodeId, flow::NodeId>>> vertices;
@@ -81,6 +82,31 @@ void CompositionGraph::set_candidate_cap(int stage, int index,
   const auto& arcs = stage_arcs_[std::size_t(stage)];
   graph_.set_capacity(arcs[std::size_t(index)].through_arc,
                       to_flow_units(delivered_ups));
+}
+
+void CompositionGraph::set_candidate_cost(int stage, int index,
+                                          double drop_ratio,
+                                          double utilization) {
+  const auto& arcs = stage_arcs_[std::size_t(stage)];
+  graph_.set_cost(arcs[std::size_t(index)].through_arc,
+                  to_cost(drop_ratio, utilization));
+}
+
+flow::Cost CompositionGraph::unit_cost(double drop_ratio,
+                                       double utilization) {
+  return to_cost(drop_ratio, utilization);
+}
+
+flow::FlowUnit CompositionGraph::flow_units(double delivered_ups) {
+  return to_flow_units(delivered_ups);
+}
+
+void CompositionGraph::set_source_cap(double delivered_ups) {
+  graph_.set_capacity(source_gate_arc_, to_flow_units(delivered_ups));
+}
+
+void CompositionGraph::set_dest_cap(double delivered_ups) {
+  graph_.set_capacity(dest_gate_arc_, to_flow_units(delivered_ups));
 }
 
 double CompositionGraph::candidate_flow_ups(int stage, int index) const {

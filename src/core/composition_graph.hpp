@@ -70,6 +70,25 @@ class CompositionGraph {
   /// discarded.
   void set_candidate_cap(int stage, int index, double delivered_ups);
 
+  /// Rewrites the cost of candidate (stage, index)'s splitting arc from
+  /// fresh drop/utilization measurements. Used by the rate adapter when
+  /// re-solving a persistent graph against drifted statistics. Cost edits
+  /// invalidate solver snapshots (see flow::Graph::set_cost).
+  void set_candidate_cost(int stage, int index, double drop_ratio,
+                          double utilization);
+
+  /// Rewrites the endpoint gate capacities (delivered ups).
+  void set_source_cap(double delivered_ups);
+  void set_dest_cap(double delivered_ups);
+
+  /// Integer cost per flow unit for the given measurements — the exact
+  /// pricing the splitting arcs use. Exposed so the rate adapter can cost
+  /// the currently-deployed plan with the same model when applying its
+  /// hysteresis threshold.
+  static flow::Cost unit_cost(double drop_ratio, double utilization);
+  /// Delivered ups -> integer flow units (same floor the graph applies).
+  static flow::FlowUnit flow_units(double delivered_ups);
+
   /// After solving: per-stage (node, delivered ups) shares. Shares smaller
   /// than `min_share_fraction` of the demand are folded into the stage's
   /// largest share — micro-slivers would cost a component deployment for
@@ -91,6 +110,8 @@ class CompositionGraph {
   flow::NodeId source_ = 0;
   flow::NodeId sink_ = 0;
   flow::FlowUnit demand_ = 0;
+  flow::ArcId source_gate_arc_ = 0;
+  flow::ArcId dest_gate_arc_ = 0;
   std::vector<std::vector<CandidateArcs>> stage_arcs_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/backoff.hpp"
 #include "runtime/deploy_messages.hpp"
 #include "util/logging.hpp"
 
@@ -65,11 +66,16 @@ void Coordinator::lookup_with_retry(const std::shared_ptr<Pending>& pending,
       service, [this, pending, service, attempts_left](
                    bool found, std::vector<sim::NodeIndex> providers) {
         if ((!found || providers.empty()) && attempts_left > 1) {
-          simulator_.call_after(sim::msec(300),
-                                [this, pending, service, attempts_left] {
-                                  lookup_with_retry(pending, service,
-                                                    attempts_left - 1);
-                                });
+          // Exponential spacing (300ms, 600ms, ...) instead of a fixed
+          // beat: consecutive retries against a flapping overlay root
+          // spread out rather than re-arriving in lockstep.
+          const int failed_so_far = kDiscoveryAttempts - attempts_left;
+          simulator_.call_after(
+              capped_backoff(kDiscoveryBackoff, kDiscoveryBackoffMax,
+                             failed_so_far),
+              [this, pending, service, attempts_left] {
+                lookup_with_retry(pending, service, attempts_left - 1);
+              });
           return;
         }
         if (!found || providers.empty()) {
@@ -274,6 +280,7 @@ void Coordinator::finish(const std::shared_ptr<Pending>& pending,
   SubmitOutcome outcome;
   outcome.compose = pending->compose_result;
   outcome.composition_latency = simulator_.now() - pending->submitted_at;
+  if (deployed) outcome.providers = pending->provider_addrs;
   (deployed ? admitted_ : rejected_)->add();
   latency_ms_->observe(double(outcome.composition_latency) / 1000.0);
   if (pending->done) pending->done(outcome);

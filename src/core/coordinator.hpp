@@ -31,6 +31,10 @@ struct SubmitOutcome {
   /// Time from submission until the stream was fully deployed (or the
   /// request failed).
   sim::SimDuration composition_latency = 0;
+  /// Providers discovered for each requested service (addresses only;
+  /// stats are re-queried when needed). Lets the caller hand an admitted
+  /// app to the rate adapter without a second discovery round.
+  std::map<std::string, std::vector<sim::NodeIndex>> providers;
 };
 
 class Coordinator {
@@ -40,6 +44,10 @@ class Coordinator {
   static constexpr sim::SimDuration kDeployTimeout = sim::msec(5000);
   /// DHT lookup attempts per service before the request is rejected.
   static constexpr int kDiscoveryAttempts = 3;
+  /// Backoff ladder between retries of a failed lookup: 300ms, 600ms, ...
+  /// capped so a flapping overlay root is not hammered in lockstep.
+  static constexpr sim::SimDuration kDiscoveryBackoff = sim::msec(300);
+  static constexpr sim::SimDuration kDiscoveryBackoffMax = sim::msec(5000);
 
   /// `registry` is the deployment-wide metric registry; the coordinator
   /// owns a private one when null. Submission outcomes and composition

@@ -120,7 +120,11 @@ ComposeResult MinCostComposer::compose(const ComposeInput& input) {
                 ? tracker.avail_cpu_fraction(stats.node) *
                       options_.utilization_target
                 : -1.0);
-        cand.drop_ratio = tracker.drop_ratio(stats.node);
+        // An empty drop window means "never measured", not "drop-free":
+        // price the unknown with the configured prior instead of 0.
+        cand.drop_ratio = tracker.drop_known(stats.node)
+                              ? tracker.drop_ratio(stats.node)
+                              : options_.unknown_drop_prior;
         const double cap_total =
             stats.capacity_in_kbps + stats.capacity_out_kbps;
         if (cap_total > 0) {

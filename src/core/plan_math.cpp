@@ -123,6 +123,7 @@ ResidualTracker::ResidualTracker(const ComposeInput& input,
     e.avail_out = s.available_out_kbps() * headroom;
     e.avail_cpu = s.available_cpu_fraction() * headroom;
     e.drop_ratio = s.drop_ratio;
+    e.drop_known = s.drop_samples > 0;
   };
   for (const auto& [service, stats] : input.providers) {
     (void)service;
@@ -145,6 +146,11 @@ double ResidualTracker::avail_out_kbps(sim::NodeIndex node) const {
 double ResidualTracker::drop_ratio(sim::NodeIndex node) const {
   const auto it = entries_.find(node);
   return it == entries_.end() ? 1.0 : it->second.drop_ratio;
+}
+
+bool ResidualTracker::drop_known(sim::NodeIndex node) const {
+  const auto it = entries_.find(node);
+  return it != entries_.end() && it->second.drop_known;
 }
 
 double ResidualTracker::avail_cpu_fraction(sim::NodeIndex node) const {

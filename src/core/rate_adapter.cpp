@@ -1,0 +1,589 @@
+#include "core/rate_adapter.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "core/composer.hpp"
+#include "core/plan_math.hpp"
+#include "runtime/deploy_messages.hpp"
+#include "util/logging.hpp"
+
+namespace rasc::core {
+
+namespace {
+
+void finish(const RateAdapter::AttemptCallback& done, bool shipped) {
+  if (done) done(shipped);
+}
+
+/// Rate-equality tolerance when diffing plans: anything below one flow
+/// unit (milli-ups) cannot change a solved allocation.
+constexpr double kRateEps = 1.0 / CompositionGraph::kScale;
+
+bool same_placements(const std::vector<runtime::Placement>& a,
+                     const std::vector<runtime::Placement>& b) {
+  if (a.size() != b.size()) return false;
+  for (const auto& pa : a) {
+    bool matched = false;
+    for (const auto& pb : b) {
+      if (pb.node != pa.node) continue;
+      matched =
+          std::abs(pb.rate_units_per_sec - pa.rate_units_per_sec) < kRateEps;
+      break;
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+/// Per-node wire/CPU usage of one substream's candidate shares (same
+/// accumulator shape the composer's repair pass uses).
+struct NodeUsage {
+  double in_kbps = 0;
+  double out_kbps = 0;
+  double cpu_fraction = 0;
+};
+
+std::map<sim::NodeIndex, NodeUsage> accumulate_usage(
+    const std::vector<std::vector<runtime::Placement>>& shares,
+    const SubstreamMath& math) {
+  std::map<sim::NodeIndex, NodeUsage> usage;
+  for (std::size_t st = 0; st < shares.size(); ++st) {
+    for (const auto& p : shares[st]) {
+      NodeUsage& u = usage[p.node];
+      u.in_kbps += math.wire_in_kbps(int(st), p.rate_units_per_sec);
+      u.out_kbps += math.wire_out_kbps(int(st), p.rate_units_per_sec);
+      u.cpu_fraction += math.in_ups(int(st), p.rate_units_per_sec) *
+                        math.cpu_secs_per_in_unit(int(st));
+    }
+  }
+  return usage;
+}
+
+}  // namespace
+
+RateAdapter::RateAdapter(sim::Simulator& simulator, sim::Network& network,
+                         monitor::StatsAgent& stats,
+                         const runtime::ServiceCatalog& catalog,
+                         sim::NodeIndex node, Params params,
+                         obs::MetricRegistry* registry)
+    : simulator_(simulator),
+      network_(network),
+      stats_(stats),
+      catalog_(catalog),
+      node_(node),
+      params_(params),
+      owned_metrics_(registry == nullptr
+                         ? std::make_unique<obs::MetricRegistry>()
+                         : nullptr),
+      metrics_(registry != nullptr ? registry : owned_metrics_.get()) {
+  obs::Labels labels;
+  labels.node = node_;
+  attempts_ = &metrics_->counter("adapt.attempts", labels);
+  deltas_shipped_ = &metrics_->counter("adapt.deltas_shipped", labels);
+  skipped_ = &metrics_->counter("adapt.skipped", labels);
+  infeasible_ = &metrics_->counter("adapt.infeasible", labels);
+  teardowns_ = &metrics_->counter("adapt.teardowns", labels);
+  solve_us_ = &metrics_->histogram("adapt.solve_us", labels);
+}
+
+RateAdapter::~RateAdapter() {
+  for (auto& [app, t] : tracked_) {
+    if (t->timer != 0) simulator_.cancel(t->timer);
+  }
+}
+
+void RateAdapter::track(
+    const ServiceRequest& request, const runtime::AppPlan& plan,
+    std::map<std::string, std::vector<sim::NodeIndex>> providers,
+    sim::SimTime stream_stop) {
+  auto t = std::make_unique<Tracked>();
+  t->request = request;
+  t->plan = plan;
+  t->providers = std::move(providers);
+  t->stream_stop = stream_stop;
+
+  // Pin the candidate universe and build one persistent flow network per
+  // substream. Capacities and costs are placeholders — every attempt
+  // rewrites them from fresh statistics before solving.
+  for (const auto& sub : request.substreams) {
+    SubstreamState state;
+    const int k = int(sub.services.size());
+    state.candidates.resize(std::size_t(k));
+    auto stages = std::vector<std::vector<CandidateCap>>(std::size_t(k));
+    for (int st = 0; st < k; ++st) {
+      const auto it = t->providers.find(sub.services[std::size_t(st)]);
+      if (it == t->providers.end() || it->second.empty()) {
+        RASC_LOG(kWarn) << "adapter: no providers recorded for service "
+                        << sub.services[std::size_t(st)] << "; app "
+                        << plan.app << " not tracked";
+        return;
+      }
+      for (const sim::NodeIndex node : it->second) {
+        state.candidates[std::size_t(st)].push_back(node);
+        stages[std::size_t(st)].push_back(CandidateCap{node, 0, 0, 0});
+      }
+    }
+    const SubstreamMath math(sub, catalog_, request.unit_bytes);
+    state.graph = std::make_unique<CompositionGraph>(
+        stages, 0, 0, math.delivered_ups(sub.rate_kbps));
+    t->substreams.push_back(std::move(state));
+  }
+
+  const runtime::AppId app = plan.app;
+  tracked_[app] = std::move(t);
+  schedule_tick(app);
+}
+
+void RateAdapter::forget(runtime::AppId app) {
+  const auto it = tracked_.find(app);
+  if (it == tracked_.end()) return;
+  if (it->second->timer != 0) simulator_.cancel(it->second->timer);
+  tracked_.erase(it);
+}
+
+void RateAdapter::note_teardown() { teardowns_->add(); }
+
+const runtime::AppPlan* RateAdapter::current_plan(runtime::AppId app) const {
+  const auto it = tracked_.find(app);
+  return it == tracked_.end() ? nullptr : &it->second->plan;
+}
+
+void RateAdapter::attempt_now(runtime::AppId app, AttemptCallback done) {
+  attempt(app, /*bypass_cooldown=*/true, std::move(done));
+}
+
+void RateAdapter::schedule_tick(runtime::AppId app) {
+  const auto it = tracked_.find(app);
+  if (it == tracked_.end()) return;
+  Tracked& t = *it->second;
+  t.timer = 0;
+  // Stop adapting when the next tick would land at or past the stream's
+  // end: a delta shipped then could never take effect.
+  if (simulator_.now() + params_.interval >= t.stream_stop) {
+    tracked_.erase(it);
+    return;
+  }
+  std::weak_ptr<bool> alive = alive_;
+  t.timer = simulator_.call_after(params_.interval, [this, app, alive] {
+    if (alive.expired()) return;
+    attempt(app, /*bypass_cooldown=*/false, [this, app, alive](bool) {
+      if (alive.expired()) return;
+      schedule_tick(app);
+    });
+  });
+}
+
+void RateAdapter::attempt(runtime::AppId app, bool bypass_cooldown,
+                          AttemptCallback done) {
+  const auto it = tracked_.find(app);
+  if (it == tracked_.end()) {
+    finish(done, false);
+    return;
+  }
+  Tracked& t = *it->second;
+  if (t.busy || (!bypass_cooldown && simulator_.now() < t.cooldown_until)) {
+    skipped_->add();
+    finish(done, false);
+    return;
+  }
+  attempts_->add();
+  t.busy = true;
+
+  std::vector<sim::NodeIndex> targets;
+  for (const auto& [service, nodes] : t.providers) {
+    (void)service;
+    targets.insert(targets.end(), nodes.begin(), nodes.end());
+  }
+  targets.push_back(t.request.source);
+  targets.push_back(t.request.destination);
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+
+  std::weak_ptr<bool> alive = alive_;
+  stats_.query_many(
+      targets, [this, app, alive, done = std::move(done)](
+                   std::vector<monitor::NodeStats> stats) mutable {
+        if (alive.expired()) return;
+        on_stats(app, std::move(stats), std::move(done));
+      });
+}
+
+void RateAdapter::on_stats(runtime::AppId app,
+                           std::vector<monitor::NodeStats> stats,
+                           AttemptCallback done) {
+  const auto it = tracked_.find(app);
+  if (it == tracked_.end()) {  // forgotten while the query was in flight
+    finish(done, false);
+    return;
+  }
+  Tracked& t = *it->second;
+  t.busy = false;
+
+  std::map<sim::NodeIndex, monitor::NodeStats> by_node;
+  for (auto& s : stats) by_node[s.node] = s;
+  if (by_node.find(t.request.source) == by_node.end() ||
+      by_node.find(t.request.destination) == by_node.end()) {
+    // Without endpoint snapshots the gate capacities are unknowable.
+    infeasible_->add();
+    finish(done, false);
+    return;
+  }
+
+  // Credit the app's own deployed usage back to the snapshots: the rates
+  // it currently holds are capacity the re-plan may freely re-assign.
+  // Both the measured and the reserved figure are credited — availability
+  // accounting takes max(measured, reserved) of what remains.
+  const auto credit = [&by_node](sim::NodeIndex node, double in_kbps,
+                                 double out_kbps, double cpu_fraction) {
+    const auto bit = by_node.find(node);
+    if (bit == by_node.end()) return;
+    monitor::NodeStats& s = bit->second;
+    s.used_in_kbps = std::max(0.0, s.used_in_kbps - in_kbps);
+    s.reserved_in_kbps = std::max(0.0, s.reserved_in_kbps - in_kbps);
+    s.used_out_kbps = std::max(0.0, s.used_out_kbps - out_kbps);
+    s.reserved_out_kbps = std::max(0.0, s.reserved_out_kbps - out_kbps);
+    s.cpu_used_fraction = std::max(0.0, s.cpu_used_fraction - cpu_fraction);
+    s.cpu_reserved_fraction =
+        std::max(0.0, s.cpu_reserved_fraction - cpu_fraction);
+  };
+  for (std::size_t ss = 0; ss < t.plan.substreams.size(); ++ss) {
+    const auto& plan_sub = t.plan.substreams[ss];
+    const SubstreamMath math(t.request.substreams[ss], catalog_,
+                             t.request.unit_bytes);
+    const int k = int(plan_sub.stages.size());
+    for (int st = 0; st < k; ++st) {
+      for (const auto& p : plan_sub.stages[std::size_t(st)].placements) {
+        // Placements carry per-instance *input* ups; the math speaks
+        // delivered ups.
+        const double delivered =
+            p.rate_units_per_sec / math.in_units_per_delivered(st);
+        credit(p.node, math.wire_in_kbps(st, delivered),
+               math.wire_out_kbps(st, delivered),
+               math.in_ups(st, delivered) * math.cpu_secs_per_in_unit(st));
+      }
+    }
+    const double delivered_total = plan_sub.rate_units_per_sec;
+    credit(t.plan.source, 0, math.wire_in_kbps(0, delivered_total), 0);
+    credit(t.plan.destination, math.wire_in_kbps(k, delivered_total), 0, 0);
+  }
+
+  std::vector<std::vector<std::vector<runtime::Placement>>> shares;
+  std::int64_t new_cost = 0;
+  std::int64_t current_cost = 0;
+  if (!resolve(t, by_node, &shares, &new_cost, &current_cost)) {
+    infeasible_->add();
+    finish(done, false);
+    return;
+  }
+
+  // Hysteresis: only act on a clear improvement — chasing sub-threshold
+  // cost wiggles would thrash placements for nothing.
+  const bool improves =
+      current_cost > new_cost &&
+      double(current_cost - new_cost) >=
+          params_.hysteresis * double(current_cost);
+  if (!improves) {
+    skipped_->add();
+    finish(done, false);
+    return;
+  }
+
+  runtime::AppPlan new_plan = build_app_plan(t.request, catalog_, shares);
+  const int sent = ship_deltas(t, new_plan);
+  if (sent == 0) {
+    skipped_->add();
+    finish(done, false);
+    return;
+  }
+  deltas_shipped_->add(sent);
+  t.plan = std::move(new_plan);
+  t.cooldown_until = simulator_.now() + params_.cooldown;
+  RASC_LOG(kDebug) << "adapter: app " << app << " shipped " << sent
+                   << " deltas (cost " << current_cost << " -> " << new_cost
+                   << ")";
+  finish(done, true);
+}
+
+bool RateAdapter::resolve(
+    Tracked& t, const std::map<sim::NodeIndex, monitor::NodeStats>& by_node,
+    std::vector<std::vector<std::vector<runtime::Placement>>>* shares,
+    std::int64_t* new_cost, std::int64_t* current_cost) {
+  // A local ComposeInput feeds the shared ResidualTracker so availability
+  // semantics (headroom, max(measured, reserved)) match composition.
+  ComposeInput input;
+  input.request = t.request;
+  input.catalog = &catalog_;
+  input.source_stats = by_node.at(t.request.source);
+  input.destination_stats = by_node.at(t.request.destination);
+  for (const auto& [service, nodes] : t.providers) {
+    auto& list = input.providers[service];
+    for (const sim::NodeIndex node : nodes) {
+      const auto bit = by_node.find(node);
+      if (bit != by_node.end()) list.push_back(bit->second);
+    }
+  }
+  ResidualTracker tracker(input);
+  const MinCostComposer::Options& opt = params_.cost;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t ss = 0; ss < t.request.substreams.size(); ++ss) {
+    const auto& sub = t.request.substreams[ss];
+    SubstreamState& state = t.substreams[ss];
+    CompositionGraph& cg = *state.graph;
+    const SubstreamMath math(sub, catalog_, t.request.unit_bytes);
+    const double demand = math.delivered_ups(sub.rate_kbps);
+    const int k = math.num_stages();
+
+    // Fresh capacities and costs on the persistent graph. A candidate
+    // whose stats query failed is priced as unusable, not unknown.
+    cg.reset_flow();
+    auto caps = std::vector<std::vector<double>>(std::size_t(k));
+    auto tighten = std::vector<std::vector<double>>(std::size_t(k));
+    // Per-stage unit costs, reused to price the deployed plan below.
+    auto costs =
+        std::vector<std::map<sim::NodeIndex, flow::Cost>>(std::size_t(k));
+    for (int st = 0; st < k; ++st) {
+      const auto& cand_nodes = state.candidates[std::size_t(st)];
+      caps[std::size_t(st)].resize(cand_nodes.size(), 0.0);
+      tighten[std::size_t(st)].assign(cand_nodes.size(), 1.0);
+      for (std::size_t j = 0; j < cand_nodes.size(); ++j) {
+        const sim::NodeIndex node = cand_nodes[j];
+        const auto bit = by_node.find(node);
+        double cap = 0, drop = 1.0, util = 1.0;
+        if (bit != by_node.end()) {
+          cap = math.max_delivered_ups(
+              st, tracker.avail_in_kbps(node) * opt.utilization_target,
+              tracker.avail_out_kbps(node) * opt.utilization_target,
+              opt.consider_cpu ? tracker.avail_cpu_fraction(node) *
+                                     opt.utilization_target
+                               : -1.0);
+          drop = tracker.drop_known(node) ? tracker.drop_ratio(node)
+                                          : opt.unknown_drop_prior;
+          const double cap_total = bit->second.capacity_in_kbps +
+                                   bit->second.capacity_out_kbps;
+          util = cap_total > 0
+                     ? 1.0 - (tracker.avail_in_kbps(node) +
+                              tracker.avail_out_kbps(node)) /
+                                 cap_total
+                     : 1.0;
+        }
+        caps[std::size_t(st)][j] = cap;
+        cg.set_candidate_cap(st, int(j), cap);
+        cg.set_candidate_cost(st, int(j), drop, util);
+        costs[std::size_t(st)].emplace(
+            node, CompositionGraph::unit_cost(drop, util));
+      }
+    }
+    cg.set_source_cap(tracker.avail_out_kbps(t.request.source) /
+                      math.wire_in_kbps(0, 1.0));
+    cg.set_dest_cap(tracker.avail_in_kbps(t.request.destination) /
+                    math.wire_in_kbps(k, 1.0));
+
+    // Solve + the composer's capacity-repair loop: tighten the splitting
+    // arcs of any physical node that several stages overload together.
+    std::vector<std::vector<runtime::Placement>> accepted_shares;
+    bool accepted = false;
+    std::vector<std::pair<int, int>> dirty;
+    for (int iter = 0; !accepted && iter < opt.max_repair_iterations;
+         ++iter) {
+      if (iter > 0) {
+        cg.reset_flow();
+        for (const auto& [st, j] : dirty) {
+          cg.set_candidate_cap(st, j,
+                               caps[std::size_t(st)][std::size_t(j)] *
+                                   tighten[std::size_t(st)][std::size_t(j)]);
+        }
+        dirty.clear();
+      }
+      flow::SolveOptions solve_options;
+      solve_options.assume_nonnegative_costs = true;
+      solve_options.warm_start = true;
+      const auto solved =
+          ssp_.solve(cg.graph(), cg.source(), cg.sink(), cg.demand(),
+                     solve_options);
+      if (!solved.feasible) return false;
+      const auto raw_shares = cg.extract_shares(0.0);
+      const auto usage = accumulate_usage(raw_shares, math);
+      bool violated = false;
+      for (const auto& [node, u] : usage) {
+        const double ai =
+            tracker.avail_in_kbps(node) * opt.utilization_target;
+        const double ao =
+            tracker.avail_out_kbps(node) * opt.utilization_target;
+        double factor = 1.0;
+        if (u.in_kbps > ai * 1.02) factor = std::min(factor, ai / u.in_kbps);
+        if (u.out_kbps > ao * 1.02) {
+          factor = std::min(factor, ao / u.out_kbps);
+        }
+        if (factor >= 1.0) continue;
+        violated = true;
+        for (int st = 0; st < k; ++st) {
+          double share_delivered = 0;
+          for (const auto& p : raw_shares[std::size_t(st)]) {
+            if (p.node == node) share_delivered = p.rate_units_per_sec;
+          }
+          if (share_delivered <= 0) continue;
+          const auto& cand_nodes = state.candidates[std::size_t(st)];
+          for (std::size_t j = 0; j < cand_nodes.size(); ++j) {
+            if (cand_nodes[j] != node) continue;
+            const double original = caps[std::size_t(st)][j];
+            if (original <= 0) continue;
+            const double target = share_delivered * factor;
+            const double tightened =
+                std::min(tighten[std::size_t(st)][j], target / original);
+            if (tightened < tighten[std::size_t(st)][j]) {
+              tighten[std::size_t(st)][j] = tightened;
+              dirty.emplace_back(st, int(j));
+            }
+          }
+        }
+      }
+      if (!violated) {
+        accepted_shares = cg.extract_shares(opt.min_share_fraction);
+        *new_cost += solved.cost;
+        accepted = true;
+      }
+    }
+    if (!accepted) return false;
+
+    // Price the deployed plan's placements with this round's unit costs:
+    // the hysteresis comparison must use one consistent cost model.
+    const auto& plan_sub = t.plan.substreams[ss];
+    for (std::size_t st = 0; st < plan_sub.stages.size(); ++st) {
+      for (const auto& p : plan_sub.stages[st].placements) {
+        const double delivered =
+            p.rate_units_per_sec / math.in_units_per_delivered(int(st));
+        const auto cit = costs[st].find(p.node);
+        // A deployed node outside the candidate set (cannot normally
+        // happen) is priced as fully dropping.
+        const flow::Cost unit =
+            cit != costs[st].end()
+                ? cit->second
+                : CompositionGraph::unit_cost(1.0, 1.0);
+        *current_cost += unit * CompositionGraph::flow_units(delivered);
+      }
+    }
+
+    // Algorithm 1's capacity update before the next substream.
+    const auto usage = accumulate_usage(accepted_shares, math);
+    for (const auto& [node, u] : usage) {
+      tracker.consume(node, u.in_kbps, u.out_kbps, u.cpu_fraction);
+    }
+    tracker.consume(t.request.source, 0, math.wire_in_kbps(0, demand));
+    tracker.consume(t.request.destination, math.wire_in_kbps(k, demand), 0);
+    shares->push_back(std::move(accepted_shares));
+  }
+  solve_us_->observe(double(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return true;
+}
+
+int RateAdapter::ship_deltas(Tracked& t, const runtime::AppPlan& new_plan) {
+  int sent = 0;
+  for (std::size_t ss = 0; ss < new_plan.substreams.size(); ++ss) {
+    const auto& old_sub = t.plan.substreams[ss];
+    const auto& new_sub = new_plan.substreams[ss];
+    const SubstreamMath math(t.request.substreams[ss], catalog_,
+                             t.request.unit_bytes);
+    const int k = int(new_sub.stages.size());
+
+    // A stage's components must be updated when their own allocation
+    // changed OR the downstream split they feed changed.
+    auto changed = std::vector<bool>(std::size_t(k));
+    for (int st = 0; st < k; ++st) {
+      changed[std::size_t(st)] =
+          !same_placements(old_sub.stages[std::size_t(st)].placements,
+                           new_sub.stages[std::size_t(st)].placements);
+    }
+
+    for (int st = 0; st < k; ++st) {
+      const bool next_changed = st + 1 < k && changed[std::size_t(st + 1)];
+      if (!changed[std::size_t(st)] && !next_changed) continue;
+      const auto& old_pl = old_sub.stages[std::size_t(st)].placements;
+      const auto& new_pl = new_sub.stages[std::size_t(st)].placements;
+      const std::string& service = new_sub.stages[std::size_t(st)].service;
+      const std::int64_t in_bytes = std::llround(math.in_unit_bytes(st));
+      std::vector<runtime::Placement> next;
+      if (st + 1 < k) {
+        next = new_sub.stages[std::size_t(st + 1)].placements;
+      } else {
+        next.push_back(runtime::Placement{new_plan.destination,
+                                          new_sub.rate_units_per_sec});
+      }
+      const runtime::ComponentKey key{new_plan.app, std::int32_t(ss),
+                                      std::int32_t(st)};
+
+      for (const auto& p : new_pl) {
+        const bool survivor =
+            std::any_of(old_pl.begin(), old_pl.end(),
+                        [&](const runtime::Placement& o) {
+                          return o.node == p.node;
+                        });
+        if (survivor) {
+          auto msg = std::make_shared<runtime::UpdateComponentMsg>();
+          msg->key = key;
+          msg->rate_units_per_sec = p.rate_units_per_sec;
+          msg->in_unit_bytes = in_bytes;
+          msg->next = next;
+          const auto size = msg->wire_size();
+          network_.send(node_, p.node, size, std::move(msg));
+        } else {
+          auto msg = std::make_shared<runtime::AddPlacementMsg>();
+          msg->key = key;
+          msg->service = service;
+          msg->rate_units_per_sec = p.rate_units_per_sec;
+          msg->in_unit_bytes = in_bytes;
+          msg->next = next;
+          const auto size = msg->wire_size();
+          network_.send(node_, p.node, size, std::move(msg));
+        }
+        ++sent;
+      }
+
+      for (const auto& o : old_pl) {
+        const bool retired =
+            std::none_of(new_pl.begin(), new_pl.end(),
+                         [&](const runtime::Placement& p) {
+                           return p.node == o.node;
+                         });
+        if (!retired) continue;
+        // Retire after a grace period so in-flight units addressed to the
+        // old instance drain instead of counting unroutable.
+        std::weak_ptr<bool> alive = alive_;
+        const sim::NodeIndex target = o.node;
+        simulator_.call_after(params_.remove_grace,
+                              [this, alive, target, key] {
+                                if (alive.expired()) return;
+                                auto msg = std::make_shared<
+                                    runtime::RemovePlacementMsg>();
+                                msg->key = key;
+                                network_.send(
+                                    node_, target,
+                                    runtime::RemovePlacementMsg::kBytes,
+                                    std::move(msg));
+                              });
+        ++sent;
+      }
+    }
+
+    // The source's stage-0 split follows any first-stage change.
+    if (changed[0]) {
+      auto msg = std::make_shared<runtime::UpdateSourceSplitMsg>();
+      msg->app = new_plan.app;
+      msg->substream = std::int32_t(ss);
+      msg->rate_units_per_sec = new_sub.stages[0].total_rate();
+      msg->first_stage = new_sub.stages[0].placements;
+      const auto size = msg->wire_size();
+      network_.send(node_, new_plan.source, size, std::move(msg));
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+}  // namespace rasc::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "core/backoff.hpp"
+#include "core/rate_adapter.hpp"
 #include "runtime/deploy_messages.hpp"
 #include "util/logging.hpp"
 
@@ -166,6 +168,7 @@ void AppSupervisor::on_probe_result(runtime::AppId app,
     return;
   }
   w.strikes = 0;
+  w.adapt_tried = false;
   schedule_check(app);
 }
 
@@ -176,6 +179,25 @@ void AppSupervisor::strike(runtime::AppId app) {
   strikes_->add();
   if (++w.strikes < params_.strikes_to_recover) {
     schedule_check(app);
+    return;
+  }
+  // First-line response: one in-place rate re-allocation attempt before
+  // the teardown hammer. A shipped delta earns the app a fresh round of
+  // probes; anything else escalates immediately.
+  if (adapter_ != nullptr && !w.adapt_tried) {
+    w.adapt_tried = true;
+    RASC_LOG(kInfo) << "supervisor: app " << app
+                    << " starving; trying delta re-allocation";
+    adapter_->attempt_now(app, [this, app](bool shipped) {
+      const auto wit = watched_.find(app);
+      if (wit == watched_.end()) return;
+      if (shipped) {
+        wit->second->strikes = 0;
+        schedule_check(app);
+        return;
+      }
+      recover(app);
+    });
     return;
   }
   recover(app);
@@ -198,14 +220,9 @@ void AppSupervisor::teardown_everywhere(const Watched& w,
 
 sim::SimDuration AppSupervisor::backoff_delay(int failed_attempts) {
   // Capped exponential: base * 2^k for the k-th retry after a failure.
-  double delay = sim::to_seconds(params_.recovery_backoff);
-  for (int i = 0; i < failed_attempts; ++i) {
-    delay *= 2.0;
-    if (delay >= sim::to_seconds(params_.recovery_backoff_max)) {
-      delay = sim::to_seconds(params_.recovery_backoff_max);
-      break;
-    }
-  }
+  double delay = sim::to_seconds(capped_backoff(params_.recovery_backoff,
+                                                params_.recovery_backoff_max,
+                                                failed_attempts));
   if (params_.recovery_jitter > 0) {
     delay *= 1.0 - params_.recovery_jitter +
              2.0 * params_.recovery_jitter * backoff_rng_.uniform01();
@@ -231,6 +248,10 @@ void AppSupervisor::recover(runtime::AppId app) {
 
   RASC_LOG(kInfo) << "supervisor: app " << app
                   << " starving; tearing down and re-composing";
+  if (adapter_ != nullptr) {
+    if (adapter_->current_plan(app) != nullptr) adapter_->note_teardown();
+    adapter_->forget(app);
+  }
   teardown_everywhere(*w, app);
   if (w->events) {
     w->events(Event{Event::Kind::kRecovering, app, 0});
@@ -298,6 +319,10 @@ void AppSupervisor::schedule_recompose(std::shared_ptr<RecoveryState> state,
               if (const auto w = watched_.find(retry.app);
                   w != watched_.end()) {
                 w->second->recoveries = state->attempts_done + 1;
+              }
+              if (adapter_ != nullptr) {
+                adapter_->track(retry, outcome.compose.plan,
+                                outcome.providers, state->stream_stop);
               }
             });
       });

@@ -19,6 +19,8 @@
 
 namespace rasc::core {
 
+class RateAdapter;
+
 class AppSupervisor {
  public:
   struct Params {
@@ -82,6 +84,13 @@ class AppSupervisor {
   /// Stops supervising (e.g., the owner tore the app down itself).
   void forget(runtime::AppId app);
 
+  /// Wires in the node's rate adapter (may be null to unwire). With an
+  /// adapter present, a starving app first gets one in-place delta
+  /// re-allocation attempt; teardown-and-recompose only runs when that
+  /// attempt cannot improve the plan. Recovered apps are re-tracked with
+  /// the adapter under their fresh id.
+  void set_adapter(RateAdapter* adapter) { adapter_ = adapter; }
+
   /// Consumes SinkHealthReply packets; false for anything else.
   bool handle_packet(const sim::Packet& packet);
 
@@ -97,6 +106,9 @@ class AppSupervisor {
     std::int64_t last_delivered = 0;
     int strikes = 0;
     int recoveries = 0;
+    /// Whether the rate adapter already got its first-line shot at the
+    /// current starvation episode (reset when a probe looks healthy).
+    bool adapt_tried = false;
     sim::EventId timer = 0;
     std::uint64_t pending_probe = 0;  // request id awaiting reply
     sim::EventId probe_timeout_event = 0;
@@ -129,6 +141,7 @@ class AppSupervisor {
   Composer& composer_;
   Params params_;
   sim::NodeIndex node_;
+  RateAdapter* adapter_ = nullptr;
 
   std::unique_ptr<obs::MetricRegistry> owned_metrics_;
   obs::MetricRegistry* metrics_;

@@ -11,6 +11,11 @@ Host::Host(sim::Simulator& simulator, sim::Network& network,
            runtime::NodeRuntime::Params runtime_params,
            obs::MetricRegistry* registry, obs::UnitTrace* trace) {
   const sim::NodeIndex node = pastry.addr();
+  simulator_ = &simulator;
+  network_ = &network;
+  catalog_ = &catalog;
+  registry_ = registry;
+  node_ = node;
   monitor_ = std::make_unique<monitor::NodeMonitor>(
       simulator, network, node, monitor_params, registry);
   stats_ = std::make_unique<monitor::StatsAgent>(simulator, network, node,
@@ -35,6 +40,17 @@ Host::Host(sim::Simulator& simulator, sim::Network& network,
           monitor->on_unit_dropped();
         }
       });
+}
+
+core::RateAdapter& Host::enable_adapter(
+    const core::RateAdapter::Params& params) {
+  if (adapter_ == nullptr) {
+    adapter_ = std::make_unique<core::RateAdapter>(
+        *simulator_, *network_, *stats_, *catalog_, node_, params,
+        registry_);
+    supervisor_->set_adapter(adapter_.get());
+  }
+  return *adapter_;
 }
 
 void Host::handle_packet(const sim::Packet& packet) {

@@ -8,6 +8,7 @@
 
 #include "core/coordinator.hpp"
 #include "core/mincost_composer.hpp"
+#include "core/rate_adapter.hpp"
 #include "core/supervisor.hpp"
 #include "monitor/node_monitor.hpp"
 #include "monitor/stats_protocol.hpp"
@@ -37,6 +38,15 @@ class Host {
   /// applications with min-cost composition.
   core::AppSupervisor& supervisor() { return *supervisor_; }
 
+  /// Constructs this node's rate adapter on first call (idempotent for
+  /// identical params; later calls return the existing instance) and
+  /// wires it into the supervisor as the first-line starvation response.
+  /// Lazy on purpose: a host that never adapts must not create adapt.*
+  /// registry cells, keeping adapt-disabled runs byte-identical.
+  core::RateAdapter& enable_adapter(const core::RateAdapter::Params& params);
+  /// The adapter, or nullptr while enable_adapter was never called.
+  core::RateAdapter* adapter() { return adapter_.get(); }
+
   /// Non-overlay packet entry point (install as Overlay fallback).
   void handle_packet(const sim::Packet& packet);
 
@@ -47,6 +57,15 @@ class Host {
   std::unique_ptr<core::Coordinator> coordinator_;
   std::unique_ptr<core::MinCostComposer> recovery_composer_;
   std::unique_ptr<core::AppSupervisor> supervisor_;
+  // Lazy-construction context for the adapter (the ctor refs above do not
+  // survive as members elsewhere).
+  sim::Simulator* simulator_ = nullptr;
+  sim::Network* network_ = nullptr;
+  const runtime::ServiceCatalog* catalog_ = nullptr;
+  obs::MetricRegistry* registry_ = nullptr;
+  sim::NodeIndex node_ = sim::kInvalidNode;
+  /// Declared after supervisor_ so pending adapter callbacks die first.
+  std::unique_ptr<core::RateAdapter> adapter_;
 };
 
 }  // namespace rasc::exp

@@ -67,6 +67,15 @@ RunMetrics run_experiment(const RunConfig& config,
     if (config.chaos_seed != 0) scenario.seed = config.chaos_seed;
   }
   const bool supervise = config.supervise || chaos_on;
+  const bool adapt = config.adapt_interval > 0;
+  core::RateAdapter::Params adapt_params;
+  if (adapt) {
+    adapt_params.interval = config.adapt_interval;
+    adapt_params.hysteresis = config.adapt_hysteresis;
+    // Quiet period after a shipped round: long enough for the deltas to
+    // land and the windowed statistics to reflect them.
+    adapt_params.cooldown = 2 * config.adapt_interval;
+  }
 
   const sim::SimTime t0 = simulator.now();
   const sim::SimTime last_submit =
@@ -80,13 +89,13 @@ RunMetrics run_experiment(const RunConfig& config,
     const auto& request = requests[i];
     const sim::SimTime when = t0 + sim::SimDuration(i) * config.submit_gap;
     simulator.call_at(when, [&world, &metrics, &request, &composer,
-                             stream_stop, supervise] {
+                             stream_stop, supervise, adapt, adapt_params] {
       auto& coordinator =
           world.host(std::size_t(request.source)).coordinator();
       coordinator.submit(
           request, *composer, /*stream_start=*/0, stream_stop,
-          [&world, &metrics, &request, stream_stop,
-           supervise](const core::SubmitOutcome& outcome) {
+          [&world, &metrics, &request, stream_stop, supervise, adapt,
+           adapt_params](const core::SubmitOutcome& outcome) {
             if (outcome.compose.admitted) {
               ++metrics.composed;
               metrics.components +=
@@ -94,10 +103,17 @@ RunMetrics run_experiment(const RunConfig& config,
               for (const auto& sub : outcome.compose.plan.substreams) {
                 metrics.stages += std::int64_t(sub.stages.size());
               }
+              auto& host = world.host(std::size_t(request.source));
+              // Adapter before supervisor: watch() consults the adapter
+              // as its first-line starvation response.
+              if (adapt) {
+                host.enable_adapter(adapt_params)
+                    .track(request, outcome.compose.plan, outcome.providers,
+                           stream_stop);
+              }
               if (supervise) {
-                world.host(std::size_t(request.source))
-                    .supervisor()
-                    .watch(request, outcome.compose.plan, stream_stop, {});
+                host.supervisor().watch(request, outcome.compose.plan,
+                                        stream_stop, {});
               }
             } else {
               RASC_LOG(kDebug)
@@ -171,6 +187,9 @@ RunMetrics run_experiment(const RunConfig& config,
   metrics.recoveries =
       registry.counter_total("supervisor.recoveries_succeeded");
   metrics.gave_up = registry.counter_total("supervisor.gave_up");
+  metrics.adapt_attempts = registry.counter_total("adapt.attempts");
+  metrics.adapt_deltas = registry.counter_total("adapt.deltas_shipped");
+  metrics.adapt_teardowns = registry.counter_total("adapt.teardowns");
 
   if (injector != nullptr) {
     metrics.faults_injected = injector->applied();

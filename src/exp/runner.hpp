@@ -49,6 +49,15 @@ struct RunConfig {
   /// Watch every admitted app with its source node's AppSupervisor.
   /// Implied by a chaos scenario.
   bool supervise = false;
+
+  // --- Online rate re-allocation (off by default: with interval 0 no
+  // adapter is constructed, no adapt.* registry cell exists, and the run
+  // is event-for-event identical to an adaptation-free build) ---
+
+  /// Period of the per-app delta re-allocation loop; 0 disables it.
+  sim::SimDuration adapt_interval = 0;
+  /// Minimum relative cost improvement before deltas are shipped.
+  double adapt_hysteresis = 0.05;
 };
 
 struct RunMetrics {
@@ -78,6 +87,11 @@ struct RunMetrics {
   std::int64_t faults_injected = 0;
   std::int64_t recoveries = 0;  // supervisor recoveries that succeeded
   std::int64_t gave_up = 0;     // apps the supervisor abandoned
+
+  /// Rate-adapter outcomes (all zero when adaptation is off).
+  std::int64_t adapt_attempts = 0;
+  std::int64_t adapt_deltas = 0;     // delta messages shipped
+  std::int64_t adapt_teardowns = 0;  // tracked apps still torn down
   double recovery_ms = -1;      // SLO recovery time; -1 = n/a or never
   int slo_pass = -1;            // -1 = no SLO evaluated, else 0/1
 

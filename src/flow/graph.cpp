@@ -45,6 +45,14 @@ void Graph::set_capacity(ArcId a, FlowUnit cap) {
   original_cap_[std::size_t(a) / 2] = cap;
 }
 
+void Graph::set_cost(ArcId a, Cost cost) {
+  assert(a >= 0 && std::size_t(a) < arcs_.size() && (a % 2) == 0);
+  if (arcs_[std::size_t(a)].cost == cost) return;
+  arcs_[std::size_t(a)].cost = cost;
+  arcs_[std::size_t(a ^ 1)].cost = -cost;
+  structure_key_ = next_structure_key();
+}
+
 void Graph::push(ArcId a, FlowUnit amount) {
   assert(amount >= 0 && amount <= arcs_[std::size_t(a)].cap);
   arcs_[std::size_t(a)].cap -= amount;

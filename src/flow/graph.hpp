@@ -55,6 +55,11 @@ class Graph {
   /// change the graph's structure_key(): topology is unchanged.
   void set_capacity(ArcId a, FlowUnit cap);
 
+  /// Rewrites the per-unit cost of forward arc `a` (twin gets -cost).
+  /// Bumps structure_key(): solver adjacency snapshots bake costs in, so
+  /// a cost edit must invalidate them like a topology change would.
+  void set_cost(ArcId a, Cost cost);
+
   /// Identifies this graph's *topology* (node/arc structure, costs).
   /// Changes whenever a node or arc is added; copies share the key with
   /// their original (their topology is identical). Solvers use it to keep

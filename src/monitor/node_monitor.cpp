@@ -92,6 +92,7 @@ NodeStats NodeMonitor::snapshot() const {
   s.used_out_kbps = out_kbps_window_.mean();
   s.cpu_used_fraction = cpu_window_.mean();
   s.drop_ratio = outcomes_.ratio();
+  s.drop_samples = std::int64_t(outcomes_.count());
   if (params_.advertise_reservations) {
     s.reserved_in_kbps = reserved_in_kbps_;
     s.reserved_out_kbps = reserved_out_kbps_;

@@ -39,6 +39,13 @@ struct NodeStats {
   // window (deadline misses + queue overflow). The min-cost edge cost.
   double drop_ratio = 0;
 
+  // How many outcomes the drop window held when the snapshot was taken.
+  // Zero means drop_ratio carries no information: the node has processed
+  // nothing yet, not that it is drop-free. Cost-assignment sites must
+  // check this before trusting drop_ratio (see
+  // MinCostComposer::Options::unknown_drop_prior).
+  std::int64_t drop_samples = 0;
+
   // Scheduler snapshot (informational; used by tests and examples).
   std::int64_t ready_queue_length = 0;
 

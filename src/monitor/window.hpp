@@ -29,6 +29,15 @@ class SlidingWindow {
     sum_ += x - samples_[next_];
     samples_[next_] = x;
     next_ = (next_ + 1) % capacity_;
+    // The running add/subtract accumulates rounding error without bound
+    // over long streams. Rebuild the exact sum once per full wrap of the
+    // ring — O(capacity) every capacity insertions keeps add() amortized
+    // O(1) while pinning the drift to one window's worth of updates.
+    if (next_ == 0 && ++wraps_ >= capacity_) {
+      wraps_ = 0;
+      sum_ = 0;
+      for (const double s : samples_) sum_ += s;
+    }
   }
 
   std::size_t count() const { return samples_.size(); }
@@ -43,12 +52,14 @@ class SlidingWindow {
     samples_.clear();
     sum_ = 0;
     next_ = 0;
+    wraps_ = 0;
   }
 
  private:
   std::size_t capacity_;
   std::vector<double> samples_;
   std::size_t next_ = 0;  // replacement cursor once full
+  std::size_t wraps_ = 0;  // full ring wraps since the last exact rebuild
   double sum_ = 0;
 };
 

@@ -23,6 +23,22 @@ Component::Component(ComponentKey key, ServiceSpec spec,
   }
 }
 
+void Component::reconfigure(double planned_rate_ups,
+                            std::vector<Placement> next_placements) {
+  assert(!next_placements.empty() && "component needs a downstream");
+  planned_rate_ups_ = planned_rate_ups;
+  next_placements_ = std::move(next_placements);
+  wrr_.reset();
+  if (next_placements_.size() > 1) {
+    std::vector<double> weights;
+    weights.reserve(next_placements_.size());
+    for (const auto& p : next_placements_) {
+      weights.push_back(p.rate_units_per_sec);
+    }
+    wrr_.emplace(std::move(weights));
+  }
+}
+
 sim::SimTime Component::on_arrival(sim::SimTime now) {
   ++arrived_;
   arrivals_.record(now);

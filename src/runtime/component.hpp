@@ -60,6 +60,12 @@ class Component {
   /// use: expected arrival of the next unit, arr + p_ci (paper §3.4).
   sim::SimTime on_arrival(sim::SimTime now);
 
+  /// Re-rates the component in place and rewrites its downstream split
+  /// (rate adapter delta). Arrival/execution statistics survive — the
+  /// component keeps its measured period and exec-time history.
+  void reconfigure(double planned_rate_ups,
+                   std::vector<Placement> next_placements);
+
   /// Processes one input unit and emits 0..k outputs according to the
   /// rate ratio credit. Outputs preserve the input's seq when the ratio is
   /// exactly 1 (so downstream order accounting stays exact); otherwise a

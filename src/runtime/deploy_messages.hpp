@@ -66,6 +66,67 @@ struct DeployAck final : sim::Message {
   static constexpr std::int64_t kBytes = 16;
 };
 
+// --- Delta re-allocation protocol (rate adapter) ---
+//
+// The adapter adjusts a running application in place instead of tearing
+// it down: components get new rates and downstream splits, placements are
+// added or retired individually, and the source's stage-0 split is
+// rewritten. Updates are fire-and-forget (no acks): a lost delta leaves
+// the app on its previous — still functional — allocation, and the next
+// adaptation round repairs it.
+
+/// Re-rates an existing component in place and rewrites its downstream
+/// split. No-op if the component is not deployed on the receiving node.
+struct UpdateComponentMsg final : sim::Message {
+  const char* kind() const override { return "runtime.update_component"; }
+  ComponentKey key;
+  double rate_units_per_sec = 0;   // new allocation for this instance
+  std::int64_t in_unit_bytes = 0;  // input unit size (re-reservation)
+  std::vector<Placement> next;     // new stage+1 split (or the sink)
+
+  std::int64_t wire_size() const {
+    return 56 + std::int64_t(next.size()) * 16;
+  }
+};
+
+/// Deploys one additional instance of an already-running stage (same
+/// payload as DeployComponentMsg minus the ack round-trip).
+struct AddPlacementMsg final : sim::Message {
+  const char* kind() const override { return "runtime.add_placement"; }
+  ComponentKey key;
+  std::string service;
+  double rate_units_per_sec = 0;
+  std::int64_t in_unit_bytes = 0;
+  std::vector<Placement> next;
+
+  std::int64_t wire_size() const {
+    return 96 + std::int64_t(next.size()) * 16;
+  }
+};
+
+/// Retires a single component instance (one stage of one substream on the
+/// receiving node), releasing its reservations. Unlike TeardownAppMsg the
+/// rest of the application keeps running.
+struct RemovePlacementMsg final : sim::Message {
+  const char* kind() const override { return "runtime.remove_placement"; }
+  ComponentKey key;
+  static constexpr std::int64_t kBytes = 24;
+};
+
+/// Rewrites a running source's stage-0 split (and emission rate) after
+/// the adapter re-balanced the first stage.
+struct UpdateSourceSplitMsg final : sim::Message {
+  const char* kind() const override { return "runtime.update_source_split"; }
+  AppId app = 0;
+  std::int32_t substream = 0;
+  double rate_units_per_sec = 0;  // new stage-0 *input* ups
+  std::vector<Placement> first_stage;
+
+  std::int64_t wire_size() const {
+    return 48 + std::int64_t(first_stage.size()) * 16;
+  }
+};
+
 /// Tears down every component/sink/source of an application on the
 /// receiving node (failure recovery and re-composition).
 struct TeardownAppMsg final : sim::Message {

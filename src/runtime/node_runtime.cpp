@@ -106,6 +106,35 @@ bool NodeRuntime::handle_packet(const sim::Packet& packet) {
     send_ack(src->requester, src->request_id, true);
     return true;
   }
+  if (const auto* uc =
+          dynamic_cast<const UpdateComponentMsg*>(payload.get())) {
+    update_component(uc->key, uc->rate_units_per_sec, uc->in_unit_bytes,
+                     uc->next);
+    return true;
+  }
+  if (const auto* ap = dynamic_cast<const AddPlacementMsg*>(payload.get())) {
+    // Fire-and-forget variant of DeployComponentMsg: a failed add leaves
+    // the app on its previous split, which the next round repairs.
+    try {
+      deploy_component(ap->key, ap->service, ap->rate_units_per_sec,
+                       ap->in_unit_bytes, ap->next);
+    } catch (const std::exception& e) {
+      RASC_LOG(kWarn) << "node " << node_
+                      << ": add-placement failed: " << e.what();
+    }
+    return true;
+  }
+  if (const auto* rp =
+          dynamic_cast<const RemovePlacementMsg*>(payload.get())) {
+    remove_component(rp->key);
+    return true;
+  }
+  if (const auto* us =
+          dynamic_cast<const UpdateSourceSplitMsg*>(payload.get())) {
+    update_source_split(us->app, us->substream, us->rate_units_per_sec,
+                        us->first_stage);
+    return true;
+  }
   if (const auto* td = dynamic_cast<const TeardownAppMsg*>(payload.get())) {
     teardown_app(td->app);
     return true;
@@ -197,6 +226,75 @@ void NodeRuntime::deploy_source(AppId app, std::int32_t substream,
   endpoint.source = std::move(source);
   endpoint.source_reserved_kbps = out_kbps;
   monitor_.add_reservation(0, out_kbps);
+}
+
+void NodeRuntime::update_component(const ComponentKey& key,
+                                   double rate_units_per_sec,
+                                   std::int64_t in_unit_bytes,
+                                   std::vector<Placement> next) {
+  const auto it = components_.find(key);
+  if (it == components_.end()) return;  // stale delta; next round repairs
+  const ServiceSpec& spec = it->second->spec();
+  const std::int64_t out_unit_bytes = std::int64_t(
+      double(in_unit_bytes) * spec.output_size_factor + 0.5);
+  const double in_kbps = reservation_kbps(rate_units_per_sec, in_unit_bytes);
+  const double out_kbps = reservation_kbps(
+      rate_units_per_sec * spec.rate_ratio, out_unit_bytes);
+  const double cpu_fraction =
+      rate_units_per_sec * sim::to_seconds(spec.cpu_time_per_unit);
+
+  auto& reservation = component_reservations_[key];
+  monitor_.add_reservation(in_kbps - reservation.first,
+                           out_kbps - reservation.second);
+  reservation = {in_kbps, out_kbps};
+  double& cpu_reservation = component_cpu_reservations_[key];
+  monitor_.add_cpu_reservation(cpu_fraction - cpu_reservation);
+  cpu_reservation = cpu_fraction;
+
+  it->second->reconfigure(rate_units_per_sec, std::move(next));
+}
+
+void NodeRuntime::remove_component(const ComponentKey& key) {
+  const auto it = components_.find(key);
+  if (it == components_.end()) return;
+  const auto res = component_reservations_.find(key);
+  if (res != component_reservations_.end()) {
+    monitor_.add_reservation(-res->second.first, -res->second.second);
+    component_reservations_.erase(res);
+  }
+  const auto cpu = component_cpu_reservations_.find(key);
+  if (cpu != component_cpu_reservations_.end()) {
+    monitor_.add_cpu_reservation(-cpu->second);
+    component_cpu_reservations_.erase(cpu);
+  }
+  components_.erase(it);
+  // Queued units of this instance point at the component just destroyed;
+  // purge them before the scheduler can touch them (cf. teardown_app).
+  const auto purged = scheduler_.purge_component(key);
+  if (!purged.empty()) {
+    for (const auto& p : purged) {
+      units_unroutable_->add();
+      monitor_.on_unit_dropped();
+      RASC_TRACE(trace_, (obs::UnitId{p.unit->app, p.unit->substream,
+                                      p.unit->seq}),
+                 obs::Hop::kDropped, node_, simulator_.now(),
+                 obs::DropReason::kUnroutable);
+    }
+    monitor_.on_queue_length(std::int64_t(scheduler_.size()));
+  }
+}
+
+void NodeRuntime::update_source_split(AppId app, std::int32_t substream,
+                                      double rate_units_per_sec,
+                                      std::vector<Placement> first_stage) {
+  const auto it = endpoints_.find(endpoint_key(app, substream));
+  if (it == endpoints_.end() || !it->second.source) return;
+  Endpoint& endpoint = it->second;
+  const double out_kbps = reservation_kbps(rate_units_per_sec,
+                                           endpoint.source->unit_bytes());
+  monitor_.add_reservation(0, out_kbps - endpoint.source_reserved_kbps);
+  endpoint.source_reserved_kbps = out_kbps;
+  endpoint.source->reconfigure(rate_units_per_sec, std::move(first_stage));
 }
 
 void NodeRuntime::teardown_app(AppId app) {

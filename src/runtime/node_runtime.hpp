@@ -74,6 +74,25 @@ class NodeRuntime {
                      std::vector<Placement> first_stage,
                      sim::SimTime start_at, sim::SimTime stop_at);
 
+  // --- Delta re-allocation (rate adapter) ---
+
+  /// Re-rates a deployed component and rewrites its downstream split,
+  /// adjusting bandwidth/CPU reservations by the delta. No-op when the
+  /// component is not deployed here (a stale delta).
+  void update_component(const ComponentKey& key, double rate_units_per_sec,
+                        std::int64_t in_unit_bytes,
+                        std::vector<Placement> next);
+
+  /// Retires one component instance: releases its reservations and purges
+  /// its queued units (counted unroutable). The app keeps running.
+  void remove_component(const ComponentKey& key);
+
+  /// Rewrites a running source's stage-0 split and emission rate,
+  /// adjusting the output reservation. No-op when no source is here.
+  void update_source_split(AppId app, std::int32_t substream,
+                           double rate_units_per_sec,
+                           std::vector<Placement> first_stage);
+
   /// Removes all state of `app` on this node and releases reservations.
   void teardown_app(AppId app);
 

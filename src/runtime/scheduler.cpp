@@ -174,4 +174,19 @@ std::vector<ScheduledUnit> Scheduler::purge_app(AppId app) {
   return purged;
 }
 
+std::vector<ScheduledUnit> Scheduler::purge_component(
+    const ComponentKey& key) {
+  std::vector<ScheduledUnit> purged;
+  for (std::uint32_t slot = 0; slot < std::uint32_t(slots_.size()); ++slot) {
+    if (slot_seq_[slot] == kFreeSlot) continue;
+    const auto& unit = *slots_[slot].unit;
+    if (unit.app != key.app || unit.substream != key.substream ||
+        unit.stage != key.stage) {
+      continue;
+    }
+    purged.push_back(release(slot));
+  }
+  return purged;
+}
+
 }  // namespace rasc::runtime

@@ -74,6 +74,10 @@ class Scheduler {
   /// are stranded stale and skipped lazily by dispatch.
   std::vector<ScheduledUnit> purge_app(AppId app);
 
+  /// Same, but for a single component instance (delta removal: the rest
+  /// of the application keeps running).
+  std::vector<ScheduledUnit> purge_component(const ComponentKey& key);
+
   std::size_t size() const { return live_; }
   bool empty() const { return live_ == 0; }
   SchedulingPolicy policy() const { return policy_; }

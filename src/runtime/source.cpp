@@ -53,6 +53,33 @@ void StreamSource::stop() {
   simulator_.cancel(next_event_);
 }
 
+void StreamSource::reconfigure(double rate_ups,
+                               std::vector<Placement> first_stage) {
+  assert(rate_ups > 0);
+  assert(!first_stage.empty());
+  first_stage_ = std::move(first_stage);
+  wrr_.reset();
+  if (first_stage_.size() > 1) {
+    std::vector<double> weights;
+    weights.reserve(first_stage_.size());
+    for (const auto& p : first_stage_) weights.push_back(p.rate_units_per_sec);
+    wrr_.emplace(std::move(weights));
+  }
+  const auto new_period = sim::SimDuration(1e6 / rate_ups);
+  if (new_period == period_) return;  // split-only change: keep the grid
+  period_ = new_period;
+  if (!running_) return;
+  // Re-anchor the grid one new period from now; sequence numbers carry on.
+  simulator_.cancel(next_event_);
+  start_ = simulator_.now() + period_;
+  grid_base_ = emitted_;
+  if (start_ >= until_) {
+    running_ = false;
+    return;
+  }
+  next_event_ = simulator_.call_at(start_, [this] { emit(); });
+}
+
 void StreamSource::emit() {
   if (!running_) return;
   auto unit = std::make_shared<DataUnit>();
@@ -69,8 +96,8 @@ void StreamSource::emit() {
   ++emitted_;
   if (emitted_cell_) emitted_cell_->add();
 
-  // Exact grid: next emission at start + emitted * period.
-  const sim::SimTime next = start_ + emitted_ * period_;
+  // Exact grid: next emission at start + (emitted - grid_base) * period.
+  const sim::SimTime next = start_ + (emitted_ - grid_base_) * period_;
   if (next >= until_) {
     running_ = false;
     return;

@@ -41,9 +41,15 @@ class StreamSource {
 
   void stop();
 
+  /// Rewrites the stage-0 split and emission rate in place (rate adapter
+  /// delta). Sequence numbers continue; the emission grid is re-anchored
+  /// at the next tick under the new period.
+  void reconfigure(double rate_ups, std::vector<Placement> first_stage);
+
   std::int64_t emitted() const { return emitted_; }
   AppId app() const { return app_; }
   std::int32_t substream() const { return substream_; }
+  std::int64_t unit_bytes() const { return unit_bytes_; }
 
  private:
   void emit();
@@ -62,6 +68,10 @@ class StreamSource {
   /// Doubles as the next sequence number and the emission-grid index, so
   /// it stays a plain member; the registry cell mirrors it for export.
   std::int64_t emitted_ = 0;
+  /// Emission-grid origin: the grid is start_ + (emitted_ - grid_base_)
+  /// * period_. reconfigure() re-anchors both so a rate change never
+  /// back-dates the next emission.
+  std::int64_t grid_base_ = 0;
   obs::Counter* emitted_cell_ = nullptr;
   obs::UnitTrace* trace_ = nullptr;
   sim::EventId next_event_ = 0;

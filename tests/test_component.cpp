@@ -116,6 +116,26 @@ TEST(Component, CountersTrack) {
   EXPECT_EQ(c.dropped(), 1);
 }
 
+TEST(Component, ReconfigureReratesAndRewritesSplit) {
+  // The rate adapter's in-place rate update: planned rate and downstream
+  // split change, measured statistics survive.
+  Component c({1, 0, 2}, spec(), 10.0, {{5, 10.0}});
+  sim::SimTime t = 0;
+  for (int i = 0; i < 20; ++i) {
+    c.on_arrival(t);
+    t += sim::msec(50);
+  }
+  c.reconfigure(20.0, {{7, 20.0}});
+  EXPECT_DOUBLE_EQ(c.planned_rate(), 20.0);
+  const auto outs = c.process(in_unit(1));
+  ASSERT_EQ(outs.size(), 1u);
+  EXPECT_EQ(outs[0].target, 7);
+  // The measured ~50 ms arrival period survives the reconfigure (it is
+  // fresher than either planned rate).
+  EXPECT_NEAR(double(c.current_period(t)), 50000.0, 10000.0);
+  EXPECT_EQ(c.arrived(), 20);
+}
+
 TEST(Component, NonUnityRatioAssignsFreshSequence) {
   Component c({1, 0, 0}, spec(2.0), 10.0, {{5, 10.0}});
   const auto first = c.process(in_unit(100));

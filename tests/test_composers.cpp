@@ -32,6 +32,9 @@ monitor::NodeStats node(sim::NodeIndex idx, double cap_kbps,
   s.capacity_in_kbps = cap_kbps;
   s.capacity_out_kbps = cap_kbps;
   s.drop_ratio = drop;
+  // Hand-built stats model a *measured* node: without samples the
+  // composers would rightly ignore drop_ratio as uninformative.
+  s.drop_samples = 1;
   return s;
 }
 
@@ -106,6 +109,38 @@ TEST(MinCostComposer, PrefersLowDropProviders) {
   const auto& stage = r.plan.substreams[0].stages[0];
   ASSERT_EQ(stage.placements.size(), 1u);
   EXPECT_EQ(stage.placements[0].node, 2);
+}
+
+TEST(MinCostComposer, UnknownDropPriorPricesUnmeasuredNodes) {
+  // Empty-window bias fix: a node with no recorded outcomes must not be
+  // priced by its (meaningless) drop_ratio. By default the prior is 0.0
+  // — legacy behaviour, unproven nodes look drop-free — but a pessimistic
+  // prior steers traffic onto measured nodes instead.
+  const auto cat = catalog();
+  auto input = base_input(cat);
+  input.request.substreams = {{{"a"}, 100.0}};
+  auto unmeasured = node(1, 1000.0, 0.9);  // stale/garbage ratio...
+  unmeasured.drop_samples = 0;             // ...and zero observations
+  input.providers["a"] = {unmeasured, node(2, 1000.0, 0.05)};
+
+  MinCostComposer legacy;
+  const auto r0 = legacy.compose(input);
+  ASSERT_TRUE(r0.admitted) << r0.error;
+  const auto& p0 = r0.plan.substreams[0].stages[0].placements;
+  ASSERT_EQ(p0.size(), 1u);
+  EXPECT_EQ(p0[0].node, 1) << "default prior 0: no data reads as "
+                              "drop-free, and the garbage ratio is "
+                              "ignored either way";
+
+  MinCostComposer::Options opt;
+  opt.unknown_drop_prior = 0.2;
+  MinCostComposer wary(opt);
+  const auto r1 = wary.compose(input);
+  ASSERT_TRUE(r1.admitted) << r1.error;
+  const auto& p1 = r1.plan.substreams[0].stages[0].placements;
+  ASSERT_EQ(p1.size(), 1u);
+  EXPECT_EQ(p1[0].node, 2) << "a 0.2 prior must lose to a measured 5% "
+                              "drop ratio";
 }
 
 TEST(MinCostComposer, RejectsWhenAggregateCapacityShort) {

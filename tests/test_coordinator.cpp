@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/backoff.hpp"
 #include "core/greedy_composer.hpp"
 #include "core/mincost_composer.hpp"
 #include "exp/world.hpp"
@@ -151,6 +152,43 @@ TEST(Coordinator, GreedyDeploysOneInstancePerService) {
   ASSERT_TRUE(done);
   ASSERT_TRUE(outcome.compose.admitted) << outcome.compose.error;
   EXPECT_EQ(outcome.compose.plan.component_count(), 2u);
+}
+
+TEST(CappedBackoff, ExponentialLadderSaturates) {
+  using sim::msec;
+  EXPECT_EQ(capped_backoff(msec(300), msec(5000), 0), msec(300));
+  EXPECT_EQ(capped_backoff(msec(300), msec(5000), 1), msec(600));
+  EXPECT_EQ(capped_backoff(msec(300), msec(5000), 2), msec(1200));
+  EXPECT_EQ(capped_backoff(msec(300), msec(5000), 3), msec(2400));
+  EXPECT_EQ(capped_backoff(msec(300), msec(5000), 10), msec(5000));
+  EXPECT_EQ(capped_backoff(msec(300), msec(5000), 1000), msec(5000));
+}
+
+TEST(Coordinator, DiscoveryRetriesSpreadOut) {
+  // An unknown service fails every lookup. With kDiscoveryAttempts = 3
+  // the two retry gaps follow the 300/600 ms backoff ladder, so the
+  // rejection cannot arrive before ~900 ms of retry spacing — the old
+  // fixed 300 ms beat re-hammered the overlay and finished by ~600 ms.
+  exp::World world(small_world());
+  auto& sim = world.simulator();
+  MinCostComposer composer;
+  auto req = request_for(world);
+  req.substreams[0].services = {"svc0", "no-such-service"};
+
+  bool done = false;
+  SubmitOutcome outcome;
+  world.host(0).coordinator().submit(req, composer, 0,
+                                     sim.now() + sim::sec(10),
+                                     [&](const SubmitOutcome& o) {
+                                       done = true;
+                                       outcome = o;
+                                     });
+  sim.run_until(sim.now() + sim::sec(12));
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(outcome.compose.admitted);
+  EXPECT_GE(outcome.composition_latency,
+            Coordinator::kDiscoveryBackoff * 3)
+      << "retries arrived in lockstep instead of backing off";
 }
 
 }  // namespace

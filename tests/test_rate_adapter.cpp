@@ -1,0 +1,227 @@
+// Online rate re-allocation (core::RateAdapter): tracking lifecycle and
+// immediate attempts against a live world, delta shipping under load
+// drift, run determinism with adaptation on, byte-identity neutrality
+// with adaptation off, and the load-drift acceptance scenario — the
+// adapted run holds the delivered-rate SLO with zero teardowns while the
+// teardown-only baseline burns recompose episodes or sheds rate.
+#include "core/rate_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/mincost_composer.hpp"
+#include "exp/runner.hpp"
+#include "exp/world.hpp"
+#include "obs/metric_registry.hpp"
+
+namespace rasc::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// Adapter against a live world
+
+exp::WorldConfig world_config() {
+  exp::WorldConfig wc;
+  wc.nodes = 16;
+  wc.num_services = 6;
+  wc.services_per_node = 4;
+  wc.seed = 23;
+  wc.net.bw_min_kbps = 1500;
+  wc.net.bw_max_kbps = 4000;
+  return wc;
+}
+
+ServiceRequest request_for(exp::World& world) {
+  ServiceRequest req;
+  req.app = 1;
+  req.source = 0;
+  req.destination = sim::NodeIndex(world.size() - 1);
+  req.unit_bytes = 1250;
+  req.substreams = {{{"svc0", "svc1"}, 150.0}};
+  return req;
+}
+
+SubmitOutcome submit_and_wait(exp::World& world, Composer& composer,
+                              const ServiceRequest& req, sim::SimTime stop) {
+  SubmitOutcome outcome;
+  bool done = false;
+  world.host(std::size_t(req.source))
+      .coordinator()
+      .submit(req, composer, 0, stop, [&](const SubmitOutcome& o) {
+        done = true;
+        outcome = o;
+      });
+  auto& sim = world.simulator();
+  sim.run_until(sim.now() + sim::sec(6));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(outcome.compose.admitted) << outcome.compose.error;
+  return outcome;
+}
+
+TEST(RateAdapterWorld, TrackAttemptForgetLifecycle) {
+  exp::World world(world_config());
+  auto& sim = world.simulator();
+  MinCostComposer composer;
+  const auto req = request_for(world);
+  const sim::SimTime stop = sim.now() + sim::sec(60);
+  const auto outcome = submit_and_wait(world, composer, req, stop);
+  ASSERT_FALSE(outcome.providers.empty())
+      << "admitted outcomes must surface the discovery result";
+
+  auto& host = world.host(0);
+  RateAdapter::Params params;
+  auto& adapter = host.enable_adapter(params);
+  EXPECT_EQ(&host.enable_adapter(params), &adapter)
+      << "enable_adapter must be idempotent";
+  adapter.track(req, outcome.compose.plan, outcome.providers, stop);
+  EXPECT_EQ(adapter.tracked_count(), 1u);
+  ASSERT_NE(adapter.current_plan(req.app), nullptr);
+  EXPECT_EQ(adapter.current_plan(req.app)->app, req.app);
+
+  // An immediate attempt completes a stats round-trip and reports back.
+  bool called = false;
+  adapter.attempt_now(req.app, [&](bool) { called = true; });
+  sim.run_until(sim.now() + sim::sec(3));
+  EXPECT_TRUE(called);
+  EXPECT_GE(world.metrics().counter_total("adapt.attempts"), 1);
+
+  adapter.forget(req.app);
+  EXPECT_EQ(adapter.tracked_count(), 0u);
+  EXPECT_EQ(adapter.current_plan(req.app), nullptr);
+}
+
+TEST(RateAdapterWorld, PeriodicLoopStopsAtStreamStop) {
+  exp::World world(world_config());
+  auto& sim = world.simulator();
+  MinCostComposer composer;
+  const auto req = request_for(world);
+  const sim::SimTime stop = sim.now() + sim::sec(20);
+  const auto outcome = submit_and_wait(world, composer, req, stop);
+
+  RateAdapter::Params params;
+  params.interval = sim::sec(2);
+  auto& adapter = world.host(0).enable_adapter(params);
+  adapter.track(req, outcome.compose.plan, outcome.providers, stop);
+  sim.run_until(stop + sim::sec(5));
+  // The loop untracked the app once another interval would overshoot the
+  // stream's end; attempts happened while it ran.
+  EXPECT_EQ(adapter.tracked_count(), 0u);
+  EXPECT_GE(world.metrics().counter_total("adapt.attempts"), 1);
+}
+
+// ---------------------------------------------------------------------
+// Runner integration
+
+std::string snapshot_csv(const exp::RunConfig& cfg,
+                         exp::RunMetrics* metrics_out = nullptr) {
+  std::vector<obs::MetricRow> rows;
+  const auto m = exp::run_experiment(cfg, &rows);
+  if (metrics_out != nullptr) *metrics_out = m;
+  std::ostringstream out;
+  obs::MetricRegistry::write_csv(rows, out);
+  return out.str();
+}
+
+/// adapt.solve_us is the repo's one wall-clock (non-simulated) metric;
+/// byte-identity claims must exclude it.
+std::string drop_wall_clock_rows(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.find("adapt.solve_us") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// The tuned load-drift acceptance configuration: tight enough that the
+/// sagging links actually starve placements (see chaos/scenario.cpp).
+exp::RunConfig drift_config() {
+  exp::RunConfig cfg;
+  cfg.world.nodes = 12;
+  cfg.world.seed = 42;
+  // Tight PlanetLab-like access links: admission is bandwidth-bound, so
+  // the sagging links bite (paper §4.1 calibration).
+  cfg.world.net.bw_min_kbps = 300;
+  cfg.world.net.bw_max_kbps = 4000;
+  cfg.workload.num_requests = 10;
+  cfg.workload.avg_rate_kbps = 300;
+  cfg.submit_gap = sim::msec(700);
+  cfg.steady_duration = sim::sec(20);
+  cfg.chaos_scenario = "load-drift:mag=0.2";
+  cfg.chaos_seed = 7;
+  return cfg;
+}
+
+TEST(RateAdapterRunner, ShipsDeltasUnderLoadDrift) {
+  auto cfg = drift_config();
+  cfg.adapt_interval = sim::msec(2000);
+  exp::RunMetrics m;
+  const auto snap = snapshot_csv(cfg, &m);
+  EXPECT_GT(m.adapt_attempts, 0);
+  EXPECT_GT(m.adapt_deltas, 0);
+  EXPECT_NE(snap.find("adapt.attempts"), std::string::npos);
+  EXPECT_NE(snap.find("adapt.solve_us"), std::string::npos)
+      << "the solver-latency histogram must be exported";
+}
+
+TEST(RateAdapterRunner, AdaptedRunsAreDeterministic) {
+  auto cfg = drift_config();
+  cfg.adapt_interval = sim::msec(2000);
+  exp::RunMetrics a, b;
+  const auto snap_a = drop_wall_clock_rows(snapshot_csv(cfg, &a));
+  const auto snap_b = drop_wall_clock_rows(snapshot_csv(cfg, &b));
+  EXPECT_EQ(snap_a, snap_b) << "same (seed, scenario, adapt flags) must "
+                               "replay byte-for-byte";
+  EXPECT_EQ(a.adapt_attempts, b.adapt_attempts);
+  EXPECT_EQ(a.adapt_deltas, b.adapt_deltas);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.emitted, b.emitted);
+}
+
+TEST(RateAdapterRunner, DisabledAdapterIsByteNeutral) {
+  // interval = 0: no adapter is constructed, no adapt.* cell exists, and
+  // the run replays byte-for-byte — flag parsing alone must not perturb
+  // anything.
+  auto cfg = drift_config();
+  exp::RunMetrics m;
+  const auto baseline = snapshot_csv(cfg, &m);
+  EXPECT_EQ(baseline.find("adapt."), std::string::npos)
+      << "a disabled adapter must not create registry cells";
+  EXPECT_EQ(m.adapt_attempts, 0);
+  EXPECT_EQ(m.adapt_deltas, 0);
+  EXPECT_EQ(m.adapt_teardowns, 0);
+
+  cfg.adapt_hysteresis = 0.5;  // ignored while the interval is 0
+  EXPECT_EQ(snapshot_csv(cfg), baseline);
+}
+
+TEST(RateAdapterRunner, LoadDriftAcceptance) {
+  // The PR's acceptance criterion. Baseline (teardown-only supervision):
+  // the drift costs at least one recompose episode or the delivered-rate
+  // SLO. Adapted: the SLO holds, deltas shipped, zero teardowns.
+  auto cfg = drift_config();
+  const auto baseline = exp::run_experiment(cfg);
+  const bool baseline_hurt =
+      baseline.recoveries + baseline.gave_up >= 1 ||
+      baseline.delivered_fraction() < 0.95;
+  EXPECT_TRUE(baseline_hurt)
+      << "drift too mild: baseline delivered "
+      << baseline.delivered_fraction() << " with no recoveries";
+
+  cfg.adapt_interval = sim::msec(2000);
+  const auto adapted = exp::run_experiment(cfg);
+  EXPECT_GT(adapted.adapt_attempts, 0);
+  EXPECT_GT(adapted.adapt_deltas, 0);
+  EXPECT_EQ(adapted.adapt_teardowns, 0)
+      << "adaptation escalated to teardown";
+  EXPECT_GE(adapted.delivered_fraction(), 0.95);
+  EXPECT_GE(adapted.timely_fraction(), 0.90);
+}
+
+}  // namespace
+}  // namespace rasc::core

@@ -163,6 +163,34 @@ TEST_F(SourceTest, SplitsAcrossFirstStageByWeight) {
   EXPECT_NEAR(double(arrivals2_.size()), 200.0, 3.0);
 }
 
+TEST_F(SourceTest, ReconfigureReratesAndResplitsInPlace) {
+  // The rate adapter's source-split delta: the stream keeps running, the
+  // sequence numbers continue, only the rate and the stage-0 split change.
+  StreamSource src(sim_, net_, 0, 1, 0, 10.0, 100, {{1, 10.0}});
+  src.run(0, sim::sec(2));
+  sim_.run_until(sim::sec(1));
+  src.reconfigure(40.0, {{2, 40.0}});
+  const auto emitted_before = src.emitted();
+  EXPECT_NEAR(double(emitted_before), 10.0, 2.0);
+  // Let units already in flight toward the old split land.
+  sim_.run_until(sim::sec(1) + sim::msec(5));
+  const auto to_node1 = arrivals_.size();
+  EXPECT_EQ(std::int64_t(to_node1), emitted_before);
+
+  sim_.run_until(sim::sec(3));
+  // Nothing new lands on the old target; the remaining second runs at
+  // the new rate onto the new split.
+  EXPECT_EQ(arrivals_.size(), to_node1);
+  EXPECT_NEAR(double(arrivals2_.size()), 40.0, 3.0);
+  // Sequences continue from where the old rate left off — no reset, no
+  // duplicates (downstream order accounting must stay exact).
+  ASSERT_FALSE(arrivals2_.empty());
+  EXPECT_EQ(arrivals2_.front()->seq, emitted_before);
+  for (std::size_t i = 1; i < arrivals2_.size(); ++i) {
+    EXPECT_EQ(arrivals2_[i]->seq, arrivals2_[i - 1]->seq + 1);
+  }
+}
+
 TEST_F(SourceTest, LateStartIsHonored) {
   StreamSource src(sim_, net_, 0, 1, 0, 10.0, 100, {{1, 10.0}});
   src.run(sim::sec(5), sim::sec(6));

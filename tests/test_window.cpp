@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
 namespace rasc::monitor {
 namespace {
 
@@ -43,6 +47,32 @@ TEST(SlidingWindow, ClearResets) {
   EXPECT_DOUBLE_EQ(w.mean(), 0.0);
   w.add(8);
   EXPECT_DOUBLE_EQ(w.mean(), 8.0);
+}
+
+TEST(SlidingWindow, MillionSamplesSumStaysExact) {
+  // Regression for running-sum drift: the O(1) add/subtract accumulates
+  // rounding error without bound over long streams; the periodic exact
+  // rebuild pins it to one window's worth of updates. Mixed magnitudes
+  // and signs maximize cancellation error.
+  constexpr std::size_t kCapacity = 128;
+  SlidingWindow w(kCapacity);
+  auto ring = std::vector<double>(kCapacity, 0.0);
+  std::uint64_t state = 12345;
+  double scale[13];
+  scale[0] = 1e-6;
+  for (int i = 1; i < 13; ++i) scale[i] = scale[i - 1] * 10.0;
+  for (std::size_t i = 0; i < 1'000'000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u = double(state >> 11) / double(1ULL << 53);  // [0,1)
+    const double sample = (u - 0.5) * scale[i % 13];
+    w.add(sample);
+    ring[i % kCapacity] = sample;
+  }
+  double fresh = 0;
+  for (const double s : ring) fresh += s;
+  EXPECT_EQ(w.count(), kCapacity);
+  EXPECT_NEAR(w.sum(), fresh, 1e-9 * std::max(1.0, std::abs(fresh)))
+      << "running sum drifted away from a fresh summation";
 }
 
 TEST(OutcomeWindow, RatioTracksWindowOnly) {
