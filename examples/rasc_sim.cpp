@@ -10,6 +10,7 @@
 //       [--chaos-scenario churn:period=4s] [--chaos-seed 7] [--supervise]
 //       [--slo "delivered>=0.8,recovery<=10s"] [--slo-report slo.csv]
 //       [--adapt-interval 2000] [--adapt-hysteresis 0.05]
+//       [--deploy-retries 3] [--deploy-rollback] [--orphan-lease-ms 8000]
 //
 // --metrics-csv / --metrics-json dump the deployment-wide metric registry
 // snapshot (every net.*/runtime.*/sink.*/monitor.*/compose.* cell, stable
@@ -25,6 +26,11 @@
 // admitted app is periodically re-solved against fresh statistics and
 // changed rates ship as in-place deltas (see core/rate_adapter.hpp);
 // --adapt-hysteresis sets the minimum relative cost improvement.
+//
+// --deploy-retries arms per-message retransmission of deploy traffic
+// (capped-backoff ladder, receiver-side dedup); --deploy-rollback tears
+// down partial deployments on NACK/timeout; --orphan-lease-ms starts the
+// runtimes' orphan reaper (see core/coordinator.hpp DeployPolicy).
 #include <cstdio>
 #include <string>
 
@@ -83,6 +89,14 @@ int main(int argc, char** argv) {
 
   cfg.adapt_interval = sim::msec(flags.get_int("adapt-interval", 0));
   cfg.adapt_hysteresis = flags.get_double("adapt-hysteresis", 0.05);
+
+  // Deploy-phase reliability (defaults keep the legacy single-shot
+  // protocol and identical output bytes).
+  cfg.world.deploy_policy.retransmit_budget =
+      int(flags.get_int("deploy-retries", 0));
+  cfg.world.deploy_policy.rollback = flags.get_bool("deploy-rollback", false);
+  cfg.world.runtime_params.orphan_lease =
+      sim::msec(flags.get_int("orphan-lease-ms", 0));
 
   cfg.chaos_scenario = flags.get_string("chaos-scenario", "");
   cfg.chaos_seed = std::uint64_t(flags.get_int("chaos-seed", 0));
@@ -152,6 +166,13 @@ int main(int argc, char** argv) {
                   "%lld\n",
                   rep, (long long)m.adapt_attempts, (long long)m.adapt_deltas,
                   (long long)m.adapt_teardowns);
+    }
+    if (m.deploy_retries > 0 || m.deploy_rollbacks > 0 ||
+        m.orphans_reaped > 0) {
+      std::printf("rep %d: deploy retries %lld | rollbacks %lld | orphans "
+                  "reaped %lld\n",
+                  rep, (long long)m.deploy_retries,
+                  (long long)m.deploy_rollbacks, (long long)m.orphans_reaped);
     }
     if (m.slo_pass == 0) slo_violated = true;
     composed.add(m.composed);

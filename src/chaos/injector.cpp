@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "util/logging.hpp"
 
@@ -25,11 +26,22 @@ bool clearable(FaultKind kind) {
     case FaultKind::kMonitorBlackout:
     case FaultKind::kControlDelay:
     case FaultKind::kControlDuplicate:
+    case FaultKind::kControlLoss:
       return true;
     case FaultKind::kRestore:
       return false;
   }
   return false;
+}
+
+/// kControlLoss drops only the deployment plane (deploy/ack/teardown).
+/// Stats queries have a hard phase timeout and no retry, so full
+/// control-plane loss would reject requests before deployment even
+/// starts — the scenario isolates the protocol under test instead.
+bool deploy_plane(const sim::Message& payload) {
+  const std::string_view kind = payload.kind();
+  return kind.substr(0, 15) == "runtime.deploy_" ||
+         kind == "runtime.teardown_app";
 }
 
 }  // namespace
@@ -52,7 +64,7 @@ Injector::Injector(sim::Simulator& simulator, sim::Network& network,
 
 Injector::~Injector() {
   for (const auto id : scheduled_) simulator_.cancel(id);
-  if (delay_windows_ > 0 || dup_windows_ > 0) {
+  if (delay_windows_ > 0 || dup_windows_ > 0 || loss_windows_ > 0) {
     network_.set_send_interceptor(nullptr);
   }
 }
@@ -152,7 +164,7 @@ void Injector::arm(sim::SimTime start, sim::SimTime end) {
 }
 
 void Injector::update_interceptor() {
-  if (delay_windows_ <= 0 && dup_windows_ <= 0) {
+  if (delay_windows_ <= 0 && dup_windows_ <= 0 && loss_windows_ <= 0) {
     network_.set_send_interceptor(nullptr);
     return;
   }
@@ -162,6 +174,15 @@ void Injector::update_interceptor() {
         sim::Network::SendPerturbation p;
         // Data units carry a unit id; everything else is control plane.
         if (payload != nullptr && payload->unit_id().has_value()) return p;
+        // Loss draws first: a dropped packet consumes no delay/dup draws,
+        // so a loss window composes with jitter without reshuffling the
+        // jitter stream for surviving packets of loss-free runs.
+        if (loss_windows_ > 0 && ctrl_loss_prob_ > 0 && payload != nullptr &&
+            deploy_plane(*payload) &&
+            packet_rng_.bernoulli(ctrl_loss_prob_)) {
+          p.drop = true;
+          return p;
+        }
         if (delay_windows_ > 0 && delay_prob_ > 0 &&
             packet_rng_.bernoulli(delay_prob_)) {
           p.extra_delay = sim::from_seconds(delay_ms_ / 1000.0);
@@ -232,6 +253,11 @@ void Injector::apply(std::size_t index) {
     case FaultKind::kControlDuplicate:
       dup_windows_ += e.onset ? 1 : -1;
       if (e.onset) dup_prob_ = e.probability;
+      update_interceptor();
+      break;
+    case FaultKind::kControlLoss:
+      loss_windows_ += e.onset ? 1 : -1;
+      if (e.onset) ctrl_loss_prob_ = e.probability;
       update_interceptor();
       break;
   }

@@ -114,9 +114,11 @@ class Injector {
   // at least one window is active).
   int delay_windows_ = 0;
   int dup_windows_ = 0;
+  int loss_windows_ = 0;
   double delay_ms_ = 0;
   double delay_prob_ = 0;
   double dup_prob_ = 0;
+  double ctrl_loss_prob_ = 0;
   util::Xoshiro256 packet_rng_;
 
   obs::Counter* faults_applied_ = nullptr;

@@ -25,6 +25,8 @@ const char* to_string(FaultKind kind) {
       return "control-delay";
     case FaultKind::kControlDuplicate:
       return "control-duplicate";
+    case FaultKind::kControlLoss:
+      return "control-loss";
   }
   return "?";
 }
@@ -32,7 +34,8 @@ const char* to_string(FaultKind kind) {
 std::vector<std::string> scenario_names() {
   return {"none",          "single-crash", "multi-crash",
           "churn",         "flapping-link", "cascade",
-          "monitor-blackout", "control-jitter", "load-drift"};
+          "monitor-blackout", "control-jitter", "load-drift",
+          "control-loss",  "coordinator-crash"};
 }
 
 Scenario make_scenario(const std::string& name) {
@@ -172,6 +175,38 @@ Scenario make_scenario(const std::string& name) {
     dup.duration = sim::sec(20);
     dup.probability = 0.15;
     s.faults.push_back(dup);
+    return s;
+  }
+  if (name == "control-loss") {
+    // Lossy deployment plane: deploy/teardown packets are independently
+    // dropped for the whole run while data units, stats and probes pass
+    // untouched. Isolates the deploy protocol: single-shot deployments
+    // strand partial reservations and time out; the retransmitting
+    // coordinator (DeployPolicy) still admits.
+    Fault loss;
+    loss.kind = FaultKind::kControlLoss;
+    loss.at = sim::msec(500);
+    loss.duration = 0;  // whole run
+    loss.probability = 0.2;
+    s.faults.push_back(loss);
+    return s;
+  }
+  if (name == "coordinator-crash") {
+    // The coordinator node dies shortly after submissions start, while
+    // the control plane is already jittery: deployments it was driving
+    // can never be acked or rolled back. Orphaned components/sinks on
+    // surviving nodes are what the lease reaper must collect.
+    Fault delay;
+    delay.kind = FaultKind::kControlDelay;
+    delay.at = sim::msec(500);
+    delay.duration = 0;  // whole run
+    delay.magnitude = 120;  // ms
+    delay.probability = 0.5;
+    s.faults.push_back(delay);
+    Fault crash;
+    crash.kind = FaultKind::kCrash;
+    crash.at = sim::sec(2);
+    s.faults.push_back(crash);
     return s;
   }
   throw std::invalid_argument("unknown chaos scenario: " + name);

@@ -38,8 +38,9 @@ enum class FaultKind : std::uint8_t {
   kMonitorBlackout,   // freeze the node's resource monitor (stale stats)
   kControlDelay,      // delay control packets `magnitude` ms w.p. `probability`
   kControlDuplicate,  // duplicate control packets w.p. `probability`
+  kControlLoss,       // drop *deploy-plane* control packets w.p. `probability`
 };
-inline constexpr std::size_t kFaultKindCount = 8;
+inline constexpr std::size_t kFaultKindCount = 9;
 
 const char* to_string(FaultKind kind);
 
@@ -90,7 +91,8 @@ std::vector<std::string> scenario_names();
 
 /// Returns a built-in scenario ("none", "single-crash", "multi-crash",
 /// "churn", "flapping-link", "cascade", "monitor-blackout",
-/// "control-jitter"). Throws std::invalid_argument for unknown names.
+/// "control-jitter", "control-loss", "coordinator-crash"). Throws
+/// std::invalid_argument for unknown names.
 Scenario make_scenario(const std::string& name);
 
 /// Parses the flag DSL: `name[:key=value,...]`. The name selects a

@@ -13,6 +13,14 @@ Coordinator::Coordinator(sim::Simulator& simulator, sim::Network& network,
                          monitor::StatsAgent& stats,
                          const runtime::ServiceCatalog& catalog,
                          obs::MetricRegistry* registry)
+    : Coordinator(simulator, network, pastry, stats, catalog, registry,
+                  DeployPolicy()) {}
+
+Coordinator::Coordinator(sim::Simulator& simulator, sim::Network& network,
+                         overlay::PastryNode& pastry,
+                         monitor::StatsAgent& stats,
+                         const runtime::ServiceCatalog& catalog,
+                         obs::MetricRegistry* registry, DeployPolicy policy)
     : simulator_(simulator),
       network_(network),
       pastry_(pastry),
@@ -22,13 +30,31 @@ Coordinator::Coordinator(sim::Simulator& simulator, sim::Network& network,
       node_(pastry.addr()),
       owned_metrics_(registry ? nullptr
                               : std::make_unique<obs::MetricRegistry>()),
-      metrics_(registry ? registry : owned_metrics_.get()) {
+      metrics_(registry ? registry : owned_metrics_.get()),
+      policy_(policy) {
   obs::Labels labels;
   labels.node = node_;
   submitted_ = &metrics_->counter("compose.submitted", labels);
   admitted_ = &metrics_->counter("compose.admitted", labels);
   rejected_ = &metrics_->counter("compose.rejected", labels);
   latency_ms_ = &metrics_->histogram("compose.latency_ms", labels);
+}
+
+Coordinator::~Coordinator() {
+  for (auto& [rid, r] : retx_) {
+    (void)rid;
+    simulator_.cancel(r.timer);
+  }
+}
+
+obs::Counter& Coordinator::lazy_counter(const char* name,
+                                        obs::Counter*& slot) {
+  if (slot == nullptr) {
+    obs::Labels labels;
+    labels.node = node_;
+    slot = &metrics_->counter(name, labels);
+  }
+  return *slot;
 }
 
 void Coordinator::submit(const ServiceRequest& request, Composer& composer,
@@ -161,16 +187,67 @@ void Coordinator::run_composition(const std::shared_ptr<Pending>& pending,
   deploy(pending);
 }
 
-std::uint64_t Coordinator::send_deploy(sim::NodeIndex target,
-                                       sim::MessagePtr msg,
-                                       std::int64_t size) {
-  network_.send(node_, target, size, std::move(msg));
-  return deploy_counter_;
+void Coordinator::arm_retransmit(std::uint64_t rid, sim::NodeIndex target,
+                                 sim::MessagePtr msg, std::int64_t size) {
+  if (policy_.retransmit_budget <= 0) return;
+  Retransmit& r = retx_[rid];
+  r.target = target;
+  r.msg = std::move(msg);
+  r.size = size;
+  schedule_retransmit(rid);
+}
+
+void Coordinator::schedule_retransmit(std::uint64_t rid) {
+  Retransmit& r = retx_.at(rid);
+  r.timer = simulator_.call_after(
+      capped_backoff(policy_.retransmit_base, policy_.retransmit_max,
+                     r.attempts),
+      [this, rid] {
+        const auto it = retx_.find(rid);
+        if (it == retx_.end()) return;  // acked meanwhile
+        if (it->second.attempts >= policy_.retransmit_budget) {
+          // Budget exhausted: stop resending; the deploy deadline (or
+          // the receiver-side orphan reaper) decides the fate.
+          retx_.erase(it);
+          return;
+        }
+        ++it->second.attempts;
+        lazy_counter("deploy.retries", retries_).add();
+        network_.send(node_, it->second.target, it->second.size,
+                      it->second.msg);
+        schedule_retransmit(rid);
+      });
+}
+
+void Coordinator::clear_retransmit(std::uint64_t rid) {
+  const auto it = retx_.find(rid);
+  if (it == retx_.end()) return;
+  simulator_.cancel(it->second.timer);
+  retx_.erase(it);
+}
+
+void Coordinator::roll_back(const std::shared_ptr<Pending>& pending) {
+  lazy_counter("deploy.rollbacks", rollbacks_).add();
+  RASC_LOG(kInfo) << "rolling back deployment of app "
+                  << pending->compose_result.plan.app << " (epoch "
+                  << pending->epoch << ") on "
+                  << pending->deploy_targets.size() << " nodes";
+  // Epoch-stamped so a teardown that overtakes (or races) this attempt's
+  // retransmitted deploys tombstones them at the receiver. A *lost*
+  // teardown leaves an orphan the receiver-side lease reaper collects.
+  for (const auto target : pending->deploy_targets) {
+    auto td = std::make_shared<runtime::TeardownAppMsg>();
+    td->app = pending->compose_result.plan.app;
+    td->epoch = pending->epoch;
+    network_.send(node_, target, runtime::TeardownAppMsg::kBytes,
+                  std::move(td));
+  }
 }
 
 void Coordinator::deploy(const std::shared_ptr<Pending>& pending) {
   // Phase 4: instantiate components, sinks, then the sources (§3.1 step 4).
   const auto& plan = pending->compose_result.plan;
+  pending->epoch = ++epoch_counter_;
 
   for (std::size_t ss = 0; ss < plan.substreams.size(); ++ss) {
     const auto& sub = plan.substreams[ss];
@@ -195,10 +272,15 @@ void Coordinator::deploy(const std::shared_ptr<Pending>& pending) {
         msg->next = next;
         msg->request_id = ++deploy_counter_;
         msg->requester = node_;
+        msg->epoch = pending->epoch;
         pending->awaiting_acks.insert(msg->request_id);
         ack_routing_[msg->request_id] = pending;
+        pending->deploy_targets.insert(p.node);
         const auto size = msg->wire_size();
-        network_.send(node_, p.node, size, std::move(msg));
+        const auto rid = msg->request_id;
+        sim::MessagePtr payload = std::move(msg);
+        network_.send(node_, p.node, size, payload);
+        arm_retransmit(rid, p.node, std::move(payload), size);
       }
       in_bytes *= catalog_.get(stage.service).output_size_factor;
     }
@@ -212,10 +294,16 @@ void Coordinator::deploy(const std::shared_ptr<Pending>& pending) {
       msg->unit_bytes = std::int64_t(in_bytes + 0.5);
       msg->request_id = ++deploy_counter_;
       msg->requester = node_;
+      msg->epoch = pending->epoch;
       pending->awaiting_acks.insert(msg->request_id);
       ack_routing_[msg->request_id] = pending;
+      pending->deploy_targets.insert(plan.destination);
+      const auto rid = msg->request_id;
+      sim::MessagePtr payload = std::move(msg);
       network_.send(node_, plan.destination, runtime::DeploySinkMsg::kBytes,
-                    std::move(msg));
+                    payload);
+      arm_retransmit(rid, plan.destination, std::move(payload),
+                     runtime::DeploySinkMsg::kBytes);
     }
   }
 
@@ -224,8 +312,12 @@ void Coordinator::deploy(const std::shared_ptr<Pending>& pending) {
         if (pending->awaiting_acks.empty()) return;
         RASC_LOG(kWarn) << "deploy timed out for app "
                         << pending->request.app;
-        for (auto rid : pending->awaiting_acks) ack_routing_.erase(rid);
+        for (auto rid : pending->awaiting_acks) {
+          ack_routing_.erase(rid);
+          clear_retransmit(rid);
+        }
         pending->awaiting_acks.clear();
+        if (policy_.rollback) roll_back(pending);
         pending->compose_result.admitted = false;
         pending->compose_result.error = "deployment timed out";
         finish(pending, false);
@@ -237,15 +329,26 @@ bool Coordinator::handle_packet(const sim::Packet& packet) {
       dynamic_cast<const runtime::DeployAck*>(packet.payload.get());
   if (ack == nullptr) return false;
   const auto it = ack_routing_.find(ack->request_id);
-  if (it == ack_routing_.end()) return true;  // stale/timed-out ack
+  if (it == ack_routing_.end()) {
+    // Stale: a duplicate ack, or one for a deploy that already timed out.
+    // Counted only under an explicit policy so legacy runs (where heavy
+    // load can time deploys out too) keep byte-identical snapshots.
+    if (policy_.enabled()) lazy_counter("deploy.stale_ack", stale_ack_).add();
+    return true;
+  }
   auto pending = it->second;
   ack_routing_.erase(it);
+  clear_retransmit(ack->request_id);
+  // Source acks only confirm delivery of the (fire-and-forget) source
+  // start; the outcome was already reported when they went out.
+  if (pending->sources_started) return true;
   pending->awaiting_acks.erase(ack->request_id);
   if (!ack->ok) pending->any_nack = true;
 
   if (pending->awaiting_acks.empty()) {
     simulator_.cancel(pending->deploy_timeout);
     if (pending->any_nack) {
+      if (policy_.rollback) roll_back(pending);
       pending->compose_result.admitted = false;
       pending->compose_result.error = "a deployment was rejected";
       finish(pending, false);
@@ -267,9 +370,18 @@ bool Coordinator::handle_packet(const sim::Packet& packet) {
       msg->stop_at = pending->stream_stop;
       msg->request_id = ++deploy_counter_;
       msg->requester = node_;
+      msg->epoch = pending->epoch;
+      pending->deploy_targets.insert(plan.source);
       const auto size = msg->wire_size();
-      network_.send(node_, plan.source, size, std::move(msg));
+      const auto rid = msg->request_id;
+      // Route the source ack so it is absorbed above instead of counting
+      // as stale, and so it can stop its own retransmission ladder.
+      ack_routing_[rid] = pending;
+      sim::MessagePtr payload = std::move(msg);
+      network_.send(node_, plan.source, size, payload);
+      arm_retransmit(rid, plan.source, std::move(payload), size);
     }
+    pending->sources_started = true;
     finish(pending, true);
   }
   return true;

@@ -41,6 +41,26 @@ class Coordinator {
  public:
   using Callback = std::function<void(const SubmitOutcome&)>;
 
+  /// Reliability knobs of the deployment phase. Defaults reproduce the
+  /// legacy single-shot protocol exactly — a run with the default policy
+  /// is event-for-event identical to older builds. With retransmission
+  /// and rollback on, deployment is exactly-once-effective under control
+  /// packet loss, duplication and reordering (receiver-side dedup and
+  /// epoch checks live in runtime::NodeRuntime).
+  struct DeployPolicy {
+    /// Retransmissions allowed per deploy message after the original
+    /// send (0 = single-shot). Spacing follows the capped_backoff ladder
+    /// below; the overall kDeployTimeout deadline is unchanged.
+    int retransmit_budget = 0;
+    sim::SimDuration retransmit_base = sim::msec(400);
+    sim::SimDuration retransmit_max = sim::msec(3200);
+    /// On NACK or deadline, send epoch-stamped teardowns to every node
+    /// this deployment targeted, releasing partial reservations.
+    bool rollback = false;
+
+    bool enabled() const { return retransmit_budget > 0 || rollback; }
+  };
+
   static constexpr sim::SimDuration kDeployTimeout = sim::msec(5000);
   /// DHT lookup attempts per service before the request is rejected.
   static constexpr int kDiscoveryAttempts = 3;
@@ -56,6 +76,14 @@ class Coordinator {
               overlay::PastryNode& pastry, monitor::StatsAgent& stats,
               const runtime::ServiceCatalog& catalog,
               obs::MetricRegistry* registry = nullptr);
+  Coordinator(sim::Simulator& simulator, sim::Network& network,
+              overlay::PastryNode& pastry, monitor::StatsAgent& stats,
+              const runtime::ServiceCatalog& catalog,
+              obs::MetricRegistry* registry, DeployPolicy policy);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
 
   /// Composes and deploys `request` using `composer`. The stream runs
   /// [stream_start, stream_stop). `done` fires once deployment completes
@@ -88,6 +116,22 @@ class Coordinator {
     std::set<std::uint64_t> awaiting_acks;
     bool any_nack = false;
     sim::EventId deploy_timeout = 0;
+    /// Epoch stamped on every message of this deployment attempt.
+    std::uint64_t epoch = 0;
+    /// Every node that received a deploy message (rollback recipients).
+    std::set<sim::NodeIndex> deploy_targets;
+    /// All component/sink acks arrived and the DeploySourceMsgs went out;
+    /// acks routed here from now on are source acks (absorbed only).
+    bool sources_started = false;
+  };
+
+  /// Retransmission state of one in-flight deploy message.
+  struct Retransmit {
+    sim::NodeIndex target = sim::kInvalidNode;
+    sim::MessagePtr msg;
+    std::int64_t size = 0;
+    int attempts = 0;  // retransmissions performed so far
+    sim::EventId timer = 0;
   };
 
   void lookup_with_retry(const std::shared_ptr<Pending>& pending,
@@ -97,8 +141,16 @@ class Coordinator {
                        std::vector<monitor::NodeStats> stats);
   void deploy(const std::shared_ptr<Pending>& pending);
   void finish(const std::shared_ptr<Pending>& pending, bool deployed);
-  std::uint64_t send_deploy(sim::NodeIndex target, sim::MessagePtr msg,
-                            std::int64_t size);
+  /// Arms the retransmission ladder for `rid` (policy budget > 0 only).
+  void arm_retransmit(std::uint64_t rid, sim::NodeIndex target,
+                      sim::MessagePtr msg, std::int64_t size);
+  void schedule_retransmit(std::uint64_t rid);
+  void clear_retransmit(std::uint64_t rid);
+  /// Epoch-stamped teardown to every node this attempt targeted.
+  void roll_back(const std::shared_ptr<Pending>& pending);
+  /// Lazily-created deploy.* cells: runs that never retransmit, roll
+  /// back or see stale acks keep their snapshots byte-identical.
+  obs::Counter& lazy_counter(const char* name, obs::Counter*& slot);
 
   sim::Simulator& simulator_;
   sim::Network& network_;
@@ -115,9 +167,20 @@ class Coordinator {
   obs::Counter* rejected_;
   obs::Histogram* latency_ms_;
 
+  DeployPolicy policy_;
   std::uint64_t deploy_counter_ = 0;
+  /// Deployment attempts stamped by this coordinator. App ids are unique
+  /// per request (recoveries get fresh ids), so a per-coordinator counter
+  /// is monotonic per app.
+  std::uint64_t epoch_counter_ = 0;
   // ack request id -> owning pending request
   std::map<std::uint64_t, std::shared_ptr<Pending>> ack_routing_;
+  // in-flight retransmission state, by request id
+  std::map<std::uint64_t, Retransmit> retx_;
+  // Lazy cells (see lazy_counter).
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* rollbacks_ = nullptr;
+  obs::Counter* stale_ack_ = nullptr;
 };
 
 }  // namespace rasc::core

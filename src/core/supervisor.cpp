@@ -214,6 +214,8 @@ void AppSupervisor::teardown_everywhere(const Watched& w,
   for (const auto n : nodes) {
     auto td = std::make_shared<runtime::TeardownAppMsg>();
     td->app = app;
+    // epoch stays 0: recovery teardown applies unconditionally — it must
+    // clear the app regardless of which deployment attempt placed it.
     network_.send(node_, n, runtime::TeardownAppMsg::kBytes, std::move(td));
   }
 }

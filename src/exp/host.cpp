@@ -9,7 +9,8 @@ Host::Host(sim::Simulator& simulator, sim::Network& network,
            const runtime::ServiceCatalog& catalog,
            monitor::NodeMonitor::Params monitor_params,
            runtime::NodeRuntime::Params runtime_params,
-           obs::MetricRegistry* registry, obs::UnitTrace* trace) {
+           obs::MetricRegistry* registry, obs::UnitTrace* trace,
+           core::Coordinator::DeployPolicy deploy_policy) {
   const sim::NodeIndex node = pastry.addr();
   simulator_ = &simulator;
   network_ = &network;
@@ -24,7 +25,7 @@ Host::Host(sim::Simulator& simulator, sim::Network& network,
       simulator, network, node, *monitor_, catalog, runtime_params, registry,
       trace);
   coordinator_ = std::make_unique<core::Coordinator>(
-      simulator, network, pastry, *stats_, catalog, registry);
+      simulator, network, pastry, *stats_, catalog, registry, deploy_policy);
   recovery_composer_ = std::make_unique<core::MinCostComposer>();
   supervisor_ = std::make_unique<core::AppSupervisor>(
       simulator, network, *coordinator_, *recovery_composer_,

@@ -27,7 +27,8 @@ class Host {
        monitor::NodeMonitor::Params monitor_params,
        runtime::NodeRuntime::Params runtime_params,
        obs::MetricRegistry* registry = nullptr,
-       obs::UnitTrace* trace = nullptr);
+       obs::UnitTrace* trace = nullptr,
+       core::Coordinator::DeployPolicy deploy_policy = {});
 
   monitor::NodeMonitor& monitor() { return *monitor_; }
   monitor::StatsAgent& stats_agent() { return *stats_; }

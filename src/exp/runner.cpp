@@ -190,6 +190,9 @@ RunMetrics run_experiment(const RunConfig& config,
   metrics.adapt_attempts = registry.counter_total("adapt.attempts");
   metrics.adapt_deltas = registry.counter_total("adapt.deltas_shipped");
   metrics.adapt_teardowns = registry.counter_total("adapt.teardowns");
+  metrics.deploy_retries = registry.counter_total("deploy.retries");
+  metrics.deploy_rollbacks = registry.counter_total("deploy.rollbacks");
+  metrics.orphans_reaped = registry.counter_total("orphan.reaped");
 
   if (injector != nullptr) {
     metrics.faults_injected = injector->applied();

@@ -92,6 +92,12 @@ struct RunMetrics {
   std::int64_t adapt_attempts = 0;
   std::int64_t adapt_deltas = 0;     // delta messages shipped
   std::int64_t adapt_teardowns = 0;  // tracked apps still torn down
+
+  /// Deploy-reliability outcomes (all zero under the default single-shot
+  /// deploy policy with the reaper off).
+  std::int64_t deploy_retries = 0;    // deploy messages retransmitted
+  std::int64_t deploy_rollbacks = 0;  // failed deployments rolled back
+  std::int64_t orphans_reaped = 0;    // apps lease-reaped by runtimes
   double recovery_ms = -1;      // SLO recovery time; -1 = n/a or never
   int slo_pass = -1;            // -1 = no SLO evaluated, else 0/1
 

@@ -72,7 +72,8 @@ World::World(const WorldConfig& config) : config_(config) {
   for (std::size_t n = 0; n < config.nodes; ++n) {
     hosts_.push_back(std::make_unique<Host>(
         *simulator_, *network_, overlay_->at(n), catalog_,
-        config.monitor_params, config.runtime_params, &metrics_, &trace_));
+        config.monitor_params, config.runtime_params, &metrics_, &trace_,
+        config.deploy_policy));
     Host* host = hosts_.back().get();
     overlay_->set_fallback(
         n, [host](const sim::Packet& p) { host->handle_packet(p); });

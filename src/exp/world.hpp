@@ -27,6 +27,9 @@ struct WorldConfig {
   sim::PlanetLabParams net;
   monitor::NodeMonitor::Params monitor_params;
   runtime::NodeRuntime::Params runtime_params;
+  /// Deploy-phase reliability knobs shared by every host's coordinator
+  /// (defaults: the legacy single-shot protocol).
+  core::Coordinator::DeployPolicy deploy_policy;
   /// Range of per-unit CPU time across the generated services.
   sim::SimDuration service_cpu_min = sim::msec(1);
   sim::SimDuration service_cpu_max = sim::msec(4);

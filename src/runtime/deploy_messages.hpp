@@ -4,6 +4,24 @@
 // messaging every involved node (paper §3.1 step 4: "Instantiate the
 // respective components and run the stream processing application").
 // Deployment costs real simulated time and bandwidth.
+//
+// Exactly-once-effective semantics over a lossy control plane rest on two
+// fields carried by every deploy/teardown message:
+//
+//  - (requester, request_id) identifies one logical instantiation. The
+//    receiving runtime dedups on it, so a retransmitted or duplicated
+//    deploy re-acks the recorded verdict instead of re-applying.
+//  - (app, epoch) orders whole deployment attempts. The coordinator stamps
+//    each attempt with a fresh epoch; a rollback teardown carries the same
+//    epoch and tombstones it at the receiver, so deploy messages of a
+//    rolled-back attempt that arrive late (reordered behind their own
+//    teardown) are dropped as stale instead of re-instantiating orphans.
+//    Epoch 0 is the legacy wildcard: an epoch-0 teardown applies
+//    unconditionally (supervisor recovery), and epoch-0 deploys skip the
+//    staleness check.
+//
+// The new fields ride inside the existing wire-size constants (they model
+// header room already budgeted), so stamped runs serialize identically.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +43,8 @@ struct DeployComponentMsg final : sim::Message {
   std::vector<Placement> next;     // stage+1 instances or the sink
   std::uint64_t request_id = 0;
   sim::NodeIndex requester = sim::kInvalidNode;
+  /// Deployment attempt this message belongs to (see file header).
+  std::uint64_t epoch = 0;
 
   std::int64_t wire_size() const {
     return 96 + std::int64_t(next.size()) * 16;
@@ -39,6 +59,8 @@ struct DeploySinkMsg final : sim::Message {
   std::int64_t unit_bytes = 0;
   std::uint64_t request_id = 0;
   sim::NodeIndex requester = sim::kInvalidNode;
+  /// Deployment attempt this message belongs to (see file header).
+  std::uint64_t epoch = 0;
   static constexpr std::int64_t kBytes = 64;
 };
 
@@ -53,6 +75,8 @@ struct DeploySourceMsg final : sim::Message {
   sim::SimTime stop_at = 0;
   std::uint64_t request_id = 0;
   sim::NodeIndex requester = sim::kInvalidNode;
+  /// Deployment attempt this message belongs to (see file header).
+  std::uint64_t epoch = 0;
 
   std::int64_t wire_size() const {
     return 96 + std::int64_t(first_stage.size()) * 16;
@@ -132,6 +156,12 @@ struct UpdateSourceSplitMsg final : sim::Message {
 struct TeardownAppMsg final : sim::Message {
   const char* kind() const override { return "runtime.teardown_app"; }
   AppId app = 0;
+  /// 0 = unconditional teardown (supervisor recovery, legacy senders).
+  /// Nonzero = rollback of exactly this deployment attempt: the receiver
+  /// tombstones the epoch so late-arriving deploys of it are dropped, and
+  /// older epochs are ignored (a reordered stale teardown must not kill a
+  /// newer attempt).
+  std::uint64_t epoch = 0;
   static constexpr std::int64_t kBytes = 16;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 #include "util/logging.hpp"
 
@@ -41,6 +42,21 @@ NodeRuntime::NodeRuntime(sim::Simulator& simulator, sim::Network& network,
   units_processed_ = &registry_->counter("runtime.units_processed", labels);
   units_unroutable_ =
       &registry_->counter("runtime.units_unroutable", labels);
+  if (params_.orphan_lease > 0) schedule_reap();
+}
+
+NodeRuntime::~NodeRuntime() {
+  if (reap_event_ != 0) simulator_.cancel(reap_event_);
+}
+
+obs::Counter& NodeRuntime::lazy_counter(const char* name,
+                                        obs::Counter*& slot) {
+  if (slot == nullptr) {
+    obs::Labels labels;
+    labels.node = node_;
+    slot = &registry_->counter(name, labels);
+  }
+  return *slot;
 }
 
 double NodeRuntime::reservation_kbps(double rate_ups,
@@ -80,6 +96,10 @@ bool NodeRuntime::handle_packet(const sim::Packet& packet) {
   }
   if (const auto* dc =
           dynamic_cast<const DeployComponentMsg*>(payload.get())) {
+    if (!admit_deploy(dc->key.app, dc->epoch, dc->requester,
+                      dc->request_id)) {
+      return true;
+    }
     bool ok = true;
     try {
       deploy_component(dc->key, dc->service, dc->rate_units_per_sec,
@@ -89,20 +109,30 @@ bool NodeRuntime::handle_packet(const sim::Packet& packet) {
                       << ": component deploy failed: " << e.what();
       ok = false;
     }
+    seen_requests_[{dc->requester, dc->request_id}] = ok;
     send_ack(dc->requester, dc->request_id, ok);
     return true;
   }
   if (const auto* ds = dynamic_cast<const DeploySinkMsg*>(payload.get())) {
+    if (!admit_deploy(ds->app, ds->epoch, ds->requester, ds->request_id)) {
+      return true;
+    }
     deploy_sink(ds->app, ds->substream, ds->rate_units_per_sec,
                 ds->unit_bytes);
+    seen_requests_[{ds->requester, ds->request_id}] = true;
     send_ack(ds->requester, ds->request_id, true);
     return true;
   }
   if (const auto* src =
           dynamic_cast<const DeploySourceMsg*>(payload.get())) {
+    if (!admit_deploy(src->app, src->epoch, src->requester,
+                      src->request_id)) {
+      return true;
+    }
     deploy_source(src->app, src->substream, src->rate_units_per_sec,
                   src->unit_bytes, src->first_stage, src->start_at,
                   src->stop_at);
+    seen_requests_[{src->requester, src->request_id}] = true;
     send_ack(src->requester, src->request_id, true);
     return true;
   }
@@ -136,11 +166,30 @@ bool NodeRuntime::handle_packet(const sim::Packet& packet) {
     return true;
   }
   if (const auto* td = dynamic_cast<const TeardownAppMsg*>(payload.get())) {
+    if (td->epoch > 0) {
+      AppControl& ctl = app_control_[td->app];
+      if (td->epoch < ctl.epoch) {
+        // A reordered rollback of an older attempt must not kill the
+        // newer one.
+        lazy_counter("deploy.stale_epoch", stale_epoch_).add();
+        return true;
+      }
+      ctl.epoch = td->epoch;
+      ctl.retired = true;
+    }
     teardown_app(td->app);
     return true;
   }
   if (const auto* hq =
           dynamic_cast<const SinkHealthRequest*>(payload.get())) {
+    if (params_.orphan_lease > 0) {
+      // A live supervisor is watching this app: its probes renew the
+      // lease, so only truly unsupervised partial deploys get reaped.
+      if (const auto ctl = app_control_.find(hq->app);
+          ctl != app_control_.end()) {
+        ctl->second.lease_renewed = simulator_.now();
+      }
+    }
     auto reply = std::make_shared<SinkHealthReply>();
     reply->app = hq->app;
     reply->request_id = hq->request_id;
@@ -166,6 +215,103 @@ void NodeRuntime::send_ack(sim::NodeIndex to, std::uint64_t request_id,
   ack->request_id = request_id;
   ack->ok = ok;
   network_.send(node_, to, DeployAck::kBytes, std::move(ack));
+}
+
+bool NodeRuntime::admit_deploy(AppId app, std::uint64_t epoch,
+                               sim::NodeIndex requester,
+                               std::uint64_t request_id) {
+  const auto seen = seen_requests_.find({requester, request_id});
+  if (seen != seen_requests_.end()) {
+    // Retransmission or wire duplicate of a request already applied:
+    // re-ack the recorded verdict, never re-instantiate.
+    lazy_counter("deploy.dup_acks", dup_acks_).add();
+    send_ack(requester, request_id, seen->second);
+    return false;
+  }
+  AppControl& ctl = app_control_[app];
+  if (epoch > 0 &&
+      (epoch < ctl.epoch || (epoch == ctl.epoch && ctl.retired))) {
+    // Late arrival from an attempt that was already rolled back (or
+    // superseded): applying it would recreate exactly the orphan the
+    // rollback just released. No ack — the sender has moved on.
+    lazy_counter("deploy.stale_epoch", stale_epoch_).add();
+    return false;
+  }
+  if (epoch > ctl.epoch) {
+    ctl.epoch = epoch;
+    ctl.retired = false;
+  }
+  ctl.lease_renewed = simulator_.now();
+  return true;
+}
+
+void NodeRuntime::schedule_reap() {
+  // Half-lease cadence bounds how long past its lease an orphan can
+  // survive to 1.5 leases.
+  reap_event_ = simulator_.call_after(params_.orphan_lease / 2,
+                                      [this] { reap_orphans(); });
+}
+
+void NodeRuntime::reap_orphans() {
+  // Apps with local state, ascending — deterministic reap order.
+  std::set<AppId> apps;
+  for (const auto& [key, component] : components_) {
+    (void)component;
+    apps.insert(key.app);
+  }
+  for (const auto& [key, endpoint] : endpoints_) {
+    (void)endpoint;
+    apps.insert(AppId(key >> 32));
+  }
+  const sim::SimTime now = simulator_.now();
+  for (const AppId app : apps) {
+    const auto it = app_control_.find(app);
+    // Deployed through the local API (tests, oracle experiments): not
+    // this protocol's to reap.
+    if (it == app_control_.end()) continue;
+    AppControl& ctl = it->second;
+    // Streaming (or having streamed) means deployment completed; a live
+    // local source means this node *is* the stream's origin.
+    if (ctl.streamed) continue;
+    bool has_source = false;
+    for (const auto& [key, endpoint] : endpoints_) {
+      if (AppId(key >> 32) == app && endpoint.source != nullptr) {
+        has_source = true;
+        break;
+      }
+    }
+    if (has_source) continue;
+    if (now - ctl.lease_renewed < params_.orphan_lease) continue;
+    RASC_LOG(kInfo) << "node " << node_ << ": reaping orphaned app " << app
+                    << " (lease lapsed, never streamed)";
+    lazy_counter("orphan.reaped", orphans_reaped_).add();
+    ctl.retired = true;
+    teardown_app(app);
+  }
+  schedule_reap();
+}
+
+double NodeRuntime::reserved_kbps_for_app(AppId app) const {
+  // Deterministic summation order (floating point): components by
+  // (substream, stage), then endpoints by ascending key.
+  std::vector<std::pair<std::pair<std::int32_t, std::int32_t>, double>>
+      parts;
+  for (const auto& [key, res] : component_reservations_) {
+    if (key.app != app) continue;
+    parts.push_back({{key.substream, key.stage}, res.first + res.second});
+  }
+  std::sort(parts.begin(), parts.end());
+  double total = 0;
+  for (const auto& [pos, kbps] : parts) {
+    (void)pos;
+    total += kbps;
+  }
+  for (const std::uint64_t key : sorted_endpoint_keys()) {
+    if (AppId(key >> 32) != app) continue;
+    const Endpoint& endpoint = endpoints_.at(key);
+    total += endpoint.sink_reserved_kbps + endpoint.source_reserved_kbps;
+  }
+  return total;
 }
 
 void NodeRuntime::deploy_component(const ComponentKey& key,
@@ -385,6 +531,13 @@ const StreamSource* NodeRuntime::find_source(AppId app,
 void NodeRuntime::on_data_unit(
     const std::shared_ptr<const DataUnit>& unit) {
   units_received_->add();
+  if (params_.orphan_lease > 0) {
+    // Data flowing marks the app as streaming (never an orphan) and
+    // renews its lease; gated so the default hot path pays one branch.
+    AppControl& ctl = app_control_[unit->app];
+    ctl.streamed = true;
+    ctl.lease_renewed = simulator_.now();
+  }
   const obs::UnitId unit_id{unit->app, unit->substream, unit->seq};
 
   // Destined for a sink hosted here?

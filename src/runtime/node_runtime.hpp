@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 
 #include "monitor/node_monitor.hpp"
 #include "obs/metric_registry.hpp"
@@ -40,6 +42,12 @@ class NodeRuntime {
     std::size_t max_ready_queue = 64;
     /// Tolerance used by sinks for the "flawless delivery" metric.
     double timely_tolerance_periods = 1.0;
+    /// Orphan reaper lease (0 = reaper off, the default). Components and
+    /// sinks of an app that never streamed a unit through this node
+    /// self-garbage-collect once this long passes without any control
+    /// message, data unit, or supervisor probe for the app — covering a
+    /// coordinator that died mid-deploy and can never roll back.
+    sim::SimDuration orphan_lease = 0;
   };
 
   /// `registry` is the deployment-wide metric registry (null: the runtime
@@ -52,8 +60,16 @@ class NodeRuntime {
   NodeRuntime(sim::Simulator& simulator, sim::Network& network,
               sim::NodeIndex node, monitor::NodeMonitor& node_monitor,
               const ServiceCatalog& catalog);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
 
   /// Handles data units and deployment messages; false for anything else.
+  /// Deploy messages are exactly-once-effective: duplicates (same
+  /// requester and request id) re-ack the recorded verdict without
+  /// re-applying, and messages from a stale or rolled-back epoch are
+  /// dropped (see deploy_messages.hpp).
   bool handle_packet(const sim::Packet& packet);
 
   // --- Local deployment API (the message handlers call these; tests and
@@ -102,6 +118,12 @@ class NodeRuntime {
   const StreamSource* find_source(AppId app, std::int32_t substream) const;
   std::size_t component_count() const { return components_.size(); }
 
+  /// Bandwidth (in+out kbps) currently reserved on this node for `app`
+  /// across its components, sinks and sources. Deterministic summation
+  /// order; 0 once the app is fully torn down (leak detection in tests
+  /// and the deploy-reliability bench).
+  double reserved_kbps_for_app(AppId app) const;
+
   /// Sum of units emitted by every source hosted on this node.
   std::int64_t total_emitted() const;
   /// Merged stats of every sink hosted on this node (deterministic
@@ -143,11 +165,35 @@ class NodeRuntime {
     bool empty() const { return !sink.has_value() && source == nullptr; }
   };
 
+  /// Per-app control-plane state: the deployment epoch ordering rule, the
+  /// rollback tombstone, and the orphan-reaper lease.
+  struct AppControl {
+    std::uint64_t epoch = 0;
+    /// Tombstoned by an epoch-stamped teardown: deploys of `epoch` (or
+    /// older) arriving late are dropped instead of re-instantiated.
+    bool retired = false;
+    /// A data unit of this app passed through here — the app reached
+    /// streaming, so it is never an orphan.
+    bool streamed = false;
+    sim::SimTime lease_renewed = 0;
+  };
+
   void on_data_unit(const std::shared_ptr<const DataUnit>& unit);
   void maybe_dispatch();
   void finish_unit(ScheduledUnit scheduled, sim::SimDuration actual);
   void send_ack(sim::NodeIndex to, std::uint64_t request_id, bool ok);
   double reservation_kbps(double rate_ups, std::int64_t unit_bytes) const;
+
+  /// Dedup + epoch gate shared by the three deploy-message handlers.
+  /// True when the message must be applied; duplicates are re-acked and
+  /// stale epochs dropped (counted) here.
+  bool admit_deploy(AppId app, std::uint64_t epoch, sim::NodeIndex requester,
+                    std::uint64_t request_id);
+  void schedule_reap();
+  void reap_orphans();
+  /// Lazily-created deploy.*/orphan.* cells: a run that never needs them
+  /// leaves the registry snapshot byte-identical to older builds.
+  obs::Counter& lazy_counter(const char* name, obs::Counter*& slot);
 
   /// Ascending (app, substream) key order — the deterministic iteration
   /// order every aggregate over the endpoint table uses.
@@ -185,6 +231,13 @@ class NodeRuntime {
 
   /// Stream endpoints keyed by endpoint_key(app, substream).
   std::unordered_map<std::uint64_t, Endpoint> endpoints_;
+  /// Control-plane state of every app that was ever deployed here through
+  /// messages (local-API deployments bypass it and are never reaped).
+  std::unordered_map<AppId, AppControl> app_control_;
+  /// Verdict of every applied deploy request, keyed by (requester,
+  /// request_id) — request ids are only unique per coordinator.
+  std::map<std::pair<sim::NodeIndex, std::uint64_t>, bool> seen_requests_;
+  sim::EventId reap_event_ = 0;
   /// Deploy counts per endpoint key (never erased): metric incarnations.
   std::unordered_map<std::uint64_t, std::uint32_t> sink_incarnations_;
   std::unordered_map<std::uint64_t, std::uint32_t> source_incarnations_;
@@ -194,6 +247,10 @@ class NodeRuntime {
   obs::Counter* dropped_deadline_;
   obs::Counter* units_processed_;
   obs::Counter* units_unroutable_;
+  // Lazy cells (see lazy_counter).
+  obs::Counter* dup_acks_ = nullptr;
+  obs::Counter* stale_epoch_ = nullptr;
+  obs::Counter* orphans_reaped_ = nullptr;
 };
 
 }  // namespace rasc::runtime
