@@ -1,0 +1,54 @@
+// PDES speedup: wall-clock of one full experiment (world build, workload,
+// streaming, chaos-free) as a function of --sim-threads, on the
+// scalability sweep's deployment sizes.
+//
+// The interesting ratio is real_time(threads=1) / real_time(threads=N)
+// for a fixed node count. threads=1 is the historical serial engine (the
+// parallel code is not even instantiated); threads>1 is the sharded
+// conservative engine, whose results are identical for every N > 1, so
+// the sweep isolates synchronization overhead vs parallel gain. On hosts
+// with few cores the parallel legs mostly measure barrier overhead;
+// speedups need real cores (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "exp/runner.hpp"
+
+namespace {
+
+using namespace rasc;
+
+void bench_experiment(benchmark::State& state) {
+  const int threads = int(state.range(0));
+  const std::size_t nodes = std::size_t(state.range(1));
+
+  exp::RunConfig cfg;
+  cfg.world.nodes = nodes;
+  cfg.world.sim_threads = threads;
+  // Workload proportional to the deployment, matching bench/scalability.
+  cfg.workload.num_requests = int(nodes) * 15 / 8;
+  cfg.steady_duration = sim::sec(15);
+
+  for (auto _ : state) {
+    const auto metrics = exp::run_experiment(cfg);
+    benchmark::DoNotOptimize(metrics.delivered);
+  }
+  state.counters["sim_threads"] = double(threads);
+  state.counters["nodes"] = double(nodes);
+}
+
+}  // namespace
+
+BENCHMARK(bench_experiment)
+    ->ArgNames({"threads", "nodes"})
+    ->Args({1, 32})
+    ->Args({2, 32})
+    ->Args({4, 32})
+    ->Args({8, 32})
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({4, 64})
+    ->Args({8, 64})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

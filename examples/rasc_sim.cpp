@@ -11,6 +11,13 @@
 //       [--slo "delivered>=0.8,recovery<=10s"] [--slo-report slo.csv]
 //       [--adapt-interval 2000] [--adapt-hysteresis 0.05]
 //       [--deploy-retries 3] [--deploy-rollback] [--orphan-lease-ms 8000]
+//       [--sim-threads 8]
+//
+// --sim-threads > 1 runs the discrete-event core sharded across worker
+// threads (one logical process per node, conservative lookahead sync).
+// Results are deterministic per (threads, seed) and identical for every
+// thread count > 1, but differ from --sim-threads=1 (per-node RNG
+// striping); the serial engine stays byte-identical to prior releases.
 //
 // --metrics-csv / --metrics-json dump the deployment-wide metric registry
 // snapshot (every net.*/runtime.*/sink.*/monitor.*/compose.* cell, stable
@@ -65,6 +72,7 @@ int main(int argc, char** argv) {
       std::size_t(flags.get_int("window", 200));
   cfg.world.monitor_params.advertise_reservations =
       flags.get_bool("reservations", false);
+  cfg.world.sim_threads = int(flags.get_int("sim-threads", 1));
 
   const std::string policy = flags.get_string("policy", "llf");
   if (policy == "fifo") {

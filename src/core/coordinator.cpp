@@ -149,6 +149,19 @@ void Coordinator::start_stats_phase(const std::shared_ptr<Pending>& pending) {
 
 void Coordinator::run_composition(const std::shared_ptr<Pending>& pending,
                                   std::vector<monitor::NodeStats> stats) {
+  // Composition reads per-node state (provider stats were just gathered,
+  // the composer consults catalog and capacity views) and the deploy it
+  // triggers fans out messages to many nodes. Under a parallel simulation
+  // this must not run interleaved with LP events, so defer it to an
+  // exclusive slot (inline in serial mode).
+  simulator_.exclusive([this, pending, s = std::move(stats)] {
+    compose_and_deploy(pending, s);
+  });
+}
+
+void Coordinator::compose_and_deploy(
+    const std::shared_ptr<Pending>& pending,
+    const std::vector<monitor::NodeStats>& stats) {
   // Phase 3: the composition algorithm itself (§3.1 step 3).
   std::map<sim::NodeIndex, monitor::NodeStats> by_node;
   for (const auto& s : stats) by_node[s.node] = s;

@@ -139,6 +139,8 @@ class Coordinator {
   void start_stats_phase(const std::shared_ptr<Pending>& pending);
   void run_composition(const std::shared_ptr<Pending>& pending,
                        std::vector<monitor::NodeStats> stats);
+  void compose_and_deploy(const std::shared_ptr<Pending>& pending,
+                          const std::vector<monitor::NodeStats>& stats);
   void deploy(const std::shared_ptr<Pending>& pending);
   void finish(const std::shared_ptr<Pending>& pending, bool deployed);
   /// Arms the retransmission ladder for `rid` (policy budget > 0 only).

@@ -88,38 +88,45 @@ RunMetrics run_experiment(const RunConfig& config,
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto& request = requests[i];
     const sim::SimTime when = t0 + sim::SimDuration(i) * config.submit_gap;
-    simulator.call_at(when, [&world, &metrics, &request, &composer,
-                             stream_stop, supervise, adapt, adapt_params] {
+    simulator.call_at(when, [&simulator, &world, &metrics, &request,
+                             &composer, stream_stop, supervise, adapt,
+                             adapt_params] {
       auto& coordinator =
           world.host(std::size_t(request.source)).coordinator();
       coordinator.submit(
           request, *composer, /*stream_start=*/0, stream_stop,
-          [&world, &metrics, &request, stream_stop, supervise, adapt,
-           adapt_params](const core::SubmitOutcome& outcome) {
-            if (outcome.compose.admitted) {
-              ++metrics.composed;
-              metrics.components +=
-                  std::int64_t(outcome.compose.plan.component_count());
-              for (const auto& sub : outcome.compose.plan.substreams) {
-                metrics.stages += std::int64_t(sub.stages.size());
+          [&simulator, &world, &metrics, &request, stream_stop, supervise,
+           adapt, adapt_params](const core::SubmitOutcome& outcome) {
+            // The outcome handler mutates run-wide metrics and arms the
+            // adapter/supervisor (which read cross-node state); under a
+            // parallel simulation it must run with the LPs parked.
+            simulator.exclusive([&world, &metrics, &request, stream_stop,
+                                 supervise, adapt, adapt_params, outcome] {
+              if (outcome.compose.admitted) {
+                ++metrics.composed;
+                metrics.components +=
+                    std::int64_t(outcome.compose.plan.component_count());
+                for (const auto& sub : outcome.compose.plan.substreams) {
+                  metrics.stages += std::int64_t(sub.stages.size());
+                }
+                auto& host = world.host(std::size_t(request.source));
+                // Adapter before supervisor: watch() consults the adapter
+                // as its first-line starvation response.
+                if (adapt) {
+                  host.enable_adapter(adapt_params)
+                      .track(request, outcome.compose.plan,
+                             outcome.providers, stream_stop);
+                }
+                if (supervise) {
+                  host.supervisor().watch(request, outcome.compose.plan,
+                                          stream_stop, {});
+                }
+              } else {
+                RASC_LOG(kDebug)
+                    << "app " << request.app
+                    << " rejected: " << outcome.compose.error;
               }
-              auto& host = world.host(std::size_t(request.source));
-              // Adapter before supervisor: watch() consults the adapter
-              // as its first-line starvation response.
-              if (adapt) {
-                host.enable_adapter(adapt_params)
-                    .track(request, outcome.compose.plan, outcome.providers,
-                           stream_stop);
-              }
-              if (supervise) {
-                host.supervisor().watch(request, outcome.compose.plan,
-                                        stream_stop, {});
-              }
-            } else {
-              RASC_LOG(kDebug)
-                  << "app " << request.app
-                  << " rejected: " << outcome.compose.error;
-            }
+            });
           });
     });
   }

@@ -13,10 +13,27 @@ World::World(const WorldConfig& config) : config_(config) {
   simulator_ = std::make_unique<sim::Simulator>(config.seed);
 
   auto topo_rng = simulator_->rng().split(0x746f706f /* "topo" */);
-  network_ = std::make_unique<sim::Network>(
-      *simulator_,
-      sim::make_planetlab_like(config.nodes, topo_rng, config.net),
-      &metrics_, &trace_);
+  auto topology =
+      sim::make_planetlab_like(config.nodes, topo_rng, config.net);
+
+  if (config.sim_threads > 1) {
+    if (trace_.enabled()) {
+      RASC_LOG(kWarn) << "unit tracing is unsupported with --sim-threads > 1;"
+                      << " disabling the trace";
+      trace_.set_enabled(false);
+    }
+    // One LP per simulated node; the lookahead is the topology's minimum
+    // jittered cross-node latency, which bounds how far ahead any LP can
+    // be affected by another.
+    sim::Simulator::ParallelConfig pc;
+    pc.threads = config.sim_threads;
+    pc.num_lps = config.nodes;
+    pc.lookahead = sim::conservative_lookahead(topology);
+    simulator_->enable_parallel(pc);
+  }
+
+  network_ = std::make_unique<sim::Network>(*simulator_, std::move(topology),
+                                            &metrics_, &trace_);
 
   overlay_ = std::make_unique<overlay::Overlay>(
       overlay::build_overlay(*simulator_, *network_, config.nodes));

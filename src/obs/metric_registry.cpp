@@ -44,29 +44,35 @@ const T* MetricRegistry::find_cell(const CellMap<T>& cells,
 }
 
 Counter& MetricRegistry::counter(std::string_view name, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
   return get_cell(counters_, name, std::move(labels));
 }
 
 Gauge& MetricRegistry::gauge(std::string_view name, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
   return get_cell(gauges_, name, std::move(labels));
 }
 
 Histogram& MetricRegistry::histogram(std::string_view name, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
   return get_cell(histograms_, name, std::move(labels));
 }
 
 const Counter* MetricRegistry::find_counter(std::string_view name,
                                             const Labels& labels) const {
+  std::lock_guard<std::mutex> lk(mu_);
   return find_cell(counters_, name, labels);
 }
 
 const Gauge* MetricRegistry::find_gauge(std::string_view name,
                                         const Labels& labels) const {
+  std::lock_guard<std::mutex> lk(mu_);
   return find_cell(gauges_, name, labels);
 }
 
 const Histogram* MetricRegistry::find_histogram(std::string_view name,
                                                 const Labels& labels) const {
+  std::lock_guard<std::mutex> lk(mu_);
   return find_cell(histograms_, name, labels);
 }
 
@@ -83,6 +89,7 @@ obs::Labels min_labels() {
 }  // namespace
 
 std::int64_t MetricRegistry::counter_total(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::int64_t total = 0;
   for (auto it = counters_.lower_bound(Key{std::string(name), min_labels()});
        it != counters_.end() && it->first.first == name; ++it) {
@@ -92,6 +99,7 @@ std::int64_t MetricRegistry::counter_total(std::string_view name) const {
 }
 
 Histogram MetricRegistry::histogram_total(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   Histogram total;
   for (auto it =
            histograms_.lower_bound(Key{std::string(name), min_labels()});
@@ -102,6 +110,7 @@ Histogram MetricRegistry::histogram_total(std::string_view name) const {
 }
 
 void MetricRegistry::merge_from(const MetricRegistry& other) {
+  std::scoped_lock lk(mu_, other.mu_);
   for (const auto& [key, cell] : other.counters_) {
     get_cell(counters_, key.first, key.second).add(cell->value());
   }
@@ -114,6 +123,7 @@ void MetricRegistry::merge_from(const MetricRegistry& other) {
 }
 
 std::vector<MetricRow> MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<MetricRow> rows;
   rows.reserve(size());
   // The three maps are each (name, labels)-sorted; a final stable sort by

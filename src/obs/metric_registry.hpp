@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -101,6 +102,11 @@ class MetricRegistry {
   static const T* find_cell(const CellMap<T>& cells, std::string_view name,
                             const Labels& labels);
 
+  /// Guards the cell maps themselves, not the cells: parallel-simulation
+  /// LPs may lazily create cells (deploy.* counters, per-kind network
+  /// columns) concurrently. Cells keep stable addresses, so the
+  /// steady-state emit path — through a cached pointer — takes no lock.
+  mutable std::mutex mu_;
   CellMap<Counter> counters_;
   CellMap<Gauge> gauges_;
   CellMap<Histogram> histograms_;

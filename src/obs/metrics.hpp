@@ -7,6 +7,7 @@
 // keeps the consolidated telemetry off the simulator's hot-path profile.
 #pragma once
 
+#include <atomic>
 #include <compare>
 #include <cstdint>
 #include <string>
@@ -27,14 +28,31 @@ struct Labels {
   friend auto operator<=>(const Labels&, const Labels&) = default;
 };
 
-/// Monotonic event count.
+/// Monotonic event count. Increments are relaxed atomics: several logical
+/// processes of a parallel simulation may bump the same cell (e.g. the
+/// network's global packet counters) inside one safe window, and integer
+/// sums are order-independent, so relaxed is all determinism needs. The
+/// serial path pays one uncontended atomic add.
 class Counter {
  public:
-  void add(std::int64_t delta = 1) { value_ += delta; }
-  std::int64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+  Counter& operator=(const Counter& other) {
+    value_.store(other.value_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// Last-written instantaneous value (queue length, window mean, ...).

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/logging.hpp"
 
@@ -14,6 +15,12 @@ obs::Labels node_labels(std::size_t node) {
   labels.node = std::int32_t(node);
   return labels;
 }
+
+// Chaos re-entry guard for send(): delayed/duplicated copies skip the
+// interceptor. thread_local because the copy re-enters send() on whichever
+// worker runs the source node's LP; a shared member would race and a
+// per-instance flag could leak across LPs sharing a thread.
+thread_local int tl_intercept_depth = 0;
 
 }  // namespace
 
@@ -53,6 +60,20 @@ Network::Network(Simulator& simulator, Topology topology,
   }
   packets_sent_ = &registry_->counter("net.packets_sent");
   packets_dropped_ = &registry_->counter("net.packets_dropped");
+  // Pre-size the per-kind columns: parallel LPs index them concurrently,
+  // so they must never reallocate. Null slots mean "kind not interned yet".
+  for (std::size_t i = 0; i < n; ++i) {
+    sent_by_kind_[i].assign(kMaxKinds, nullptr);
+    received_by_kind_[i].assign(kMaxKinds, nullptr);
+  }
+  if (simulator_.parallel()) {
+    // One derived stream per node so LPs never contend on loss_rng_. The
+    // splits read from a copy: loss_rng_ itself keeps the exact state a
+    // serial run would have, and parallel worlds stay comparable.
+    auto base = loss_rng_;
+    lp_rngs_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) lp_rngs_.push_back(base.split(i + 1));
+  }
 }
 
 void Network::set_handler(NodeIndex node, Handler handler) {
@@ -119,44 +140,76 @@ void Network::set_send_interceptor(SendInterceptor interceptor) {
 Network::KindId Network::kind_id(const Message* payload) {
   static const char* const kNullKind = "null";
   const char* kind = payload ? payload->kind() : kNullKind;
-  const auto cached = kind_ptr_cache_.find(kind);
-  if (cached != kind_ptr_cache_.end()) return cached->second;
 
+  // Hot path: lock-free probe of the fixed pointer table. The key is
+  // release-published only after the id and every per-node counter column
+  // entry are in place, so an acquire hit may use the id immediately.
+  const auto hash = std::hash<const char*>{}(kind);
+  for (std::size_t i = 0; i < kKindTableSize; ++i) {
+    auto& slot = kind_table_[(hash + i) & (kKindTableSize - 1)];
+    const char* key = slot.key.load(std::memory_order_acquire);
+    if (key == kind) return slot.id.load(std::memory_order_relaxed);
+    if (key == nullptr) break;
+  }
+
+  // Slow path: intern under the lock. Another thread may have interned the
+  // same kind (or the same string via a different literal) meanwhile, so
+  // re-check the by-content map first.
+  std::lock_guard<std::mutex> lk(kind_mu_);
   const auto [it, inserted] =
       kind_ids_.emplace(kind, KindId(kind_names_.size()));
   if (inserted) {
-    // New kind: grow one counter column per node.
+    if (kind_names_.size() >= kMaxKinds) {
+      throw std::length_error("Network: more than kMaxKinds message kinds");
+    }
+    // New kind: fill one counter column slot per node. Columns are
+    // pre-sized, so concurrent readers of *other* kinds see no resize.
     kind_names_.emplace_back(kind);
     for (std::size_t n = 0; n < topology_.size(); ++n) {
       obs::Labels labels = node_labels(n);
       labels.component = kind;
-      sent_by_kind_[n].push_back(
-          &registry_->counter("net.sent_bytes_by_kind", labels));
-      received_by_kind_[n].push_back(
-          &registry_->counter("net.received_bytes_by_kind", labels));
+      sent_by_kind_[n][it->second] =
+          &registry_->counter("net.sent_bytes_by_kind", labels);
+      received_by_kind_[n][it->second] =
+          &registry_->counter("net.received_bytes_by_kind", labels);
     }
   }
-  kind_ptr_cache_.emplace(kind, it->second);
+  // Publish the pointer->id mapping: claim the first free slot in the
+  // probe sequence (id first, key last with release). A full table is not
+  // an error — later calls just keep taking the slow path.
+  for (std::size_t i = 0; i < kKindTableSize; ++i) {
+    auto& slot = kind_table_[(hash + i) & (kKindTableSize - 1)];
+    const char* key = slot.key.load(std::memory_order_relaxed);
+    if (key == kind) break;  // another call site published it already
+    if (key == nullptr) {
+      slot.id.store(it->second, std::memory_order_relaxed);
+      slot.key.store(kind, std::memory_order_release);
+      break;
+    }
+  }
   return it->second;
 }
 
 std::int64_t Network::received_bytes_of_kind(NodeIndex node,
                                              KindId kind) const {
   const auto& column = received_by_kind_[std::size_t(node)];
-  return kind < column.size() ? column[kind]->value() : 0;
+  return kind < column.size() && column[kind] ? column[kind]->value() : 0;
 }
 
 std::int64_t Network::sent_bytes_of_kind(NodeIndex node, KindId kind) const {
   const auto& column = sent_by_kind_[std::size_t(node)];
-  return kind < column.size() ? column[kind]->value() : 0;
+  return kind < column.size() && column[kind] ? column[kind]->value() : 0;
 }
 
 std::map<std::string, std::int64_t> Network::received_by_kind(
     NodeIndex node) const {
   std::map<std::string, std::int64_t> view;
   const auto& column = received_by_kind_[std::size_t(node)];
-  for (std::size_t k = 0; k < column.size(); ++k) {
-    if (column[k]->value() > 0) view[kind_names_[k]] = column[k]->value();
+  std::lock_guard<std::mutex> lk(kind_mu_);
+  for (std::size_t k = 0; k < kind_names_.size(); ++k) {
+    if (column[k] && column[k]->value() > 0) {
+      view[kind_names_[k]] = column[k]->value();
+    }
   }
   return view;
 }
@@ -165,8 +218,11 @@ std::map<std::string, std::int64_t> Network::sent_by_kind(
     NodeIndex node) const {
   std::map<std::string, std::int64_t> view;
   const auto& column = sent_by_kind_[std::size_t(node)];
-  for (std::size_t k = 0; k < column.size(); ++k) {
-    if (column[k]->value() > 0) view[kind_names_[k]] = column[k]->value();
+  std::lock_guard<std::mutex> lk(kind_mu_);
+  for (std::size_t k = 0; k < kind_names_.size(); ++k) {
+    if (column[k] && column[k]->value() > 0) {
+      view[kind_names_[k]] = column[k]->value();
+    }
   }
   return view;
 }
@@ -221,15 +277,15 @@ void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
   // is counted once, when it actually enters the port queue. Copies it
   // spawns re-enter send() with the depth guard up and are not
   // re-intercepted.
-  if (send_interceptor_ && intercept_depth_ == 0) {
+  if (send_interceptor_ && tl_intercept_depth == 0) {
     const SendPerturbation p = send_interceptor_(src, dst, payload.get());
     for (int i = 0; i < p.duplicates; ++i) {
       MessagePtr copy = payload;
       simulator_.call_after(0, [this, src, dst, size_bytes,
                                 c = std::move(copy)]() mutable {
-        ++intercept_depth_;
+        ++tl_intercept_depth;
         send(src, dst, size_bytes, std::move(c));
-        --intercept_depth_;
+        --tl_intercept_depth;
       });
     }
     if (p.drop) {
@@ -246,9 +302,9 @@ void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
     if (p.extra_delay > 0) {
       simulator_.call_after(p.extra_delay, [this, src, dst, size_bytes,
                                             pl = std::move(payload)]() mutable {
-        ++intercept_depth_;
+        ++tl_intercept_depth;
         send(src, dst, size_bytes, std::move(pl));
-        --intercept_depth_;
+        --tl_intercept_depth;
       });
       return;
     }
@@ -302,16 +358,22 @@ void Network::send(NodeIndex src, NodeIndex dst, std::int64_t size_bytes,
       topology_.latency_us[std::size_t(src)][std::size_t(dst)] +
       extra_latency_[std::size_t(src)] + extra_latency_[std::size_t(dst)];
   if (topology_.latency_jitter > 0) {
+    // Jitter is drawn from the *sender's* stream (send runs on LP(src)).
+    // The draw is >= the (1 - jitter) factor exactly, so the arrival can
+    // never undercut the topology's conservative_lookahead bound.
     latency = SimDuration(double(latency) *
-                          loss_rng_.uniform_double(
+                          rng_for(src).uniform_double(
                               1.0 - topology_.latency_jitter,
                               1.0 + topology_.latency_jitter));
   }
   const SimTime arrival = departed + latency;
-  simulator_.call_at(arrival,
-                     [this, p = std::move(packet)]() mutable {
-                       arrive(std::move(p));
-                     });
+  // The arrival event belongs to the destination's LP: in parallel mode
+  // this crosses LPs through the inbox protocol, in serial mode it is a
+  // plain call_at.
+  simulator_.call_at_on(std::size_t(dst), arrival,
+                        [this, p = std::move(packet)]() mutable {
+                          arrive(std::move(p));
+                        });
 }
 
 void Network::arrive(Packet packet) {
@@ -327,7 +389,10 @@ void Network::arrive(Packet packet) {
   if (injected > 0) {
     loss_rate = 1.0 - (1.0 - loss_rate) * (1.0 - injected);
   }
-  if (loss_rate > 0 && loss_rng_.bernoulli(loss_rate)) {
+  // The loss draw comes from the destination's stream: arrive() runs on
+  // LP(dst), and keeping the draw there makes the sequence deterministic
+  // per node regardless of which senders' packets interleave.
+  if (loss_rate > 0 && rng_for(packet.dst).bernoulli(loss_rate)) {
     count_lost(packet, obs::DropReason::kLinkLoss);
     return;
   }

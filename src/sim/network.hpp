@@ -20,12 +20,14 @@
 // bookkeeping is flat vector indexing, not a string-keyed map lookup.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "obs/metric_registry.hpp"
@@ -171,6 +173,12 @@ class Network {
   /// Fixed loopback delivery delay.
   static constexpr SimDuration kLoopbackDelay = usec(20);
 
+  /// Hard cap on distinct interned message kinds. Per-(node, kind) counter
+  /// columns are pre-sized to this so parallel LPs can index them without
+  /// synchronization; interning a kind beyond the cap throws. Real
+  /// deployments use ~a dozen kinds.
+  static constexpr std::size_t kMaxKinds = 64;
+
  private:
   void arrive(Packet packet);
   void deliver(const Packet& packet);
@@ -201,10 +209,21 @@ class Network {
   obs::Counter* packets_sent_;
   obs::Counter* packets_dropped_;
 
-  // Kind interning: `kind()` returns string literals, so a pointer cache
+  // Kind interning: `kind()` returns string literals, so a pointer probe
   // short-circuits the by-content lookup after each call site's first
-  // send. Per-kind byte cells are indexed [node][kind id].
-  std::unordered_map<const char*, KindId> kind_ptr_cache_;
+  // send. The probe table is a fixed open-addressed array of (atomic key,
+  // id) pairs so parallel LPs can read it lock-free; `kind_mu_` guards the
+  // slow path that interns a new kind (string dedupe + column fill + slot
+  // publish, key released last). Per-kind byte cells are indexed
+  // [node][kind id]; columns are pre-sized to kMaxKinds so concurrent
+  // indexing never observes a vector resize.
+  struct KindSlot {
+    std::atomic<const char*> key{nullptr};
+    std::atomic<KindId> id{0};
+  };
+  static constexpr std::size_t kKindTableSize = 256;  // power of two
+  std::array<KindSlot, kKindTableSize> kind_table_;
+  mutable std::mutex kind_mu_;
   std::map<std::string, KindId> kind_ids_;
   std::vector<std::string> kind_names_;
   std::vector<std::vector<obs::Counter*>> sent_by_kind_;
@@ -212,6 +231,14 @@ class Network {
 
   std::vector<bool> up_;
   util::Xoshiro256 loss_rng_;
+  /// Parallel mode only: one RNG stream per node, derived once from
+  /// `loss_rng_`'s state at construction, so jitter/loss draws for traffic
+  /// owned by different LPs never contend on a shared stream. Empty in
+  /// serial mode, where `loss_rng_` keeps its historical draw sequence.
+  std::vector<util::Xoshiro256> lp_rngs_;
+  util::Xoshiro256& rng_for(NodeIndex node) {
+    return lp_rngs_.empty() ? loss_rng_ : lp_rngs_[std::size_t(node)];
+  }
 
   // Chaos state. Defaults leave the packet path bit-identical to a
   // chaos-free build: scale 1.0 multiplies exactly, extra latency 0 adds
@@ -220,7 +247,9 @@ class Network {
   std::vector<SimDuration> extra_latency_;
   std::vector<double> injected_loss_;
   SendInterceptor send_interceptor_;
-  int intercept_depth_ = 0;  // delayed/duplicated copies skip re-intercept
+  // The re-intercept depth guard lives in a thread_local in network.cpp:
+  // delayed/duplicated copies re-enter send() on whichever thread runs the
+  // owning LP, and the guard must not leak between LPs.
 };
 
 }  // namespace rasc::sim

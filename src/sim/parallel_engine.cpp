@@ -1,0 +1,427 @@
+#include "sim/parallel_engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace rasc::sim {
+
+namespace {
+
+constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+
+/// LP index the current thread is executing; -1 outside a window.
+thread_local int tl_context_lp = -1;
+
+/// RAII context marker so exceptions cannot leave a stale LP context.
+struct ContextScope {
+  explicit ContextScope(int lp) { tl_context_lp = lp; }
+  ~ContextScope() { tl_context_lp = -1; }
+};
+
+}  // namespace
+
+// --- TaggedQueue -----------------------------------------------------------
+// Same heap/slot mechanics as sim::EventQueue (see event_queue.cpp); kept
+// separate so the serial queue — and with it every historical run — stays
+// untouched by the engine's id-tagging scheme.
+
+void TaggedQueue::heap_push(Entry entry) const {
+  heap_.push_back(entry);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!entry_before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void TaggedQueue::heap_pop() const {
+  const Entry x = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t stop = std::min(first + 4, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < stop; ++c) {
+      if (entry_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_before(heap_[best], x)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = x;
+}
+
+EventId TaggedQueue::schedule(SimTime t, std::function<void()> fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = std::uint32_t(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  heap_push(Entry{t, next_seq_++, slot, s.gen});
+  ++live_count_;
+  return make_id(s.gen, slot);
+}
+
+bool TaggedQueue::cancel(EventId id) {
+  if (id == 0) return false;
+  const auto slot = std::uint32_t(id & 0xffffffffu);
+  const auto gen = std::uint32_t(id >> 32) & kGenMask;
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (!s.live || (s.gen & kGenMask) != gen) return false;
+  s.fn = nullptr;
+  s.live = false;
+  s.gen = (s.gen + 1) & kGenMask;
+  free_slots_.push_back(slot);
+  --live_count_;
+  return true;
+}
+
+void TaggedQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && !entry_live(heap_.front())) {
+    heap_pop();
+  }
+}
+
+SimTime TaggedQueue::next_time() const {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+TaggedQueue::Fired TaggedQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  const Entry e = heap_.front();
+  heap_pop();
+  Slot& s = slots_[e.slot];
+  Fired fired{e.time, std::move(s.fn)};
+  s.fn = nullptr;
+  s.live = false;
+  s.gen = (s.gen + 1) & kGenMask;
+  free_slots_.push_back(e.slot);
+  --live_count_;
+  return fired;
+}
+
+// --- ParallelEngine --------------------------------------------------------
+
+ParallelEngine::ParallelEngine(const Config& config) : cfg_(config) {
+  if (cfg_.num_lps == 0 || cfg_.num_lps > kMaxLps) {
+    throw std::invalid_argument(
+        "ParallelEngine: num_lps must be in [1, " +
+        std::to_string(kMaxLps) + "], got " + std::to_string(cfg_.num_lps));
+  }
+  if (cfg_.lookahead < 1) cfg_.lookahead = 1;
+  const int threads =
+      std::max(1, std::min<int>(cfg_.threads, int(cfg_.num_lps)));
+  cfg_.threads = threads;
+
+  lps_.reserve(cfg_.num_lps);
+  for (std::size_t lp = 0; lp < cfg_.num_lps; ++lp) {
+    // Independent per-LP stream: splitmix64 over (seed, lp). Derived
+    // without drawing from the world's root RNG so enabling the engine
+    // does not shift any setup-time stream (the parallel world is the
+    // same world the serial path builds).
+    util::SplitMix64 mix(cfg_.seed ^ (0x4c50'9E37'79B9'7F4Bull +
+                                      0x9E3779B97F4A7C15ull * (lp + 1)));
+    lps_.push_back(std::make_unique<LpState>(lp + 2, mix.next()));
+  }
+
+  workers_.reserve(std::size_t(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+int ParallelEngine::context_lp() { return tl_context_lp; }
+
+SimTime ParallelEngine::now() const {
+  const int ctx = tl_context_lp;
+  return ctx >= 0 ? lps_[std::size_t(ctx)]->now : global_now_;
+}
+
+util::Xoshiro256& ParallelEngine::rng(util::Xoshiro256& root) {
+  const int ctx = tl_context_lp;
+  return ctx >= 0 ? lps_[std::size_t(ctx)]->rng : root;
+}
+
+EventId ParallelEngine::schedule(SimTime t, std::function<void()> fn) {
+  const int ctx = tl_context_lp;
+  if (ctx >= 0) {
+    LpState& lp = *lps_[std::size_t(ctx)];
+    return lp.queue.schedule(std::max(t, lp.now), std::move(fn));
+  }
+  std::lock_guard<std::mutex> lk(global_mu_);
+  return global_queue_.schedule(std::max(t, global_now_), std::move(fn));
+}
+
+EventId ParallelEngine::schedule_on(std::size_t lp, SimTime t,
+                                    std::function<void()> fn) {
+  assert(lp < lps_.size());
+  LpState& target = *lps_[lp];
+  const int ctx = tl_context_lp;
+  if (ctx == int(lp)) {
+    return target.queue.schedule(std::max(t, target.now), std::move(fn));
+  }
+  if (ctx < 0) {
+    // Coordinating thread: workers are parked, direct push is safe. The
+    // target may have locally advanced past a barrier-deferred caller's
+    // clock; never schedule into its past.
+    return target.queue.schedule(std::max(t, target.now), std::move(fn));
+  }
+  // Cross-LP: buffer in the destination inbox, stamped for deterministic
+  // drain order. Not cancellable (id 0) — the packet-delivery paths that
+  // take this route never cancel.
+  LpState& src = *lps_[std::size_t(ctx)];
+  Post post{std::max(t, src.now), std::uint32_t(ctx) + 1, src.post_seq++,
+            std::move(fn)};
+  {
+    std::lock_guard<std::mutex> lk(target.inbox_mu);
+    target.inbox.push_back(std::move(post));
+  }
+  target.inbox_nonempty.store(true, std::memory_order_release);
+  return 0;
+}
+
+bool ParallelEngine::cancel(EventId id) {
+  if (id == 0) return false;
+  const auto tag = TaggedQueue::tag_of(id);
+  const int ctx = tl_context_lp;
+  if (tag == 1) {
+    std::lock_guard<std::mutex> lk(global_mu_);
+    return global_queue_.cancel(id);
+  }
+  if (tag < 2 || tag - 2 >= lps_.size()) return false;
+  const auto lp = std::size_t(tag - 2);
+  if (ctx >= 0 && ctx != int(lp)) {
+    // No layer cancels another node's events (audited); refusing keeps the
+    // per-LP queues single-writer inside a window.
+    RASC_LOG(kWarn) << "ParallelEngine: cross-LP cancel from LP " << ctx
+                    << " for LP " << lp << " refused";
+    return false;
+  }
+  return lps_[lp]->queue.cancel(id);
+}
+
+void ParallelEngine::exclusive(std::function<void()> fn) {
+  const int ctx = tl_context_lp;
+  if (ctx < 0) {
+    fn();
+    return;
+  }
+  LpState& src = *lps_[std::size_t(ctx)];
+  Post post{src.now, std::uint32_t(ctx) + 1, src.post_seq++, std::move(fn)};
+  {
+    std::lock_guard<std::mutex> lk(excl_mu_);
+    excl_posts_.push_back(std::move(post));
+  }
+  excl_nonempty_.store(true, std::memory_order_release);
+}
+
+SimTime ParallelEngine::min_lp_time() const {
+  SimTime t = kNoEvent;
+  for (const auto& lp : lps_) {
+    if (!lp->queue.empty()) t = std::min(t, lp->queue.next_time());
+  }
+  return t;
+}
+
+void ParallelEngine::drain_posts() {
+  assert(tl_context_lp < 0);
+  for (;;) {
+    bool any = false;
+    for (auto& lp : lps_) {
+      if (!lp->inbox_nonempty.load(std::memory_order_acquire)) continue;
+      std::vector<Post> posts;
+      {
+        std::lock_guard<std::mutex> lk(lp->inbox_mu);
+        posts.swap(lp->inbox);
+        lp->inbox_nonempty.store(false, std::memory_order_relaxed);
+      }
+      std::sort(posts.begin(), posts.end(),
+                [](const Post& a, const Post& b) {
+                  if (a.time != b.time) return a.time < b.time;
+                  if (a.src != b.src) return a.src < b.src;
+                  return a.seq < b.seq;
+                });
+      for (auto& p : posts) lp->queue.schedule(p.time, std::move(p.fn));
+      any = true;
+    }
+    if (excl_nonempty_.load(std::memory_order_acquire)) {
+      std::vector<Post> posts;
+      {
+        std::lock_guard<std::mutex> lk(excl_mu_);
+        posts.swap(excl_posts_);
+        excl_nonempty_.store(false, std::memory_order_relaxed);
+      }
+      std::sort(posts.begin(), posts.end(),
+                [](const Post& a, const Post& b) {
+                  if (a.time != b.time) return a.time < b.time;
+                  if (a.src != b.src) return a.src < b.src;
+                  return a.seq < b.seq;
+                });
+      for (auto& p : posts) {
+        // Deferred work keeps its caller's timestamp; any message it sends
+        // still arrives beyond the posting window's horizon (the lookahead
+        // bound holds from the original time).
+        global_now_ = p.time;
+        p.fn();
+      }
+      any = true;
+    }
+    if (!any) return;
+  }
+}
+
+void ParallelEngine::run_one_global() {
+  std::unique_lock<std::mutex> lk(global_mu_);
+  auto fired = global_queue_.pop();
+  lk.unlock();
+  global_now_ = fired.time;
+  ++global_processed_;
+  fired.fn();
+}
+
+void ParallelEngine::run_window(SimTime horizon) {
+  {
+    std::lock_guard<std::mutex> lk(run_mu_);
+    horizon_ = horizon;
+    running_ = cfg_.threads;
+    ++epoch_;
+  }
+  cv_start_.notify_all();
+  std::unique_lock<std::mutex> lk(run_mu_);
+  cv_done_.wait(lk, [&] { return running_ == 0; });
+}
+
+void ParallelEngine::run_lp_window(std::size_t lp_index, SimTime horizon) {
+  LpState& lp = *lps_[lp_index];
+  if (lp.queue.empty() || lp.queue.next_time() >= horizon) return;
+  ContextScope scope{int(lp_index)};
+  do {
+    auto fired = lp.queue.pop();
+    lp.now = fired.time;
+    ++lp.processed;
+    fired.fn();
+  } while (!lp.queue.empty() && lp.queue.next_time() < horizon);
+}
+
+void ParallelEngine::worker_main(int worker) {
+  std::uint64_t seen_epoch = 0;
+  const std::size_t first = first_lp_of(worker);
+  const std::size_t last = first_lp_of(worker + 1);
+  for (;;) {
+    SimTime horizon;
+    {
+      std::unique_lock<std::mutex> lk(run_mu_);
+      cv_start_.wait(lk,
+                     [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      horizon = horizon_;
+    }
+    for (std::size_t lp = first; lp < last; ++lp) {
+      run_lp_window(lp, horizon);
+    }
+    {
+      std::lock_guard<std::mutex> lk(run_mu_);
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelEngine::run_until(SimTime end) {
+  assert(tl_context_lp < 0);
+  for (;;) {
+    drain_posts();
+    const SimTime t_lp = min_lp_time();
+    const SimTime t_g = global_queue_.empty() ? kNoEvent
+                                              : global_queue_.next_time();
+    const SimTime t_min = std::min(t_lp, t_g);
+    if (t_min == kNoEvent || t_min > end) break;
+    if (t_g <= t_lp) {
+      // Global-first tie rule: matches step()'s serial order, so setup
+      // (driven by step) and the windowed run agree on interleaving.
+      run_one_global();
+      continue;
+    }
+    run_window(std::min({t_lp + cfg_.lookahead, t_g, end + 1}));
+  }
+  global_now_ = std::max(global_now_, end);
+  for (auto& lp : lps_) lp->now = std::max(lp->now, end);
+}
+
+bool ParallelEngine::step() {
+  assert(tl_context_lp < 0);
+  drain_posts();
+  const SimTime t_g =
+      global_queue_.empty() ? kNoEvent : global_queue_.next_time();
+  SimTime t_best = kNoEvent;
+  int best_lp = -1;
+  for (std::size_t i = 0; i < lps_.size(); ++i) {
+    auto& q = lps_[i]->queue;
+    if (!q.empty() && q.next_time() < t_best) {
+      t_best = q.next_time();
+      best_lp = int(i);
+    }
+  }
+  if (t_g == kNoEvent && best_lp < 0) return false;
+  if (t_g <= t_best) {
+    run_one_global();
+    return true;
+  }
+  LpState& lp = *lps_[std::size_t(best_lp)];
+  ContextScope scope(best_lp);
+  auto fired = lp.queue.pop();
+  lp.now = fired.time;
+  ++lp.processed;
+  fired.fn();
+  return true;
+}
+
+std::size_t ParallelEngine::run_all(std::size_t max_events) {
+  // Serial drain (setup/test path; timed runs use run_until).
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::size_t ParallelEngine::pending_events() const {
+  std::size_t n = global_queue_.size();
+  for (const auto& lp : lps_) n += lp->queue.size();
+  return n;
+}
+
+std::size_t ParallelEngine::processed_events() const {
+  std::size_t n = global_processed_;
+  for (const auto& lp : lps_) n += lp->processed;
+  return n;
+}
+
+}  // namespace rasc::sim

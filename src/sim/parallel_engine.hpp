@@ -1,0 +1,245 @@
+// Conservative parallel discrete-event engine (PDES).
+//
+// The serial Simulator executes one global event queue. This engine shards
+// the queue into one logical process (LP) per simulated node plus one
+// *global* queue for work that is not owned by any node (experiment
+// submits, chaos timelines, SLO sampling, and everything posted through
+// Simulator::exclusive). Worker threads execute LP events in parallel
+// inside conservative safe windows; the coordinating thread runs global
+// events alone, with all workers parked, so cross-node reads and writes
+// from global events are race-free by construction.
+//
+// Synchronization protocol (classic conservative bounded-lag / safe-window
+// scheme; see ISSUE 6 and DESIGN.md §13):
+//
+//   window:  let T_lp = min over LPs of their next event time, and T_g the
+//            next global event time. If T_g <= T_lp the global event runs
+//            exclusively (global-first tie rule). Otherwise every LP may
+//            execute its events with t < horizon, where
+//                horizon = min(T_lp + lookahead, T_g, end + 1),
+//            concurrently with the others.
+//
+//   safety:  `lookahead` must under-estimate the minimum cross-LP message
+//            delay. In this codebase a cross-node packet sent at time t
+//            arrives no earlier than t + 1us (output serialization is
+//            ceil()ed) + min link latency scaled by the worst-case jitter
+//            factor, so any send issued by an event at t >= T_lp arrives
+//            at >= T_lp + lookahead >= horizon: never inside the window
+//            that generated it. Cross-LP messages are buffered in the
+//            destination LP's inbox and drained at the next barrier.
+//
+//   determinism: every ordering decision is a function of
+//            (time, source LP, per-source sequence number) — never of the
+//            LP-to-thread partition. Two runs with the same (seed, num_lps)
+//            produce identical event interleavings for ANY thread count
+//            >= 2; the serial path (no engine) remains byte-identical to
+//            historical runs because it is not routed through this class.
+//
+// Each LP owns a seeded RNG stream derived from (seed, lp) with splitmix64
+// so parallel-mode random draws never contend and never depend on global
+// event interleaving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"  // EventId
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace rasc::sim {
+
+/// Engine-internal pending-event set: the same 4-ary min-heap with
+/// slot+generation lazy cancellation as sim::EventQueue, but every id
+/// carries the owning shard's tag in its top 12 bits so a cancellation can
+/// be routed back to the right queue. Generations are 20 bits here (a slot
+/// must be reused ~1M times before a stale id could alias — far beyond any
+/// run's per-slot churn).
+class TaggedQueue {
+ public:
+  static constexpr int kTagShift = 52;
+  static constexpr std::uint32_t kGenMask = 0xFFFFFu;
+
+  /// `tag` must be nonzero (so no id is ever 0, the "no event" sentinel).
+  explicit TaggedQueue(std::uint64_t tag) : tag_(tag << kTagShift) {}
+
+  static std::uint64_t tag_of(EventId id) { return id >> kTagShift; }
+
+  EventId schedule(SimTime t, std::function<void()> fn);
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+  SimTime next_time() const;
+
+  struct Fired {
+    SimTime time;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct Slot {
+    std::function<void()> fn;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
+
+  EventId make_id(std::uint32_t gen, std::uint32_t slot) const {
+    return tag_ | (EventId(gen & kGenMask) << 32) | slot;
+  }
+  bool entry_live(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.live && s.gen == e.gen;
+  }
+  static bool entry_before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  void heap_push(Entry entry) const;
+  void heap_pop() const;
+  void drop_cancelled_head() const;
+
+  std::uint64_t tag_;
+  mutable std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_count_ = 0;
+};
+
+class ParallelEngine {
+ public:
+  struct Config {
+    int threads = 2;
+    std::size_t num_lps = 0;
+    /// Conservative lower bound on cross-LP message delay (microseconds).
+    /// Must be >= 1; see conservative_lookahead() in sim/topology.hpp.
+    SimDuration lookahead = 1;
+    /// World seed; per-LP RNG streams are derived from it without drawing
+    /// from (and therefore without perturbing) the root generator.
+    std::uint64_t seed = 1;
+  };
+
+  /// 12-bit tag space minus the global tag (1) and the zero tag.
+  static constexpr std::size_t kMaxLps = 4094;
+
+  explicit ParallelEngine(const Config& config);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// LP index the calling thread is currently executing, or -1 on the
+  /// coordinating thread (global events, exclusive work, setup).
+  static int context_lp();
+
+  std::size_t num_lps() const { return lps_.size(); }
+  int threads() const { return cfg_.threads; }
+  SimDuration lookahead() const { return cfg_.lookahead; }
+
+  /// Context clock: the executing LP's local time, or the global time on
+  /// the coordinating thread.
+  SimTime now() const;
+  /// Context RNG: the executing LP's stream, or `root` on the
+  /// coordinating thread.
+  util::Xoshiro256& rng(util::Xoshiro256& root);
+
+  /// Schedules into the calling context's own queue (LP or global).
+  EventId schedule(SimTime t, std::function<void()> fn);
+  /// Schedules onto a specific LP. Same-LP and coordinating-thread calls
+  /// push directly and return a cancellable id; cross-LP calls post to the
+  /// destination inbox (drained at the next barrier) and return 0 — such
+  /// events cannot be cancelled.
+  EventId schedule_on(std::size_t lp, SimTime t, std::function<void()> fn);
+  /// Cancels an event. Workers may cancel events in their own LP's queue
+  /// and, mutex-guarded, in the global queue; cancelling another LP's
+  /// event is unsupported (returns false).
+  bool cancel(EventId id);
+
+  /// Defers `fn` to the next safe-window barrier where it runs on the
+  /// coordinating thread with every worker parked, with now() reporting
+  /// the caller's timestamp. From the coordinating thread, runs inline.
+  void exclusive(std::function<void()> fn);
+
+  void run_until(SimTime end);
+  std::size_t run_all(std::size_t max_events);
+  bool step();
+
+  std::size_t pending_events() const;
+  std::size_t processed_events() const;
+
+ private:
+  /// A buffered cross-LP (or LP-to-exclusive) work item. Drain order is
+  /// (time, src, seq): total, and independent of the thread partition.
+  struct Post {
+    SimTime time;
+    std::uint32_t src;  // source LP + 1 (0 reserved: coordinator posts none)
+    std::uint64_t seq;  // per-source monotone counter
+    std::function<void()> fn;
+  };
+
+  struct alignas(64) LpState {
+    LpState(std::uint64_t tag, std::uint64_t rng_seed)
+        : queue(tag), rng(rng_seed) {}
+    TaggedQueue queue;
+    SimTime now = 0;
+    std::size_t processed = 0;
+    std::uint64_t post_seq = 0;  // stamps this LP's outgoing posts
+    util::Xoshiro256 rng;
+    std::mutex inbox_mu;
+    std::vector<Post> inbox;
+    std::atomic<bool> inbox_nonempty{false};
+  };
+
+  // Partition by cfg_.threads, not workers_.size(): workers start running
+  // while the thread vector is still being filled in the constructor.
+  std::size_t first_lp_of(int worker) const {
+    return lps_.size() * std::size_t(worker) / std::size_t(cfg_.threads);
+  }
+
+  void worker_main(int worker);
+  void run_lp_window(std::size_t lp, SimTime horizon);
+  /// Moves buffered inbox posts into LP queues and runs deferred exclusive
+  /// work until both are empty. Coordinating thread only.
+  void drain_posts();
+  void run_one_global();
+  void run_window(SimTime horizon);
+  SimTime min_lp_time() const;
+
+  Config cfg_;
+  std::vector<std::unique_ptr<LpState>> lps_;
+
+  TaggedQueue global_queue_{1};
+  /// Guards global_queue_ against concurrent worker-side cancels (e.g. an
+  /// ack handler on an LP cancelling a coordinator timeout).
+  std::mutex global_mu_;
+  SimTime global_now_ = 0;
+  std::size_t global_processed_ = 0;
+
+  std::mutex excl_mu_;
+  std::vector<Post> excl_posts_;
+  std::atomic<bool> excl_nonempty_{false};
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::uint64_t epoch_ = 0;
+  SimTime horizon_ = 0;
+  int running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rasc::sim

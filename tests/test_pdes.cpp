@@ -1,0 +1,249 @@
+// Parallel discrete-event core: engine primitives, determinism contracts
+// and the serial-vs-parallel statistical tolerance.
+//
+// The contracts under test (see DESIGN.md §13):
+//  - a Simulator that never calls enable_parallel is the serial engine,
+//    byte-identical to prior releases (covered indirectly by every other
+//    test binary; here we pin the API defaults);
+//  - a parallel run is deterministic per (threads, seed) AND identical
+//    across every thread count > 1 for a fixed seed, because all ordering
+//    rules are (time, source LP, per-source sequence)-based and the thread
+//    partition only chooses which worker executes an LP;
+//  - parallel results differ from serial ones (per-node RNG striping) but
+//    only statistically: the same world, workload and fault timeline
+//    targets, with delivery metrics within a narrow band.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "obs/metric_registry.hpp"
+#include "sim/simulator.hpp"
+#include "sim/topology.hpp"
+
+namespace rasc {
+namespace {
+
+sim::Simulator::ParallelConfig parallel_config(int threads,
+                                               std::size_t num_lps,
+                                               sim::SimDuration lookahead) {
+  sim::Simulator::ParallelConfig pc;
+  pc.threads = threads;
+  pc.num_lps = num_lps;
+  pc.lookahead = lookahead;
+  return pc;
+}
+
+TEST(PdesEngine, SerialIsTheDefault) {
+  sim::Simulator sim(1);
+  EXPECT_FALSE(sim.parallel());
+  // The pinned variants degrade to plain scheduling in serial mode.
+  sim::SimTime ran_at = -1;
+  sim.call_after_on(3, 10, [&] { ran_at = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(ran_at, 10);
+}
+
+TEST(PdesEngine, EnableParallelValidates) {
+  sim::Simulator sim(1);
+  EXPECT_THROW(sim.enable_parallel(parallel_config(2, 0, 1)),
+               std::invalid_argument);
+  sim.enable_parallel(parallel_config(2, 4, 1));
+  EXPECT_TRUE(sim.parallel());
+  // Enabling twice is a usage error.
+  EXPECT_THROW(sim.enable_parallel(parallel_config(2, 4, 1)),
+               std::logic_error);
+}
+
+TEST(PdesEngine, CrossLpEventsRunAtTheRightTimeAndPlace) {
+  sim::Simulator sim(1);
+  sim.enable_parallel(parallel_config(2, 4, 50));
+  std::vector<std::pair<sim::SimTime, int>> hits(3, {-1, -1});
+  sim.call_at_on(0, 10, [&] {
+    hits[0] = {sim.now(), sim::ParallelEngine::context_lp()};
+    // Cross-LP send: delay >= lookahead, lands on LP 1.
+    sim.call_at_on(1, sim.now() + 60, [&] {
+      hits[1] = {sim.now(), sim::ParallelEngine::context_lp()};
+      // Same-LP follow-up schedules directly.
+      sim.call_after_on(1, 5, [&] {
+        hits[2] = {sim.now(), sim::ParallelEngine::context_lp()};
+      });
+    });
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(hits[0], (std::pair<sim::SimTime, int>{10, 0}));
+  EXPECT_EQ(hits[1], (std::pair<sim::SimTime, int>{70, 1}));
+  EXPECT_EQ(hits[2], (std::pair<sim::SimTime, int>{75, 1}));
+  EXPECT_EQ(sim.processed_events(), 3u);
+}
+
+TEST(PdesEngine, ExclusiveDefersToBarrierWithCallerClock) {
+  sim::Simulator sim(1);
+  sim.enable_parallel(parallel_config(2, 4, 50));
+  sim::SimTime exclusive_now = -1;
+  int exclusive_ctx = 0;
+  bool ran_inline = true;
+  sim.call_at_on(2, 100, [&] {
+    sim.exclusive([&] {
+      exclusive_now = sim.now();
+      exclusive_ctx = sim::ParallelEngine::context_lp();
+    });
+    // From LP context the work is deferred, not run inline.
+    ran_inline = exclusive_now >= 0;
+  });
+  sim.run_until(1000);
+  EXPECT_FALSE(ran_inline);
+  EXPECT_EQ(exclusive_now, 100);   // caller's timestamp
+  EXPECT_EQ(exclusive_ctx, -1);    // coordinating thread
+  // From the coordinating thread, exclusive runs inline.
+  bool inline_ran = false;
+  sim.exclusive([&] { inline_ran = true; });
+  EXPECT_TRUE(inline_ran);
+}
+
+TEST(PdesEngine, CancelOwnLpAndGlobalEvents) {
+  sim::Simulator sim(1);
+  sim.enable_parallel(parallel_config(2, 4, 50));
+  bool global_fired = false;
+  const auto global_id = sim.call_at(500, [&] { global_fired = true; });
+  ASSERT_NE(global_id, 0u);
+  bool lp_victim_fired = false;
+  sim.call_at_on(1, 100, [&] {
+    // An LP may schedule and cancel within its own queue...
+    const auto own = sim.call_after(10, [&] { lp_victim_fired = true; });
+    EXPECT_NE(own, 0u);
+    EXPECT_TRUE(sim.cancel(own));
+    // ...and cancel global events under the engine's global lock.
+    EXPECT_TRUE(sim.cancel(global_id));
+  });
+  sim.run_until(1000);
+  EXPECT_FALSE(global_fired);
+  EXPECT_FALSE(lp_victim_fired);
+}
+
+/// A little message mesh: every event draws from its LP's RNG stream,
+/// records (time, draw) in a per-LP log, and forwards to a derived LP
+/// after a delay >= the lookahead. The concatenated logs are a complete
+/// execution trace; two runs agree iff they executed identically.
+struct Mesh {
+  explicit Mesh(int threads, std::size_t lps) : logs(lps) {
+    sim.enable_parallel(parallel_config(threads, lps, 50));
+  }
+  void fire(std::size_t lp, int depth) {
+    const std::uint64_t draw = sim.rng().next() % 97;
+    logs[lp].push_back({sim.now(), draw});
+    if (depth <= 0) return;
+    const std::size_t next = (lp + 1 + draw % 5) % logs.size();
+    sim.call_at_on(next, sim.now() + 50 + sim::SimDuration(draw),
+                   [this, next, depth] { fire(next, depth - 1); });
+  }
+  std::vector<std::vector<std::pair<sim::SimTime, std::uint64_t>>> run() {
+    for (std::size_t lp = 0; lp < logs.size(); ++lp) {
+      sim.call_at_on(lp, sim::SimTime(lp + 1),
+                     [this, lp] { fire(lp, 40); });
+    }
+    sim.run_until(100000);
+    return logs;
+  }
+  sim::Simulator sim{42};
+  std::vector<std::vector<std::pair<sim::SimTime, std::uint64_t>>> logs;
+};
+
+TEST(PdesEngine, TraceIsIdenticalAcrossThreadCounts) {
+  const auto two = Mesh(2, 6).run();
+  const auto six = Mesh(6, 6).run();
+  EXPECT_EQ(two, six);
+  // And per (threads, seed) the run is reproducible.
+  const auto two_again = Mesh(2, 6).run();
+  EXPECT_EQ(two, two_again);
+}
+
+TEST(PdesEngine, ConservativeLookaheadBounds) {
+  auto t = sim::make_uniform_topology(4, 1000, sim::msec(10));
+  EXPECT_EQ(sim::conservative_lookahead(t), sim::msec(10));
+  t.latency_jitter = 0.25;
+  EXPECT_EQ(sim::conservative_lookahead(t),
+            sim::SimDuration(double(sim::msec(10)) * 0.75));
+  // Degenerate topologies floor at 1us.
+  auto single = sim::make_uniform_topology(1, 1000, 0);
+  EXPECT_EQ(sim::conservative_lookahead(single), 1);
+}
+
+/// Small but complete experiment config (discovery, composition, deploy,
+/// streaming) used by the determinism and tolerance tests below.
+exp::RunConfig small_run(int sim_threads) {
+  exp::RunConfig cfg;
+  cfg.world.nodes = 12;
+  cfg.world.sim_threads = sim_threads;
+  cfg.workload.num_requests = 6;
+  cfg.submit_gap = sim::msec(700);
+  cfg.steady_duration = sim::sec(4);
+  return cfg;
+}
+
+std::string snapshot_csv(const std::vector<obs::MetricRow>& rows) {
+  std::ostringstream out;
+  obs::MetricRegistry::write_csv(rows, out);
+  return out.str();
+}
+
+TEST(PdesDeterminism, RepeatedParallelRunsAreByteIdentical) {
+  std::vector<obs::MetricRow> a, b;
+  exp::run_experiment(small_run(2), &a);
+  exp::run_experiment(small_run(2), &b);
+  EXPECT_EQ(snapshot_csv(a), snapshot_csv(b));
+}
+
+TEST(PdesDeterminism, ThreadCountDoesNotChangeResults) {
+  std::vector<obs::MetricRow> two, eight;
+  const auto m2 = exp::run_experiment(small_run(2), &two);
+  const auto m8 = exp::run_experiment(small_run(8), &eight);
+  EXPECT_EQ(snapshot_csv(two), snapshot_csv(eight));
+  EXPECT_EQ(m2.emitted, m8.emitted);
+  EXPECT_EQ(m2.delivered, m8.delivered);
+  EXPECT_EQ(m2.composed, m8.composed);
+}
+
+TEST(PdesDeterminism, ChaosReplayIsThreadCountInvariant) {
+  auto cfg = small_run(2);
+  cfg.world.nodes = 12;
+  cfg.chaos_scenario = "churn";
+  cfg.chaos_seed = 42;
+  std::vector<obs::MetricRow> two, four;
+  const auto m2 = exp::run_experiment(cfg, &two);
+  cfg.world.sim_threads = 4;
+  const auto m4 = exp::run_experiment(cfg, &four);
+  EXPECT_EQ(snapshot_csv(two), snapshot_csv(four));
+  EXPECT_EQ(m2.faults_injected, m4.faults_injected);
+  EXPECT_EQ(m2.recoveries, m4.recoveries);
+}
+
+TEST(PdesTolerance, ParallelMatchesSerialStatistically) {
+  // Serial and parallel runs of the same config are *different executions*
+  // (per-node RNG striping changes packet jitter draws), but they simulate
+  // the same world and workload, so the aggregate outcomes must agree to
+  // within a narrow band. Calibrated against observed runs, with ~4x
+  // headroom.
+  const auto serial = exp::run_experiment(small_run(1));
+  const auto parallel = exp::run_experiment(small_run(2));
+  EXPECT_EQ(serial.requests, parallel.requests);
+  EXPECT_EQ(serial.composed, parallel.composed);
+  ASSERT_GT(serial.emitted, 0);
+  ASSERT_GT(parallel.emitted, 0);
+  const double emitted_ratio =
+      double(parallel.emitted) / double(serial.emitted);
+  EXPECT_GT(emitted_ratio, 0.85);
+  EXPECT_LT(emitted_ratio, 1.15);
+  EXPECT_NEAR(serial.delivered_fraction(), parallel.delivered_fraction(),
+              0.05);
+  EXPECT_NEAR(serial.timely_fraction(), parallel.timely_fraction(), 0.05);
+  EXPECT_NEAR(serial.mean_delay_ms(), parallel.mean_delay_ms(),
+              0.25 * serial.mean_delay_ms());
+}
+
+}  // namespace
+}  // namespace rasc
