@@ -32,6 +32,19 @@ for b in "${benches[@]}"; do
          --benchmark_format=json >"$tmp_dir/$b.json"
 done
 
+# Sharded-admission figure bench (not google-benchmark): emits its own
+# JSON rows and exits nonzero if any cell double-promised bandwidth, so
+# a broken no-double-booking invariant fails the whole bench run.
+shard_json=""
+shard_bin="$build_dir/bench/shard_admission"
+if [[ -x "$shard_bin" ]]; then
+  echo "running shard_admission ..." >&2
+  "$shard_bin" --json "$tmp_dir/shard_admission.rows" >/dev/null
+  shard_json="$tmp_dir/shard_admission.rows"
+else
+  echo "skipping shard_admission (not built at $shard_bin)" >&2
+fi
+
 shopt -s nullglob
 results=("$tmp_dir"/*.json)
 if [[ ${#results[@]} -eq 0 ]]; then
@@ -47,6 +60,11 @@ jq -s --arg date "$(date +%Y-%m-%d)" --arg host "$(uname -sr)" '
         | {name, real_time, cpu_time, time_unit,
            items_per_second: (.items_per_second // null)}))
   }' "$tmp_dir"/*.json >"$out"
+
+if [[ -n "$shard_json" ]]; then
+  jq --slurpfile shard "$shard_json" '.shard_admission = $shard[0]' \
+    "$out" >"$out.tmp" && mv "$out.tmp" "$out"
+fi
 
 if [[ -n "$baseline" ]]; then
   jq --slurpfile base "$baseline" '

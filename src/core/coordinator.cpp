@@ -85,6 +85,26 @@ void Coordinator::submit(const ServiceRequest& request, Composer& composer,
   }
 }
 
+void Coordinator::submit_prepared(PreparedSubmit prepared) {
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(prepared.request);
+  pending->submitted_at = prepared.submitted_at > 0 ? prepared.submitted_at
+                                                    : simulator_.now();
+  pending->stream_start = prepared.stream_start;
+  pending->stream_stop = prepared.stream_stop;
+  pending->done = std::move(prepared.done);
+  pending->provider_addrs = std::move(prepared.providers);
+  pending->compose_result = std::move(prepared.compose);
+  pending->shard = prepared.shard;
+  pending->lease_epoch_of = std::move(prepared.lease_epoch_of);
+  submitted_->add();
+  if (!pending->compose_result.admitted) {
+    finish(pending, false);
+    return;
+  }
+  deploy(pending);
+}
+
 void Coordinator::lookup_with_retry(const std::shared_ptr<Pending>& pending,
                                     const std::string& service,
                                     int attempts_left) {
@@ -286,6 +306,12 @@ void Coordinator::deploy(const std::shared_ptr<Pending>& pending) {
         msg->request_id = ++deploy_counter_;
         msg->requester = node_;
         msg->epoch = pending->epoch;
+        if (pending->shard >= 0) {
+          msg->shard = pending->shard;
+          msg->lease_epoch = pending->lease_epoch_of
+                                 ? pending->lease_epoch_of(p.node)
+                                 : 0;
+        }
         pending->awaiting_acks.insert(msg->request_id);
         ack_routing_[msg->request_id] = pending;
         pending->deploy_targets.insert(p.node);
@@ -308,6 +334,12 @@ void Coordinator::deploy(const std::shared_ptr<Pending>& pending) {
       msg->request_id = ++deploy_counter_;
       msg->requester = node_;
       msg->epoch = pending->epoch;
+      if (pending->shard >= 0) {
+        msg->shard = pending->shard;
+        msg->lease_epoch = pending->lease_epoch_of
+                               ? pending->lease_epoch_of(plan.destination)
+                               : 0;
+      }
       pending->awaiting_acks.insert(msg->request_id);
       ack_routing_[msg->request_id] = pending;
       pending->deploy_targets.insert(plan.destination);
@@ -356,7 +388,10 @@ bool Coordinator::handle_packet(const sim::Packet& packet) {
   // start; the outcome was already reported when they went out.
   if (pending->sources_started) return true;
   pending->awaiting_acks.erase(ack->request_id);
-  if (!ack->ok) pending->any_nack = true;
+  if (!ack->ok) {
+    pending->any_nack = true;
+    pending->nacked.push_back(packet.src);
+  }
 
   if (pending->awaiting_acks.empty()) {
     simulator_.cancel(pending->deploy_timeout);
@@ -406,6 +441,7 @@ void Coordinator::finish(const std::shared_ptr<Pending>& pending,
   outcome.compose = pending->compose_result;
   outcome.composition_latency = simulator_.now() - pending->submitted_at;
   if (deployed) outcome.providers = pending->provider_addrs;
+  outcome.nacked = pending->nacked;
   (deployed ? admitted_ : rejected_)->add();
   latency_ms_->observe(double(outcome.composition_latency) / 1000.0);
   if (pending->done) pending->done(outcome);

@@ -35,6 +35,10 @@ struct SubmitOutcome {
   /// stats are re-queried when needed). Lets the caller hand an admitted
   /// app to the rate adapter without a second discovery round.
   std::map<std::string, std::vector<sim::NodeIndex>> providers;
+  /// Nodes that NACKed a deploy message of this attempt (lease contention
+  /// or local failure). A sharded caller repairs its plan against these
+  /// instead of treating the rejection as final.
+  std::vector<sim::NodeIndex> nacked;
 };
 
 class Coordinator {
@@ -92,6 +96,28 @@ class Coordinator {
               sim::SimTime stream_start, sim::SimTime stream_stop,
               Callback done);
 
+  /// A deployment whose discovery and composition already happened
+  /// elsewhere (a coordinator shard composing a whole batch against its
+  /// lease view). Runs phase 4 only.
+  struct PreparedSubmit {
+    ServiceRequest request;
+    ComposeResult compose;
+    std::map<std::string, std::vector<sim::NodeIndex>> providers;
+    sim::SimTime stream_start = 0;
+    sim::SimTime stream_stop = 0;
+    /// Latency baseline (0: deployment starts the clock now).
+    sim::SimTime submitted_at = 0;
+    /// Lease stamp for every component/sink deploy of this attempt
+    /// (-1: unstamped legacy deploy).
+    std::int32_t shard = -1;
+    std::function<std::uint64_t(sim::NodeIndex)> lease_epoch_of;
+    Callback done;
+  };
+  /// Deploys an already-composed plan, stamping each component/sink
+  /// message with (shard, lease_epoch_of(target)). NACKed nodes are
+  /// reported through SubmitOutcome::nacked for plan repair.
+  void submit_prepared(PreparedSubmit prepared);
+
   /// Consumes DeployAck packets addressed to this coordinator.
   bool handle_packet(const sim::Packet& packet);
 
@@ -115,6 +141,11 @@ class Coordinator {
     ComposeResult compose_result;
     std::set<std::uint64_t> awaiting_acks;
     bool any_nack = false;
+    /// Senders of failed acks (lease contention repair input).
+    std::vector<sim::NodeIndex> nacked;
+    /// Lease stamp of this attempt (-1 = legacy unstamped deploy).
+    std::int32_t shard = -1;
+    std::function<std::uint64_t(sim::NodeIndex)> lease_epoch_of;
     sim::EventId deploy_timeout = 0;
     /// Epoch stamped on every message of this deployment attempt.
     std::uint64_t epoch = 0;

@@ -1,0 +1,364 @@
+#include "core/coordinator_shard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/backoff.hpp"
+#include "core/plan_math.hpp"
+#include "util/logging.hpp"
+
+namespace rasc::core {
+
+AdmissionPolicy parse_admission_policy(const std::string& name) {
+  if (name == "fifo") return AdmissionPolicy::kFifo;
+  if (name == "smallest-demand") return AdmissionPolicy::kSmallestDemand;
+  if (name == "highest-value") return AdmissionPolicy::kHighestValue;
+  throw std::invalid_argument("unknown admission policy: " + name);
+}
+
+CoordinatorShard::CoordinatorShard(
+    sim::Simulator& simulator, sim::Network& network,
+    overlay::PastryNode& pastry, monitor::StatsAgent& stats,
+    Coordinator& coordinator, const runtime::ServiceCatalog& catalog,
+    std::unique_ptr<Composer> composer, Params params,
+    obs::MetricRegistry* registry)
+    : simulator_(simulator),
+      network_(network),
+      registry_(pastry),
+      stats_(stats),
+      coordinator_(coordinator),
+      catalog_(catalog),
+      composer_(std::move(composer)),
+      params_(params),
+      home_(pastry.addr()),
+      lease_(simulator, network, pastry.addr(), params.shard, params.nodes,
+             params.lease),
+      owned_metrics_(registry ? nullptr
+                              : std::make_unique<obs::MetricRegistry>()),
+      metrics_(registry ? registry : owned_metrics_.get()) {
+  // Renewal requests advertise the demand this shard has seen recently;
+  // the max-decay keeps the hint alive for a few renewal periods after a
+  // burst so the freed shares are not yanked back mid-repair.
+  lease_.set_demand_provider([this] {
+    demand_ewma_kbps_ =
+        std::max(demand_window_kbps_, 0.5 * demand_ewma_kbps_);
+    demand_window_kbps_ = 0;
+    return demand_ewma_kbps_;
+  });
+
+  obs::Labels labels;
+  labels.node = home_;
+  submitted_ = &metrics_->counter("shard.submitted", labels);
+  admitted_ = &metrics_->counter("shard.admitted", labels);
+  rejected_ = &metrics_->counter("shard.rejected", labels);
+  batches_ = &metrics_->counter("shard.batches", labels);
+  repairs_ = &metrics_->counter("shard.repairs", labels);
+  retries_ = &metrics_->counter("shard.retries", labels);
+  batch_size_ = &metrics_->histogram("shard.batch_size", labels);
+  latency_ms_ = &metrics_->histogram("shard.latency_ms", labels);
+}
+
+std::int32_t CoordinatorShard::shard_of(runtime::AppId app, int shards) {
+  if (shards <= 1) return 0;
+  // SplitMix64 scrambles the (sequential) app ids so consecutive apps
+  // spread across shards instead of striping.
+  util::SplitMix64 mix(std::uint64_t(app) ^ 0x5eaded5eaded5eadULL);
+  return std::int32_t(mix.next() % std::uint64_t(shards));
+}
+
+std::vector<std::size_t> CoordinatorShard::admission_order(
+    AdmissionPolicy policy,
+    const std::vector<std::pair<std::uint64_t, double>>& jobs) {
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Seq is unique, so every comparator below is a strict total order and
+  // the drain sequence is deterministic for any stable batch content.
+  switch (policy) {
+    case AdmissionPolicy::kFifo:
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return jobs[a].first < jobs[b].first;
+                });
+      break;
+    case AdmissionPolicy::kSmallestDemand:
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (jobs[a].second != jobs[b].second) {
+                    return jobs[a].second < jobs[b].second;
+                  }
+                  return jobs[a].first < jobs[b].first;
+                });
+      break;
+    case AdmissionPolicy::kHighestValue:
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  if (jobs[a].second != jobs[b].second) {
+                    return jobs[a].second > jobs[b].second;
+                  }
+                  return jobs[a].first < jobs[b].first;
+                });
+      break;
+  }
+  return order;
+}
+
+void CoordinatorShard::start(sim::SimTime at) {
+  lease_.start(at);
+  simulator_.call_at_on(std::size_t(home_), at + params_.batch_window,
+                        [this] { drain(); });
+}
+
+bool CoordinatorShard::handle_packet(const sim::Packet& packet) {
+  if (lease_.handle_packet(packet)) return true;
+  const auto* submit =
+      dynamic_cast<const SubmitShardMsg*>(packet.payload.get());
+  if (submit == nullptr) return false;
+  enqueue(*submit);
+  return true;
+}
+
+void CoordinatorShard::enqueue(const SubmitShardMsg& msg) {
+  // App ids are unique per request; a duplicate is a routing retry.
+  if (!seen_apps_.insert(msg.request.app).second) return;
+  submitted_->add();
+  demand_window_kbps_ += msg.request.total_rate_kbps();
+
+  auto job = std::make_shared<Job>();
+  job->request = msg.request;
+  job->stream_start = msg.stream_start;
+  job->stream_stop = msg.stream_stop;
+  job->enqueued_at = simulator_.now();
+  job->seq = ++seq_counter_;
+  job->done = msg.done;
+
+  if (auto err = job->request.validate(); !err.empty()) {
+    ComposeResult result;
+    result.error = std::move(err);
+    reject(job, std::move(result));
+    return;
+  }
+
+  // Discovery through the DHT, exactly like an unsharded submission; the
+  // job joins the admission queue once every provider list resolves.
+  const auto services = job->request.distinct_services();
+  job->lookups_outstanding = services.size();
+  for (const auto& service : services) {
+    lookup_with_retry(job, service, Coordinator::kDiscoveryAttempts);
+  }
+}
+
+void CoordinatorShard::lookup_with_retry(const JobPtr& job,
+                                         const std::string& service,
+                                         int attempts_left) {
+  registry_.lookup(
+      service, [this, job, service, attempts_left](
+                   bool found, std::vector<sim::NodeIndex> providers) {
+        if ((!found || providers.empty()) && attempts_left > 1) {
+          const int failed_so_far =
+              Coordinator::kDiscoveryAttempts - attempts_left;
+          simulator_.call_after_on(
+              std::size_t(home_),
+              capped_backoff(Coordinator::kDiscoveryBackoff,
+                             Coordinator::kDiscoveryBackoffMax,
+                             failed_so_far),
+              [this, job, service, attempts_left] {
+                lookup_with_retry(job, service, attempts_left - 1);
+              });
+          return;
+        }
+        if (!found || providers.empty()) {
+          job->failed_services.push_back(service);
+        } else {
+          job->provider_addrs[service] = std::move(providers);
+        }
+        if (--job->lookups_outstanding == 0) {
+          if (!job->failed_services.empty()) {
+            auto& failed = job->failed_services;
+            std::sort(failed.begin(), failed.end());
+            std::string names;
+            for (const auto& s : failed) {
+              if (!names.empty()) names += ", ";
+              names += s;
+            }
+            ComposeResult result;
+            result.error = "service discovery failed for " + names;
+            reject(job, std::move(result));
+          } else {
+            ready_.push_back(job);
+          }
+        }
+      });
+}
+
+void CoordinatorShard::drain() {
+  simulator_.call_after_on(std::size_t(home_), params_.batch_window,
+                           [this] { drain(); });
+  if (ready_.empty()) return;
+  batches_->add();
+  batch_size_->observe(double(ready_.size()));
+
+  std::vector<std::pair<std::uint64_t, double>> demands;
+  demands.reserve(ready_.size());
+  for (const auto& job : ready_) {
+    demands.push_back({job->seq, job->request.total_rate_kbps()});
+  }
+  const auto order = admission_order(params_.policy, demands);
+
+  std::vector<JobPtr> batch;
+  batch.reserve(order.size());
+  for (const std::size_t i : order) batch.push_back(ready_[i]);
+  ready_.clear();
+
+  // One lease-view snapshot serves the whole batch: each admission spends
+  // the view down before the next request composes.
+  for (const auto& job : batch) compose_and_dispatch(job);
+}
+
+bool CoordinatorShard::retry_capacity(const JobPtr& job) {
+  // Failures against the leased view are often transient: a cold or
+  // recently-idle shard holds floor-sized (or invalidated) grants, and
+  // the demand this request represents only reaches the granters with
+  // the next renewal. Renew off-cycle and re-queue a bounded number of
+  // times before the failure becomes final.
+  if (job->capacity_retries >= params_.capacity_retries) return false;
+  ++job->capacity_retries;
+  retries_->add();
+  demand_window_kbps_ += job->request.total_rate_kbps();
+  lease_.renew_now();
+  simulator_.call_after_on(std::size_t(home_), params_.retry_delay,
+                           [this, job] { ready_.push_back(job); });
+  return true;
+}
+
+void CoordinatorShard::compose_and_dispatch(const JobPtr& job) {
+  ComposeInput input;
+  input.request = job->request;
+  input.catalog = &catalog_;
+  for (const auto& [service, addrs] : job->provider_addrs) {
+    auto& list = input.providers[service];
+    for (const auto addr : addrs) {
+      if (lease_.valid(addr)) list.push_back(lease_.leased_stats(addr));
+    }
+    if (list.empty()) {
+      if (retry_capacity(job)) return;
+      ComposeResult result;
+      result.error = "no leased view of any provider of " + service;
+      reject(job, std::move(result));
+      return;
+    }
+  }
+  if (!lease_.valid(job->request.source) ||
+      !lease_.valid(job->request.destination)) {
+    if (retry_capacity(job)) return;
+    ComposeResult result;
+    result.error = "no leased view of endpoints";
+    reject(job, std::move(result));
+    return;
+  }
+  input.source_stats = lease_.leased_stats(job->request.source);
+  input.destination_stats = lease_.leased_stats(job->request.destination);
+
+  ComposeResult result = composer_->compose(input);
+  if (!result.admitted) {
+    if (retry_capacity(job)) return;
+    reject(job, std::move(result));
+    return;
+  }
+
+  // Spend the view so the rest of the batch composes against what is
+  // left; the node-side granters re-check (authoritatively) on deploy.
+  job->debits = leased_plan_bandwidth(result.plan, catalog_);
+  for (const auto& [node, d] : job->debits) {
+    lease_.consume(node, d.in_kbps, d.out_kbps);
+  }
+
+  Coordinator::PreparedSubmit prepared;
+  prepared.request = job->request;
+  prepared.compose = std::move(result);
+  prepared.providers = job->provider_addrs;
+  prepared.stream_start = job->stream_start;
+  prepared.stream_stop = job->stream_stop;
+  prepared.submitted_at = job->enqueued_at;
+  prepared.shard = params_.shard;
+  prepared.lease_epoch_of = [this](sim::NodeIndex node) {
+    return lease_.epoch_of(node);
+  };
+  prepared.done = [this, job](const SubmitOutcome& outcome) {
+    on_outcome(job, outcome);
+  };
+  coordinator_.submit_prepared(std::move(prepared));
+}
+
+void CoordinatorShard::on_outcome(const JobPtr& job,
+                                  const SubmitOutcome& outcome) {
+  // Whatever happened, this attempt's debits are resolved: landed as
+  // node reservations (visible to the next renewal) or rolled back.
+  for (const auto& [node, d] : job->debits) {
+    lease_.settle(node, d.in_kbps, d.out_kbps);
+  }
+
+  if (outcome.compose.admitted) {
+    admitted_->add();
+    latency_ms_->observe(double(simulator_.now() - job->enqueued_at) /
+                         1000.0);
+    if (job->done) job->done(outcome);
+    return;
+  }
+
+  // The attempt rolled back (or never fully deployed). Its view-side
+  // debits are deliberately NOT returned here: nodes whose deploys landed
+  // free the bandwidth only when the rollback teardown reaches them, so
+  // an inline credit would have the repair composition double-spend it
+  // and NACK again. The next renewal grant reflects the freed funds.
+  job->debits.clear();
+
+  if (!outcome.nacked.empty() && job->attempts < params_.repair_attempts) {
+    repair(job, outcome);
+    return;
+  }
+  reject(job, outcome.compose);
+}
+
+void CoordinatorShard::repair(const JobPtr& job,
+                              const SubmitOutcome& outcome) {
+  ++job->attempts;
+  repairs_->add();
+  RASC_LOG(kInfo) << "shard " << params_.shard << ": repairing app "
+                  << job->request.app << " after " << outcome.nacked.size()
+                  << " lease NACK(s), attempt " << job->attempts;
+  // The NACKing granters hold different (newer or emptier) grants than
+  // our view claims; drop those views so the re-composition routes around
+  // them rather than re-spending a stale number.
+  for (const auto node : outcome.nacked) lease_.invalidate(node);
+
+  // Scoped stats refresh: CPU/drop state of the surviving candidates may
+  // have moved since the last renewal piggyback. Short deadline — this
+  // sits on the admission latency path.
+  std::set<sim::NodeIndex> targets;
+  for (const auto& [service, addrs] : job->provider_addrs) {
+    (void)service;
+    for (const auto a : addrs) {
+      if (lease_.valid(a)) targets.insert(a);
+    }
+  }
+  targets.insert(job->request.source);
+  targets.insert(job->request.destination);
+  stats_.query_many(
+      std::vector<sim::NodeIndex>(targets.begin(), targets.end()),
+      params_.refresh_timeout,
+      [this, job](std::vector<monitor::NodeStats> stats) {
+        for (const auto& s : stats) lease_.refresh_stats(s);
+        compose_and_dispatch(job);
+      });
+}
+
+void CoordinatorShard::reject(const JobPtr& job, ComposeResult result) {
+  rejected_->add();
+  SubmitOutcome outcome;
+  outcome.compose = std::move(result);
+  outcome.compose.admitted = false;
+  outcome.composition_latency = simulator_.now() - job->enqueued_at;
+  if (job->done) job->done(outcome);
+}
+
+}  // namespace rasc::core

@@ -1,0 +1,201 @@
+// Coordinator shard: batched admission against a leased capacity view.
+//
+// The sharded control plane replaces the one-coordinator-per-request
+// model with K coordinator shards, each on its own home node. Apps hash
+// to exactly one shard; the shard queues incoming requests, and on a
+// fixed batch cadence drains the queue, composing every pending request
+// against ONE snapshot of its lease view (see core/lease_manager.hpp) —
+// no per-request stats round-trips on the admission path. The order the
+// batch is admitted in is a pluggable policy: FIFO, smallest demand
+// first (maximize admission count), or highest value first (maximize
+// admitted rate).
+//
+// Contention between shards is resolved by the node-side lease granters:
+// a deploy spending a stale or overdrawn lease NACKs, the shard
+// invalidates its view of the NACKing nodes, refreshes stats with a
+// short scoped query, and re-composes the app against what remains of
+// its lease (the failed attempt's view debits are NOT re-credited inline
+// — landed deploys free node bandwidth only when the rollback teardown
+// reaches them, so the funds come back with the next renewal) — the
+// epoch/dedup machinery of the deploy protocol guarantees the losing
+// attempt's partial state is rolled back exactly once.
+//
+// Determinism: everything runs on the home node's LP (batch timers
+// pinned, packets arrive there); outcome callbacks hop through
+// Simulator::exclusive exactly like unsharded submissions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/composer.hpp"
+#include "core/coordinator.hpp"
+#include "core/lease_manager.hpp"
+#include "core/plan_math.hpp"
+#include "monitor/stats_protocol.hpp"
+#include "obs/metric_registry.hpp"
+#include "overlay/pastry_node.hpp"
+#include "overlay/registry.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rasc::core {
+
+/// Routes a request to its owning shard's admission queue. Carries the
+/// submitting host's outcome callback as a same-process convenience (the
+/// simulation never serializes callbacks; wire size models the request).
+struct SubmitShardMsg final : sim::Message {
+  const char* kind() const override { return "core.submit_shard"; }
+  ServiceRequest request;
+  sim::SimTime stream_start = 0;
+  sim::SimTime stream_stop = 0;
+  Coordinator::Callback done;
+
+  std::int64_t wire_size() const {
+    std::int64_t services = 0;
+    for (const auto& ss : request.substreams) {
+      services += std::int64_t(ss.services.size());
+    }
+    return 64 + std::int64_t(request.substreams.size()) * 16 +
+           services * 16;
+  }
+};
+
+enum class AdmissionPolicy {
+  kFifo,            // arrival order
+  kSmallestDemand,  // ascending total requested rate
+  kHighestValue,    // descending total requested rate
+};
+
+/// Parses "fifo" / "smallest-demand" / "highest-value"; throws
+/// std::invalid_argument otherwise.
+AdmissionPolicy parse_admission_policy(const std::string& name);
+
+class CoordinatorShard {
+ public:
+  struct Params {
+    std::int32_t shard = 0;
+    /// Fleet size (the lease view covers every node).
+    std::size_t nodes = 0;
+    /// Queue drain cadence; all requests pending at a tick are composed
+    /// against one lease-view snapshot.
+    sim::SimDuration batch_window = sim::msec(100);
+    AdmissionPolicy policy = AdmissionPolicy::kFifo;
+    /// Re-compositions attempted after a lease-contention NACK before
+    /// the request is rejected.
+    int repair_attempts = 2;
+    /// Reply deadline of the scoped stats refresh on the repair path.
+    sim::SimDuration refresh_timeout = sim::msec(500);
+    /// Times a request whose composition fails against the current view
+    /// is re-queued (after an off-cycle renewal enlarges the shard's
+    /// grants) before the failure is final. Covers cold or recently-idle
+    /// shards whose grants shrank to the idle floor.
+    int capacity_retries = 3;
+    /// Delay before a capacity-retried request rejoins the queue: long
+    /// enough for the renewal round-trip its retry depends on.
+    sim::SimDuration retry_delay = sim::msec(600);
+    LeaseManager::Params lease;
+  };
+
+  /// `coordinator` is the home node's (phase-4 deployment) coordinator,
+  /// `composer` this shard's private composition algorithm. `registry`
+  /// is the deployment-wide metric registry; shard.* cells are labeled
+  /// with the home node.
+  CoordinatorShard(sim::Simulator& simulator, sim::Network& network,
+                   overlay::PastryNode& pastry, monitor::StatsAgent& stats,
+                   Coordinator& coordinator,
+                   const runtime::ServiceCatalog& catalog,
+                   std::unique_ptr<Composer> composer, Params params,
+                   obs::MetricRegistry* registry = nullptr);
+
+  CoordinatorShard(const CoordinatorShard&) = delete;
+  CoordinatorShard& operator=(const CoordinatorShard&) = delete;
+
+  /// Starts lease renewals and the batch drain cadence at `at`.
+  void start(sim::SimTime at);
+
+  /// Consumes SubmitShardMsg and lease grant/revoke packets.
+  bool handle_packet(const sim::Packet& packet);
+
+  /// Which shard of `shards` owns `app` (stable hash, uniform).
+  static std::int32_t shard_of(runtime::AppId app, int shards);
+
+  /// Drain order of (seq, total demand kbps) entries under `policy`,
+  /// as indices into `jobs` — exposed for unit tests.
+  static std::vector<std::size_t> admission_order(
+      AdmissionPolicy policy,
+      const std::vector<std::pair<std::uint64_t, double>>& jobs);
+
+  sim::NodeIndex home() const { return home_; }
+  const LeaseManager& leases() const { return lease_; }
+  LeaseManager& leases() { return lease_; }
+
+ private:
+  struct Job {
+    ServiceRequest request;
+    sim::SimTime stream_start = 0;
+    sim::SimTime stream_stop = 0;
+    sim::SimTime enqueued_at = 0;
+    std::uint64_t seq = 0;
+    Coordinator::Callback done;
+
+    std::size_t lookups_outstanding = 0;
+    std::map<std::string, std::vector<sim::NodeIndex>> provider_addrs;
+    std::vector<std::string> failed_services;
+    /// View-side debits of the last composed plan (returned on NACK).
+    std::map<sim::NodeIndex, LeaseDebit> debits;
+    int attempts = 0;
+    int capacity_retries = 0;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void enqueue(const SubmitShardMsg& msg);
+  void lookup_with_retry(const JobPtr& job, const std::string& service,
+                         int attempts_left);
+  void drain();
+  /// Re-queues a job whose composition failed against the current view
+  /// (bounded; fires an off-cycle renewal first). False when the retry
+  /// budget is exhausted and the failure is final.
+  bool retry_capacity(const JobPtr& job);
+  void compose_and_dispatch(const JobPtr& job);
+  void on_outcome(const JobPtr& job, const SubmitOutcome& outcome);
+  void repair(const JobPtr& job, const SubmitOutcome& outcome);
+  void reject(const JobPtr& job, ComposeResult result);
+
+  sim::Simulator& simulator_;
+  sim::Network& network_;
+  overlay::ServiceRegistry registry_;
+  monitor::StatsAgent& stats_;
+  Coordinator& coordinator_;
+  const runtime::ServiceCatalog& catalog_;
+  std::unique_ptr<Composer> composer_;
+  Params params_;
+  sim::NodeIndex home_;
+  LeaseManager lease_;
+
+  std::vector<JobPtr> ready_;
+  std::set<runtime::AppId> seen_apps_;
+  std::uint64_t seq_counter_ = 0;
+  /// Source-rate demand submitted since the last renewal sweep, and its
+  /// max-decayed value actually advertised (see the demand provider).
+  double demand_window_kbps_ = 0;
+  double demand_ewma_kbps_ = 0;
+
+  std::unique_ptr<obs::MetricRegistry> owned_metrics_;
+  obs::MetricRegistry* metrics_;
+  obs::Counter* submitted_;
+  obs::Counter* admitted_;
+  obs::Counter* rejected_;
+  obs::Counter* batches_;
+  obs::Counter* repairs_;
+  obs::Counter* retries_;
+  obs::Histogram* batch_size_;
+  obs::Histogram* latency_ms_;
+};
+
+}  // namespace rasc::core

@@ -223,8 +223,10 @@ ComposeResult MinCostComposer::compose(const ComposeInput& input) {
         const double ao =
             tracker.avail_out_kbps(node) * options_.utilization_target;
         double factor = 1.0;
-        if (u.in_kbps > ai * 1.02) factor = std::min(factor, ai / u.in_kbps);
-        if (u.out_kbps > ao * 1.02) {
+        if (u.in_kbps > ai * kRepairTolerance) {
+          factor = std::min(factor, ai / u.in_kbps);
+        }
+        if (u.out_kbps > ao * kRepairTolerance) {
           factor = std::min(factor, ao / u.out_kbps);
         }
         if (factor < 1.0) {

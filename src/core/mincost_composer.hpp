@@ -15,6 +15,13 @@ namespace rasc::core {
 
 class MinCostComposer final : public Composer {
  public:
+  /// The capacity-repair loop accepts plans that overfill a node by up to
+  /// this factor (scaling every violator to exactly its budget would
+  /// oscillate). Capacity sources that must never be exceeded — e.g. a
+  /// lease remainder backed by a hard node-side debit — should divide
+  /// their advertised availability by this factor.
+  static constexpr double kRepairTolerance = 1.02;
+
   struct Options {
     /// Shares below this fraction of the substream demand are folded into
     /// the largest placement of the stage.

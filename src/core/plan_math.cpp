@@ -114,6 +114,32 @@ runtime::AppPlan build_app_plan(
   return plan;
 }
 
+std::map<sim::NodeIndex, LeaseDebit> leased_plan_bandwidth(
+    const runtime::AppPlan& plan, const runtime::ServiceCatalog& catalog) {
+  std::map<sim::NodeIndex, LeaseDebit> debits;
+  for (const auto& sub : plan.substreams) {
+    double in_bytes = double(sub.unit_bytes);
+    for (const auto& stage : sub.stages) {
+      const auto& spec = catalog.get(stage.service);
+      // The exact unit sizes the deploy messages will carry.
+      const std::int64_t in_unit = std::int64_t(in_bytes + 0.5);
+      const std::int64_t out_unit =
+          std::int64_t(double(in_unit) * spec.output_size_factor + 0.5);
+      for (const auto& p : stage.placements) {
+        LeaseDebit& d = debits[p.node];
+        d.in_kbps += wire_kbps(p.rate_units_per_sec, double(in_unit));
+        d.out_kbps += wire_kbps(p.rate_units_per_sec * spec.rate_ratio,
+                                double(out_unit));
+      }
+      in_bytes *= spec.output_size_factor;
+    }
+    const std::int64_t sink_unit = std::int64_t(in_bytes + 0.5);
+    debits[plan.destination].in_kbps +=
+        wire_kbps(sub.rate_units_per_sec, double(sink_unit));
+  }
+  return debits;
+}
+
 ResidualTracker::ResidualTracker(const ComposeInput& input,
                                  double headroom) {
   auto note = [this, headroom](const monitor::NodeStats& s) {

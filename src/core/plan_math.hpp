@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "core/request.hpp"
@@ -87,5 +88,20 @@ runtime::AppPlan build_app_plan(
     const ServiceRequest& request, const runtime::ServiceCatalog& catalog,
     const std::vector<std::vector<std::vector<runtime::Placement>>>&
         delivered_shares);
+
+/// Bandwidth one node will debit from a capacity lease for a plan.
+struct LeaseDebit {
+  double in_kbps = 0;
+  double out_kbps = 0;
+};
+
+/// Per-node lease debits deploying `plan` will charge: component input and
+/// output reservations plus the sink's input at the destination (sources
+/// are not lease-debited). Mirrors the coordinator's message construction
+/// bit-for-bit — unit sizes round to whole bytes per stage exactly as
+/// DeployComponentMsg/DeploySinkMsg carry them, so a shard pre-checking
+/// its lease view arrives at the same numbers the granters will.
+std::map<sim::NodeIndex, LeaseDebit> leased_plan_bandwidth(
+    const runtime::AppPlan& plan, const runtime::ServiceCatalog& catalog);
 
 }  // namespace rasc::core

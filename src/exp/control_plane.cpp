@@ -1,0 +1,102 @@
+#include "exp/control_plane.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/greedy_composer.hpp"
+#include "core/mincost_composer.hpp"
+#include "core/random_composer.hpp"
+
+namespace rasc::exp {
+
+std::unique_ptr<core::Composer> make_composer(const std::string& name,
+                                              util::Xoshiro256 rng) {
+  if (name == "mincost") return std::make_unique<core::MinCostComposer>();
+  if (name == "mincost-nosplit") {
+    core::MinCostComposer::Options options;
+    options.single_instance_per_stage = true;
+    return std::make_unique<core::MinCostComposer>(options);
+  }
+  if (name == "mincost-nocpu") {
+    core::MinCostComposer::Options options;
+    options.consider_cpu = false;
+    return std::make_unique<core::MinCostComposer>(options);
+  }
+  if (name == "greedy") return std::make_unique<core::GreedyComposer>(rng);
+  if (name == "random") {
+    return std::make_unique<core::RandomComposer>(rng);
+  }
+  throw std::invalid_argument("unknown algorithm: " + name);
+}
+
+ShardControlPlane::ShardControlPlane(World& world, Config config,
+                                     util::Xoshiro256 rng)
+    : world_(world), config_(config) {
+  const std::size_t nodes = world.size();
+  const int k =
+      std::max(1, std::min(config_.coordinators, int(nodes)));
+  config_.coordinators = k;
+
+  // Every node partitions its capacity among the K shards.
+  runtime::LeaseGranter::Params granter_params;
+  granter_params.lease_duration = config_.lease_duration;
+  granter_params.shards = k;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    world.host(n).enable_lease_granter(granter_params);
+  }
+
+  const auto policy = core::parse_admission_policy(config_.admission_policy);
+  for (int s = 0; s < k; ++s) {
+    // Even spread over the node id space (node ids are dense 0..N-1).
+    const auto home =
+        sim::NodeIndex((std::size_t(s) * nodes) / std::size_t(k));
+    core::CoordinatorShard::Params params;
+    params.shard = s;
+    params.nodes = nodes;
+    params.batch_window = config_.batch_window;
+    params.policy = policy;
+    params.repair_attempts = config_.repair_attempts;
+    params.lease.renew_period = config_.lease_renew;
+    params.lease.stagger = config_.lease_stagger;
+    auto& host = world.host(std::size_t(home));
+    shards_.push_back(std::make_unique<core::CoordinatorShard>(
+        world.simulator(), world.network(), world.overlay().at(std::size_t(home)),
+        host.stats_agent(), host.coordinator(), world.catalog(),
+        make_composer(config_.algorithm,
+                      rng.split(0x73686172u /* "shar" */ ^ std::uint64_t(s))),
+        params, &world.metrics()));
+    host.set_shard(shards_.back().get());
+  }
+}
+
+ShardControlPlane::~ShardControlPlane() {
+  for (const auto& shard : shards_) {
+    world_.host(std::size_t(shard->home())).set_shard(nullptr);
+  }
+}
+
+void ShardControlPlane::start(sim::SimTime at) {
+  for (const auto& shard : shards_) shard->start(at);
+}
+
+sim::SimDuration ShardControlPlane::warmup() const {
+  // One full renewal sweep (staggered across the fleet), plus a second
+  // for the last grants' round trips to land.
+  return config_.lease_stagger * std::int64_t(world_.size()) + sim::sec(1);
+}
+
+void ShardControlPlane::submit(const core::ServiceRequest& request,
+                               sim::SimTime stream_start,
+                               sim::SimTime stream_stop,
+                               core::Coordinator::Callback done) {
+  const auto home = home_of(shard_of(request.app));
+  auto msg = std::make_shared<core::SubmitShardMsg>();
+  msg->request = request;
+  msg->stream_start = stream_start;
+  msg->stream_stop = stream_stop;
+  msg->done = std::move(done);
+  const auto size = msg->wire_size();
+  world_.network().send(request.source, home, size, std::move(msg));
+}
+
+}  // namespace rasc::exp

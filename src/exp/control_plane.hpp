@@ -1,0 +1,84 @@
+// Sharded control plane assembly: K coordinator shards over one World.
+//
+// Enables a capacity-lease granter on every host (each partitioning its
+// bandwidth among the K shards), homes shard s on node floor(s*N/K), and
+// gives each shard its own composer instance and lease view. Requests
+// route to hash-owned shards with SubmitShardMsg; admission then runs as
+// batched composition against the shard's leased view (see
+// core/coordinator_shard.hpp).
+//
+// Constructed only when a run asks for more than one coordinator: an
+// unsharded run never instantiates granters, shards or their registry
+// cells and stays byte-identical to builds without this subsystem.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coordinator_shard.hpp"
+#include "exp/world.hpp"
+
+namespace rasc::exp {
+
+/// Builds the composition algorithm by name ("mincost", "greedy", ...;
+/// shared by the runner and the shard control plane).
+std::unique_ptr<core::Composer> make_composer(const std::string& name,
+                                              util::Xoshiro256 rng);
+
+class ShardControlPlane {
+ public:
+  struct Config {
+    int coordinators = 2;
+    /// "fifo", "smallest-demand" or "highest-value".
+    std::string admission_policy = "fifo";
+    sim::SimDuration batch_window = sim::msec(100);
+    /// Node-side grant lifetime and shard-side renewal cadence.
+    sim::SimDuration lease_duration = sim::sec(12);
+    sim::SimDuration lease_renew = sim::sec(5);
+    /// Spacing of per-node lease requests inside one renewal sweep.
+    sim::SimDuration lease_stagger = sim::msec(1);
+    int repair_attempts = 2;
+    /// Composition algorithm every shard runs (its own instance).
+    std::string algorithm = "mincost";
+  };
+
+  /// Wires granters and shards into `world`'s hosts. `rng` seeds the
+  /// per-shard composer randomness (split per shard).
+  ShardControlPlane(World& world, Config config, util::Xoshiro256 rng);
+  ~ShardControlPlane();
+
+  ShardControlPlane(const ShardControlPlane&) = delete;
+  ShardControlPlane& operator=(const ShardControlPlane&) = delete;
+
+  /// Starts every shard's lease renewals and batch cadence at `at`.
+  void start(sim::SimTime at);
+
+  /// Time from start() until every node holds a first-grant request:
+  /// submissions before this see empty lease views and reject.
+  sim::SimDuration warmup() const;
+
+  int shards() const { return int(shards_.size()); }
+  std::int32_t shard_of(runtime::AppId app) const {
+    return core::CoordinatorShard::shard_of(app, shards());
+  }
+  sim::NodeIndex home_of(std::int32_t shard) const {
+    return shards_[std::size_t(shard)]->home();
+  }
+  core::CoordinatorShard& shard(std::int32_t s) {
+    return *shards_[std::size_t(s)];
+  }
+
+  /// Routes `request` from its source node to its owning shard's
+  /// admission queue. Call from a simulation event (the routing message
+  /// costs wire time like any control packet).
+  void submit(const core::ServiceRequest& request, sim::SimTime stream_start,
+              sim::SimTime stream_stop, core::Coordinator::Callback done);
+
+ private:
+  World& world_;
+  Config config_;
+  std::vector<std::unique_ptr<core::CoordinatorShard>> shards_;
+};
+
+}  // namespace rasc::exp

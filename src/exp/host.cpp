@@ -43,6 +43,16 @@ Host::Host(sim::Simulator& simulator, sim::Network& network,
       });
 }
 
+runtime::LeaseGranter& Host::enable_lease_granter(
+    const runtime::LeaseGranter::Params& params) {
+  if (granter_ == nullptr) {
+    granter_ = std::make_unique<runtime::LeaseGranter>(
+        *simulator_, *network_, node_, *monitor_, params, registry_);
+    runtime_->set_lease_granter(granter_.get());
+  }
+  return *granter_;
+}
+
 core::RateAdapter& Host::enable_adapter(
     const core::RateAdapter::Params& params) {
   if (adapter_ == nullptr) {
@@ -59,6 +69,8 @@ void Host::handle_packet(const sim::Packet& packet) {
   if (runtime_->handle_packet(packet)) return;
   if (coordinator_->handle_packet(packet)) return;
   if (supervisor_->handle_packet(packet)) return;
+  if (granter_ != nullptr && granter_->handle_packet(packet)) return;
+  if (shard_ != nullptr && shard_->handle_packet(packet)) return;
   RASC_LOG(kWarn) << "host " << packet.dst << ": unhandled packet kind "
                   << (packet.payload ? packet.payload->kind() : "null");
 }

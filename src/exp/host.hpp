@@ -7,12 +7,14 @@
 #include <memory>
 
 #include "core/coordinator.hpp"
+#include "core/coordinator_shard.hpp"
 #include "core/mincost_composer.hpp"
 #include "core/rate_adapter.hpp"
 #include "core/supervisor.hpp"
 #include "monitor/node_monitor.hpp"
 #include "monitor/stats_protocol.hpp"
 #include "overlay/builder.hpp"
+#include "runtime/lease_granter.hpp"
 #include "runtime/node_runtime.hpp"
 
 namespace rasc::exp {
@@ -38,6 +40,19 @@ class Host {
   /// Supervisor bound to this node's coordinator, recomposing starved
   /// applications with min-cost composition.
   core::AppSupervisor& supervisor() { return *supervisor_; }
+
+  /// Constructs this node's capacity-lease granter on first call and
+  /// wires it into the runtime (sharded control plane; see
+  /// runtime/lease_granter.hpp). Lazy for the same reason as the
+  /// adapter: unsharded runs must not create lease.* registry cells.
+  runtime::LeaseGranter& enable_lease_granter(
+      const runtime::LeaseGranter::Params& params);
+  /// The granter, or nullptr while enable_lease_granter was never called.
+  runtime::LeaseGranter* lease_granter() { return granter_.get(); }
+
+  /// Installs the coordinator shard homed on this node (owned by the
+  /// ShardControlPlane); its packets route through handle_packet.
+  void set_shard(core::CoordinatorShard* shard) { shard_ = shard; }
 
   /// Constructs this node's rate adapter on first call (idempotent for
   /// identical params; later calls return the existing instance) and
@@ -67,6 +82,8 @@ class Host {
   sim::NodeIndex node_ = sim::kInvalidNode;
   /// Declared after supervisor_ so pending adapter callbacks die first.
   std::unique_ptr<core::RateAdapter> adapter_;
+  std::unique_ptr<runtime::LeaseGranter> granter_;
+  core::CoordinatorShard* shard_ = nullptr;
 };
 
 }  // namespace rasc::exp

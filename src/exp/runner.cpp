@@ -1,40 +1,14 @@
 #include "exp/runner.hpp"
 
+#include <algorithm>
 #include <memory>
-#include <stdexcept>
 
 #include "chaos/injector.hpp"
 #include "chaos/scenario.hpp"
-#include "core/greedy_composer.hpp"
-#include "core/mincost_composer.hpp"
-#include "core/random_composer.hpp"
+#include "exp/control_plane.hpp"
 #include "util/logging.hpp"
 
 namespace rasc::exp {
-
-namespace {
-
-std::unique_ptr<core::Composer> make_composer(const std::string& name,
-                                              util::Xoshiro256 rng) {
-  if (name == "mincost") return std::make_unique<core::MinCostComposer>();
-  if (name == "mincost-nosplit") {
-    core::MinCostComposer::Options options;
-    options.single_instance_per_stage = true;
-    return std::make_unique<core::MinCostComposer>(options);
-  }
-  if (name == "mincost-nocpu") {
-    core::MinCostComposer::Options options;
-    options.consider_cpu = false;
-    return std::make_unique<core::MinCostComposer>(options);
-  }
-  if (name == "greedy") return std::make_unique<core::GreedyComposer>(rng);
-  if (name == "random") {
-    return std::make_unique<core::RandomComposer>(rng);
-  }
-  throw std::invalid_argument("unknown algorithm: " + name);
-}
-
-}  // namespace
 
 RunMetrics run_experiment(const RunConfig& config) {
   return run_experiment(config, nullptr);
@@ -42,7 +16,12 @@ RunMetrics run_experiment(const RunConfig& config) {
 
 RunMetrics run_experiment(const RunConfig& config,
                           std::vector<obs::MetricRow>* snapshot_out) {
-  World world(config.world);
+  const bool sharded = config.coordinators > 1;
+  WorldConfig world_config = config.world;
+  // Lease accounting on the nodes relies on failed attempts being rolled
+  // back (debits returned); unsharded runs keep the configured policy.
+  if (sharded) world_config.deploy_policy.rollback = true;
+  World world(world_config);
   auto& simulator = world.simulator();
 
   auto workload_rng = simulator.rng().split(0x776f726b /* "work" */);
@@ -51,6 +30,21 @@ RunMetrics run_experiment(const RunConfig& config,
 
   auto composer = make_composer(config.algorithm,
                                 simulator.rng().split(0x636f6d70 /*comp*/));
+
+  // Sharded control plane (coordinators > 1 only): constructed strictly
+  // after the splits above so the unsharded random streams are untouched.
+  std::unique_ptr<ShardControlPlane> plane;
+  if (sharded) {
+    ShardControlPlane::Config plane_config;
+    plane_config.coordinators = config.coordinators;
+    plane_config.admission_policy = config.admission_policy;
+    plane_config.batch_window = config.batch_window;
+    plane_config.lease_duration = config.lease_duration;
+    plane_config.lease_renew = config.lease_renew;
+    plane_config.algorithm = config.algorithm;
+    plane = std::make_unique<ShardControlPlane>(
+        world, plane_config, simulator.rng().split(0x73686164 /*shad*/));
+  }
 
   RunMetrics metrics;
   metrics.requests = int(requests.size());
@@ -78,56 +72,75 @@ RunMetrics run_experiment(const RunConfig& config,
   }
 
   const sim::SimTime t0 = simulator.now();
+  // Sharded runs hold submissions until every node's first lease grant
+  // landed; unsharded runs start at t0 exactly as before.
+  const sim::SimTime submit0 = sharded ? t0 + plane->warmup() : t0;
   const sim::SimTime last_submit =
-      t0 + sim::SimDuration(requests.size()) * config.submit_gap;
+      submit0 + sim::SimDuration(requests.size()) * config.submit_gap;
   const sim::SimTime stream_stop =
       last_submit + config.steady_duration;
   const sim::SimTime run_end = stream_stop + config.drain;
 
-  // Submit each request from its source node's coordinator, staggered.
+  if (sharded) plane->start(t0);
+
+  // Submit each request, staggered: through its source node's own
+  // coordinator, or routed to its hash-owned shard when sharded.
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const auto& request = requests[i];
-    const sim::SimTime when = t0 + sim::SimDuration(i) * config.submit_gap;
+    const sim::SimTime when =
+        submit0 + sim::SimDuration(i) * config.submit_gap;
+    // The node whose host controls the admitted app: the shard home owns
+    // the deployment (its coordinator sent it), so its adapter and
+    // supervisor must watch the app, not the source's.
+    const sim::NodeIndex ctl_node =
+        sharded ? plane->home_of(plane->shard_of(request.app))
+                : request.source;
     simulator.call_at(when, [&simulator, &world, &metrics, &request,
-                             &composer, stream_stop, supervise, adapt,
-                             adapt_params] {
-      auto& coordinator =
-          world.host(std::size_t(request.source)).coordinator();
-      coordinator.submit(
-          request, *composer, /*stream_start=*/0, stream_stop,
-          [&simulator, &world, &metrics, &request, stream_stop, supervise,
-           adapt, adapt_params](const core::SubmitOutcome& outcome) {
-            // The outcome handler mutates run-wide metrics and arms the
-            // adapter/supervisor (which read cross-node state); under a
-            // parallel simulation it must run with the LPs parked.
-            simulator.exclusive([&world, &metrics, &request, stream_stop,
-                                 supervise, adapt, adapt_params, outcome] {
-              if (outcome.compose.admitted) {
-                ++metrics.composed;
-                metrics.components +=
-                    std::int64_t(outcome.compose.plan.component_count());
-                for (const auto& sub : outcome.compose.plan.substreams) {
-                  metrics.stages += std::int64_t(sub.stages.size());
-                }
-                auto& host = world.host(std::size_t(request.source));
-                // Adapter before supervisor: watch() consults the adapter
-                // as its first-line starvation response.
-                if (adapt) {
-                  host.enable_adapter(adapt_params)
-                      .track(request, outcome.compose.plan,
-                             outcome.providers, stream_stop);
-                }
-                if (supervise) {
-                  host.supervisor().watch(request, outcome.compose.plan,
-                                          stream_stop, {});
-                }
-              } else {
-                RASC_LOG(kDebug)
-                    << "app " << request.app
-                    << " rejected: " << outcome.compose.error;
-              }
-            });
-          });
+                             &composer, &plane, stream_stop, supervise,
+                             adapt, adapt_params, sharded, ctl_node] {
+      auto on_outcome = [&simulator, &world, &metrics, &request,
+                         stream_stop, supervise, adapt, adapt_params,
+                         ctl_node](const core::SubmitOutcome& outcome) {
+        // The outcome handler mutates run-wide metrics and arms the
+        // adapter/supervisor (which read cross-node state); under a
+        // parallel simulation it must run with the LPs parked.
+        simulator.exclusive([&world, &metrics, &request, stream_stop,
+                             supervise, adapt, adapt_params, ctl_node,
+                             outcome] {
+          if (outcome.compose.admitted) {
+            ++metrics.composed;
+            metrics.components +=
+                std::int64_t(outcome.compose.plan.component_count());
+            for (const auto& sub : outcome.compose.plan.substreams) {
+              metrics.stages += std::int64_t(sub.stages.size());
+            }
+            auto& host = world.host(std::size_t(ctl_node));
+            // Adapter before supervisor: watch() consults the adapter
+            // as its first-line starvation response.
+            if (adapt) {
+              host.enable_adapter(adapt_params)
+                  .track(request, outcome.compose.plan, outcome.providers,
+                         stream_stop);
+            }
+            if (supervise) {
+              host.supervisor().watch(request, outcome.compose.plan,
+                                      stream_stop, {});
+            }
+          } else {
+            RASC_LOG(kDebug) << "app " << request.app
+                             << " rejected: " << outcome.compose.error;
+          }
+        });
+      };
+      if (sharded) {
+        plane->submit(request, /*stream_start=*/0, stream_stop,
+                      std::move(on_outcome));
+      } else {
+        world.host(std::size_t(request.source))
+            .coordinator()
+            .submit(request, *composer, /*stream_start=*/0, stream_stop,
+                    std::move(on_outcome));
+      }
     });
   }
 
@@ -200,6 +213,21 @@ RunMetrics run_experiment(const RunConfig& config,
   metrics.deploy_retries = registry.counter_total("deploy.retries");
   metrics.deploy_rollbacks = registry.counter_total("deploy.rollbacks");
   metrics.orphans_reaped = registry.counter_total("orphan.reaped");
+  metrics.shard_submitted = registry.counter_total("shard.submitted");
+  metrics.shard_admitted = registry.counter_total("shard.admitted");
+  metrics.shard_rejected = registry.counter_total("shard.rejected");
+  metrics.shard_batches = registry.counter_total("shard.batches");
+  metrics.shard_repairs = registry.counter_total("shard.repairs");
+  metrics.lease_grants = registry.counter_total("lease.granted");
+  metrics.lease_nacks = registry.counter_total("lease.nacks");
+  metrics.lease_expired = registry.counter_total("lease.expired");
+  for (std::size_t n = 0; n < world.size(); ++n) {
+    const auto* granter = world.host(n).lease_granter();
+    if (granter != nullptr) {
+      metrics.lease_overgrant_kbps = std::max(
+          metrics.lease_overgrant_kbps, granter->overgrant_high_water_kbps());
+    }
+  }
 
   if (injector != nullptr) {
     metrics.faults_injected = injector->applied();

@@ -58,6 +58,23 @@ struct RunConfig {
   sim::SimDuration adapt_interval = 0;
   /// Minimum relative cost improvement before deltas are shipped.
   double adapt_hysteresis = 0.05;
+
+  // --- Sharded control plane (1 coordinator by default: requests submit
+  // through their source node's coordinator exactly as before, no lease
+  // subsystem is constructed, and the run is event-for-event identical
+  // to pre-shard builds) ---
+
+  /// Number of coordinator shards; > 1 switches admission to hash-routed
+  /// batched composition against leased capacity views. Clamped to the
+  /// node count. Forces deploy rollback (lease accounting relies on it).
+  int coordinators = 1;
+  /// Batch admission order: "fifo", "smallest-demand" or "highest-value".
+  std::string admission_policy = "fifo";
+  /// Shard queue drain cadence.
+  sim::SimDuration batch_window = sim::msec(100);
+  /// Node-side lease lifetime and shard-side renewal cadence.
+  sim::SimDuration lease_duration = sim::sec(12);
+  sim::SimDuration lease_renew = sim::sec(5);
 };
 
 struct RunMetrics {
@@ -98,6 +115,19 @@ struct RunMetrics {
   std::int64_t deploy_retries = 0;    // deploy messages retransmitted
   std::int64_t deploy_rollbacks = 0;  // failed deployments rolled back
   std::int64_t orphans_reaped = 0;    // apps lease-reaped by runtimes
+
+  /// Sharded-control-plane outcomes (all zero with one coordinator).
+  std::int64_t shard_submitted = 0;
+  std::int64_t shard_admitted = 0;
+  std::int64_t shard_rejected = 0;
+  std::int64_t shard_batches = 0;
+  std::int64_t shard_repairs = 0;  // NACK-repair re-compositions
+  std::int64_t lease_grants = 0;
+  std::int64_t lease_nacks = 0;    // lease debits refused by granters
+  std::int64_t lease_expired = 0;  // grants that lapsed unrenewed
+  /// Max over nodes of the overgrant high-water mark: > 0 would mean
+  /// some node promised more bandwidth than it had (double reservation).
+  double lease_overgrant_kbps = 0;
   double recovery_ms = -1;      // SLO recovery time; -1 = n/a or never
   int slo_pass = -1;            // -1 = no SLO evaluated, else 0/1
 

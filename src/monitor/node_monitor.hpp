@@ -84,6 +84,12 @@ class NodeMonitor {
     if (reserved_cpu_fraction_ < 0) reserved_cpu_fraction_ = 0;
   }
 
+  /// Live reservation totals (independent of advertise_reservations —
+  /// the node-local lease granter is always reservation-aware even when
+  /// remote snapshots are purely measurement-driven).
+  double reserved_in_kbps() const { return reserved_in_kbps_; }
+  double reserved_out_kbps() const { return reserved_out_kbps_; }
+
   /// Chaos hook: while blacked out, sample ticks keep their cadence but
   /// neither update windows nor publish gauges, so the stats protocol
   /// keeps advertising the last pre-blackout snapshot (stale reports).

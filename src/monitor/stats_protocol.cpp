@@ -35,6 +35,11 @@ bool StatsAgent::handle_packet(const sim::Packet& packet) {
 }
 
 void StatsAgent::query(sim::NodeIndex target, QueryCallback done) {
+  query(target, kTimeout, std::move(done));
+}
+
+void StatsAgent::query(sim::NodeIndex target, sim::SimDuration timeout,
+                       QueryCallback done) {
   const std::uint64_t rid = ++counter_;
   auto req = std::make_shared<StatsRequest>();
   req->request_id = rid;
@@ -42,7 +47,7 @@ void StatsAgent::query(sim::NodeIndex target, QueryCallback done) {
 
   Pending pending;
   pending.done = std::move(done);
-  pending.timeout_event = simulator_.call_after(kTimeout, [this, rid] {
+  pending.timeout_event = simulator_.call_after(timeout, [this, rid] {
     const auto it = pending_.find(rid);
     if (it == pending_.end()) return;
     auto cb = std::move(it->second.done);
@@ -55,6 +60,12 @@ void StatsAgent::query(sim::NodeIndex target, QueryCallback done) {
 }
 
 void StatsAgent::query_many(const std::vector<sim::NodeIndex>& targets,
+                            MultiQueryCallback done) {
+  query_many(targets, kTimeout, std::move(done));
+}
+
+void StatsAgent::query_many(const std::vector<sim::NodeIndex>& targets,
+                            sim::SimDuration timeout,
                             MultiQueryCallback done) {
   if (targets.empty()) {
     done({});
@@ -69,7 +80,7 @@ void StatsAgent::query_many(const std::vector<sim::NodeIndex>& targets,
   gather->outstanding = targets.size();
   gather->done = std::move(done);
   for (sim::NodeIndex t : targets) {
-    query(t, [gather](bool ok, const NodeStats& stats) {
+    query(t, timeout, [gather](bool ok, const NodeStats& stats) {
       if (ok) gather->results.push_back(stats);
       if (--gather->outstanding == 0) gather->done(std::move(gather->results));
     });

@@ -50,12 +50,18 @@ class StatsAgent {
 
   /// Queries one remote node's stats.
   void query(sim::NodeIndex target, QueryCallback done);
+  /// Same, with an explicit reply deadline (scoped refreshes on a repair
+  /// path that cannot afford the full default timeout).
+  void query(sim::NodeIndex target, sim::SimDuration timeout,
+             QueryCallback done);
 
   /// Queries many nodes in parallel; `done` fires once every query has
   /// replied or timed out, with the successful snapshots (order follows
   /// `targets`, failures omitted).
   void query_many(const std::vector<sim::NodeIndex>& targets,
                   MultiQueryCallback done);
+  void query_many(const std::vector<sim::NodeIndex>& targets,
+                  sim::SimDuration timeout, MultiQueryCallback done);
 
  private:
   struct Pending {

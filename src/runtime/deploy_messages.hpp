@@ -20,6 +20,11 @@
 //    unconditionally (supervisor recovery), and epoch-0 deploys skip the
 //    staleness check.
 //
+// Sharded control planes additionally stamp component/sink deploys with
+// the (shard, lease_epoch) of the capacity lease they spend; the receiving
+// runtime debits its lease granter before instantiating and NACKs when
+// the grant is stale or overdrawn (see runtime/lease_granter.hpp).
+//
 // The new fields ride inside the existing wire-size constants (they model
 // header room already budgeted), so stamped runs serialize identically.
 #pragma once
@@ -45,6 +50,12 @@ struct DeployComponentMsg final : sim::Message {
   sim::NodeIndex requester = sim::kInvalidNode;
   /// Deployment attempt this message belongs to (see file header).
   std::uint64_t epoch = 0;
+  /// Coordinator shard spending a capacity lease for this reservation
+  /// (-1: unsharded legacy deploy, no lease debit). With a shard set the
+  /// receiving runtime debits (shard, lease_epoch) at its granter before
+  /// instantiating, and NACKs when the lease cannot cover it.
+  std::int32_t shard = -1;
+  std::uint64_t lease_epoch = 0;
 
   std::int64_t wire_size() const {
     return 96 + std::int64_t(next.size()) * 16;
@@ -61,6 +72,9 @@ struct DeploySinkMsg final : sim::Message {
   sim::NodeIndex requester = sim::kInvalidNode;
   /// Deployment attempt this message belongs to (see file header).
   std::uint64_t epoch = 0;
+  /// Lease-spending stamp; see DeployComponentMsg.
+  std::int32_t shard = -1;
+  std::uint64_t lease_epoch = 0;
   static constexpr std::int64_t kBytes = 64;
 };
 

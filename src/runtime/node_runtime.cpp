@@ -4,6 +4,7 @@
 #include <cassert>
 #include <set>
 
+#include "runtime/lease_granter.hpp"
 #include "util/logging.hpp"
 
 namespace rasc::runtime {
@@ -102,8 +103,23 @@ bool NodeRuntime::handle_packet(const sim::Packet& packet) {
     }
     bool ok = true;
     try {
-      deploy_component(dc->key, dc->service, dc->rate_units_per_sec,
-                       dc->in_unit_bytes, dc->next);
+      // Lease-stamped deploys spend the sending shard's grant first; the
+      // debit amounts mirror exactly what deploy_component will reserve.
+      if (dc->shard >= 0 && granter_ != nullptr) {
+        const ServiceSpec& spec = catalog_.get(dc->service);
+        const std::int64_t out_unit_bytes = std::int64_t(
+            double(dc->in_unit_bytes) * spec.output_size_factor + 0.5);
+        const double in_kbps =
+            reservation_kbps(dc->rate_units_per_sec, dc->in_unit_bytes);
+        const double out_kbps = reservation_kbps(
+            dc->rate_units_per_sec * spec.rate_ratio, out_unit_bytes);
+        ok = granter_->debit(dc->shard, dc->lease_epoch, dc->key.app,
+                             in_kbps, out_kbps);
+      }
+      if (ok) {
+        deploy_component(dc->key, dc->service, dc->rate_units_per_sec,
+                         dc->in_unit_bytes, dc->next);
+      }
     } catch (const std::exception& e) {
       RASC_LOG(kWarn) << "node " << node_
                       << ": component deploy failed: " << e.what();
@@ -117,10 +133,19 @@ bool NodeRuntime::handle_packet(const sim::Packet& packet) {
     if (!admit_deploy(ds->app, ds->epoch, ds->requester, ds->request_id)) {
       return true;
     }
-    deploy_sink(ds->app, ds->substream, ds->rate_units_per_sec,
-                ds->unit_bytes);
-    seen_requests_[{ds->requester, ds->request_id}] = true;
-    send_ack(ds->requester, ds->request_id, true);
+    bool ok = true;
+    if (ds->shard >= 0 && granter_ != nullptr) {
+      const double in_kbps =
+          reservation_kbps(ds->rate_units_per_sec, ds->unit_bytes);
+      ok = granter_->debit(ds->shard, ds->lease_epoch, ds->app, in_kbps,
+                           0.0);
+    }
+    if (ok) {
+      deploy_sink(ds->app, ds->substream, ds->rate_units_per_sec,
+                  ds->unit_bytes);
+    }
+    seen_requests_[{ds->requester, ds->request_id}] = ok;
+    send_ack(ds->requester, ds->request_id, ok);
     return true;
   }
   if (const auto* src =
@@ -238,11 +263,28 @@ bool NodeRuntime::admit_deploy(AppId app, std::uint64_t epoch,
     return false;
   }
   if (epoch > ctl.epoch) {
+    // A newer attempt supersedes whatever this node still holds of an
+    // older one. Normally nothing is here (rollback teardown landed
+    // first), but a repair-redeploy racing its own rollback must not
+    // leak the old attempt's components and reservations.
+    if (app_has_state(app)) teardown_app(app);
     ctl.epoch = epoch;
     ctl.retired = false;
   }
   ctl.lease_renewed = simulator_.now();
   return true;
+}
+
+bool NodeRuntime::app_has_state(AppId app) const {
+  for (const auto& [key, component] : components_) {
+    (void)component;
+    if (key.app == app) return true;
+  }
+  for (const auto& [key, endpoint] : endpoints_) {
+    (void)endpoint;
+    if (AppId(key >> 32) == app) return true;
+  }
+  return false;
 }
 
 void NodeRuntime::schedule_reap() {
@@ -446,6 +488,9 @@ void NodeRuntime::update_source_split(AppId app, std::int32_t substream,
 }
 
 void NodeRuntime::teardown_app(AppId app) {
+  // Return the app's lease debits to the granting shard's balance (no-op
+  // when the grant's term already rolled over; see LeaseGranter).
+  if (granter_ != nullptr) granter_->release_app(app);
   for (auto it = components_.begin(); it != components_.end();) {
     if (it->first.app == app) {
       const auto res = component_reservations_.find(it->first);

@@ -35,6 +35,8 @@
 
 namespace rasc::runtime {
 
+class LeaseGranter;
+
 class NodeRuntime {
  public:
   struct Params {
@@ -64,6 +66,13 @@ class NodeRuntime {
 
   NodeRuntime(const NodeRuntime&) = delete;
   NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Wires in this node's capacity-lease granter (sharded control plane).
+  /// With a granter set, component/sink deploys stamped with a shard are
+  /// debited against that shard's lease before instantiation and NACK
+  /// when the grant cannot cover them; teardown returns the debits. Null
+  /// (the default) keeps the legacy lease-free behavior byte-identical.
+  void set_lease_granter(LeaseGranter* granter) { granter_ = granter; }
 
   /// Handles data units and deployment messages; false for anything else.
   /// Deploy messages are exactly-once-effective: duplicates (same
@@ -205,12 +214,16 @@ class NodeRuntime {
   obs::Labels endpoint_labels(AppId app, std::int32_t substream,
                               std::uint32_t incarnation) const;
 
+  /// True when any component or stream endpoint of `app` lives here.
+  bool app_has_state(AppId app) const;
+
   sim::Simulator& simulator_;
   sim::Network& network_;
   sim::NodeIndex node_;
   monitor::NodeMonitor& monitor_;
   const ServiceCatalog& catalog_;
   Params params_;
+  LeaseGranter* granter_ = nullptr;
   Scheduler scheduler_;
   bool cpu_busy_ = false;
   util::Xoshiro256 exec_rng_;

@@ -203,6 +203,7 @@ EventId ParallelEngine::schedule_on(std::size_t lp, SimTime t,
             std::move(fn)};
   {
     std::lock_guard<std::mutex> lk(target.inbox_mu);
+    target.inbox_min = std::min(target.inbox_min, post.time);
     target.inbox.push_back(std::move(post));
   }
   target.inbox_nonempty.store(true, std::memory_order_release);
@@ -248,54 +249,66 @@ SimTime ParallelEngine::min_lp_time() const {
   SimTime t = kNoEvent;
   for (const auto& lp : lps_) {
     if (!lp->queue.empty()) t = std::min(t, lp->queue.next_time());
+    t = std::min(t, lp->staged_min);
   }
   return t;
 }
 
+void ParallelEngine::merge_staged(LpState& lp) {
+  if (lp.staged.empty()) return;
+  std::sort(lp.staged.begin(), lp.staged.end(),
+            [](const Post& a, const Post& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (auto& p : lp.staged) lp.queue.schedule(p.time, std::move(p.fn));
+  lp.staged.clear();
+  lp.staged_min = kNever;
+}
+
 void ParallelEngine::drain_posts() {
   assert(tl_context_lp < 0);
-  for (;;) {
-    bool any = false;
-    for (auto& lp : lps_) {
-      if (!lp->inbox_nonempty.load(std::memory_order_acquire)) continue;
-      std::vector<Post> posts;
-      {
-        std::lock_guard<std::mutex> lk(lp->inbox_mu);
-        posts.swap(lp->inbox);
-        lp->inbox_nonempty.store(false, std::memory_order_relaxed);
-      }
-      std::sort(posts.begin(), posts.end(),
-                [](const Post& a, const Post& b) {
-                  if (a.time != b.time) return a.time < b.time;
-                  if (a.src != b.src) return a.src < b.src;
-                  return a.seq < b.seq;
-                });
-      for (auto& p : posts) lp->queue.schedule(p.time, std::move(p.fn));
-      any = true;
+  // Stage inboxes: an O(1) buffer swap per LP. The sort + heap pushes —
+  // the expensive part of draining — happen in the owning worker at its
+  // next window start, in parallel, instead of serially here. staged_min
+  // keeps the posts visible to the window-horizon computation meanwhile.
+  for (auto& lp : lps_) {
+    if (!lp->inbox_nonempty.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lk(lp->inbox_mu);
+    if (lp->staged.empty()) {
+      lp->staged.swap(lp->inbox);
+    } else {
+      lp->staged.insert(lp->staged.end(),
+                        std::make_move_iterator(lp->inbox.begin()),
+                        std::make_move_iterator(lp->inbox.end()));
+      lp->inbox.clear();
     }
-    if (excl_nonempty_.load(std::memory_order_acquire)) {
-      std::vector<Post> posts;
-      {
-        std::lock_guard<std::mutex> lk(excl_mu_);
-        posts.swap(excl_posts_);
-        excl_nonempty_.store(false, std::memory_order_relaxed);
-      }
-      std::sort(posts.begin(), posts.end(),
-                [](const Post& a, const Post& b) {
-                  if (a.time != b.time) return a.time < b.time;
-                  if (a.src != b.src) return a.src < b.src;
-                  return a.seq < b.seq;
-                });
-      for (auto& p : posts) {
-        // Deferred work keeps its caller's timestamp; any message it sends
-        // still arrives beyond the posting window's horizon (the lookahead
-        // bound holds from the original time).
-        global_now_ = p.time;
-        p.fn();
-      }
-      any = true;
+    lp->staged_min = std::min(lp->staged_min, lp->inbox_min);
+    lp->inbox_min = kNever;
+    lp->inbox_nonempty.store(false, std::memory_order_relaxed);
+  }
+  if (excl_nonempty_.load(std::memory_order_acquire)) {
+    std::vector<Post> posts;
+    {
+      std::lock_guard<std::mutex> lk(excl_mu_);
+      posts.swap(excl_posts_);
+      excl_nonempty_.store(false, std::memory_order_relaxed);
     }
-    if (!any) return;
+    std::sort(posts.begin(), posts.end(),
+              [](const Post& a, const Post& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    for (auto& p : posts) {
+      // Deferred work keeps its caller's timestamp; any message it sends
+      // still arrives beyond the posting window's horizon (the lookahead
+      // bound holds from the original time). Exclusive fns run with
+      // ctx < 0, so they cannot create further posts — one pass drains.
+      global_now_ = p.time;
+      p.fn();
+    }
   }
 }
 
@@ -322,6 +335,12 @@ void ParallelEngine::run_window(SimTime horizon) {
 
 void ParallelEngine::run_lp_window(std::size_t lp_index, SimTime horizon) {
   LpState& lp = *lps_[lp_index];
+  // Merge the posts staged at the last barrier before looking at the
+  // queue head: a staged post may be this window's earliest event. The
+  // staged buffer was frozen while workers were parked, so its content —
+  // and therefore the queue's sequence numbering — is independent of the
+  // thread partition.
+  merge_staged(lp);
   if (lp.queue.empty() || lp.queue.next_time() >= horizon) return;
   ContextScope scope{int(lp_index)};
   do {
@@ -368,7 +387,17 @@ void ParallelEngine::run_until(SimTime end) {
     if (t_g <= t_lp) {
       // Global-first tie rule: matches step()'s serial order, so setup
       // (driven by step) and the windowed run agree on interleaving.
+      // Consecutive same-time global events are coalesced into one
+      // exclusive stretch: with all LP events at >= this timestamp and
+      // events never scheduling into the past, running them back to back
+      // preserves the one-at-a-time order while paying the barrier
+      // bookkeeping (inbox staging + LP min scan) once instead of once
+      // per event.
+      const SimTime t = t_g;
       run_one_global();
+      while (!global_queue_.empty() && global_queue_.next_time() == t) {
+        run_one_global();
+      }
       continue;
     }
     run_window(std::min({t_lp + cfg_.lookahead, t_g, end + 1}));
@@ -380,6 +409,9 @@ void ParallelEngine::run_until(SimTime end) {
 bool ParallelEngine::step() {
   assert(tl_context_lp < 0);
   drain_posts();
+  // Serial path: no window will merge the staged posts, do it here (the
+  // workers are parked, so the coordinating thread may touch staged).
+  for (auto& lp : lps_) merge_staged(*lp);
   const SimTime t_g =
       global_queue_.empty() ? kNoEvent : global_queue_.next_time();
   SimTime t_best = kNoEvent;
@@ -413,8 +445,13 @@ std::size_t ParallelEngine::run_all(std::size_t max_events) {
 }
 
 std::size_t ParallelEngine::pending_events() const {
+  // Counts staged/inboxed posts too: a post is a pending event that no
+  // queue holds yet. Called between runs (workers parked), so the
+  // buffers are stable.
   std::size_t n = global_queue_.size();
-  for (const auto& lp : lps_) n += lp->queue.size();
+  for (const auto& lp : lps_) {
+    n += lp->queue.size() + lp->staged.size() + lp->inbox.size();
+  }
   return n;
 }
 

@@ -26,7 +26,10 @@
 //            factor, so any send issued by an event at t >= T_lp arrives
 //            at >= T_lp + lookahead >= horizon: never inside the window
 //            that generated it. Cross-LP messages are buffered in the
-//            destination LP's inbox and drained at the next barrier.
+//            destination LP's inbox, *staged* (an O(1) buffer swap) at the
+//            next barrier, and sorted + merged into the LP's queue by the
+//            owning worker at its next window start — the coordinating
+//            thread never pays the per-post sorting cost.
 //
 //   determinism: every ordering decision is a function of
 //            (time, source LP, per-source sequence number) — never of the
@@ -44,6 +47,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -191,6 +195,8 @@ class ParallelEngine {
     std::function<void()> fn;
   };
 
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
   struct alignas(64) LpState {
     LpState(std::uint64_t tag, std::uint64_t rng_seed)
         : queue(tag), rng(rng_seed) {}
@@ -201,7 +207,15 @@ class ParallelEngine {
     util::Xoshiro256 rng;
     std::mutex inbox_mu;
     std::vector<Post> inbox;
+    /// Earliest time among buffered inbox posts (guarded by inbox_mu).
+    SimTime inbox_min = kNever;
     std::atomic<bool> inbox_nonempty{false};
+    /// Posts staged at the last barrier, waiting for the owning worker to
+    /// sort and merge them at window start. Touched only by the
+    /// coordinating thread while workers are parked (staging) and by the
+    /// owning worker inside a window (merging) — never concurrently.
+    std::vector<Post> staged;
+    SimTime staged_min = kNever;
   };
 
   // Partition by cfg_.threads, not workers_.size(): workers start running
@@ -212,9 +226,15 @@ class ParallelEngine {
 
   void worker_main(int worker);
   void run_lp_window(std::size_t lp, SimTime horizon);
-  /// Moves buffered inbox posts into LP queues and runs deferred exclusive
-  /// work until both are empty. Coordinating thread only.
+  /// Barrier bookkeeping, coordinating thread only: swaps each nonempty
+  /// inbox into its LP's staged buffer (O(1) per LP — no sorting, no heap
+  /// pushes; the owning worker merges at window start) and runs deferred
+  /// exclusive work.
   void drain_posts();
+  /// Sorts and schedules an LP's staged posts into its queue. Called by
+  /// the owning worker at window start, or by the coordinating thread
+  /// (step()/serial paths) with workers parked.
+  static void merge_staged(LpState& lp);
   void run_one_global();
   void run_window(SimTime horizon);
   SimTime min_lp_time() const;
