@@ -45,6 +45,19 @@ else
   echo "skipping shard_admission (not built at $shard_bin)" >&2
 fi
 
+# Gossip-quality figure bench: same convention. Exits nonzero when the
+# default-knob quality gap vs the centralized optimum exceeds 15% or a
+# scaling cell breaks the per-round byte budget.
+gossip_json=""
+gossip_bin="$build_dir/bench/gossip_quality"
+if [[ -x "$gossip_bin" ]]; then
+  echo "running gossip_quality ..." >&2
+  "$gossip_bin" --json "$tmp_dir/gossip_quality.rows" >/dev/null
+  gossip_json="$tmp_dir/gossip_quality.rows"
+else
+  echo "skipping gossip_quality (not built at $gossip_bin)" >&2
+fi
+
 shopt -s nullglob
 results=("$tmp_dir"/*.json)
 if [[ ${#results[@]} -eq 0 ]]; then
@@ -63,6 +76,11 @@ jq -s --arg date "$(date +%Y-%m-%d)" --arg host "$(uname -sr)" '
 
 if [[ -n "$shard_json" ]]; then
   jq --slurpfile shard "$shard_json" '.shard_admission = $shard[0]' \
+    "$out" >"$out.tmp" && mv "$out.tmp" "$out"
+fi
+
+if [[ -n "$gossip_json" ]]; then
+  jq --slurpfile gossip "$gossip_json" '.gossip_quality = $gossip[0]' \
     "$out" >"$out.tmp" && mv "$out.tmp" "$out"
 fi
 

@@ -13,7 +13,9 @@
 //       [--deploy-retries 3] [--deploy-rollback] [--orphan-lease-ms 8000]
 //       [--coordinators 4] [--admission-policy smallest-demand]
 //       [--batch-window-ms 100] [--lease-ms 12000] [--lease-renew-ms 5000]
-//       [--sim-threads 8]
+//       [--control-plane centralized|sharded|gossip] [--gossip-fanout 3]
+//       [--gossip-interval-ms 500] [--gossip-budget-bytes 3200]
+//       [--gossip-stale-rounds 30] [--sim-threads 8]
 //
 // --sim-threads > 1 runs the discrete-event core sharded across worker
 // threads (one logical process per node, conservative lookahead sync).
@@ -50,6 +52,16 @@
 // shard-side renewal period. With the default --coordinators 1 none of
 // this machinery is constructed and output is byte-identical to
 // pre-shard builds.
+//
+// --control-plane gossip switches to the fully decentralized plane: every
+// node runs a budgeted epidemic disseminator of load summaries (see
+// gossip/agent.hpp) and admits requests itself by composing hop-by-hop
+// from its partial view, with node-side pool debits as the authoritative
+// capacity check. --gossip-fanout / --gossip-interval-ms set the push
+// cadence, --gossip-budget-bytes the hard per-round digest byte budget
+// and --gossip-stale-rounds the view aging window. With the default
+// (empty) --control-plane, coordinators > 1 still selects the sharded
+// plane as before.
 #include <cstdio>
 #include <string>
 
@@ -124,6 +136,13 @@ int main(int argc, char** argv) {
   cfg.batch_window = sim::msec(flags.get_int("batch-window-ms", 100));
   cfg.lease_duration = sim::msec(flags.get_int("lease-ms", 12000));
   cfg.lease_renew = sim::msec(flags.get_int("lease-renew-ms", 5000));
+
+  // Control-plane selection and gossip knobs (empty = legacy behavior).
+  cfg.control_plane = flags.get_string("control-plane", "");
+  cfg.gossip_fanout = int(flags.get_int("gossip-fanout", 3));
+  cfg.gossip_interval = sim::msec(flags.get_int("gossip-interval-ms", 500));
+  cfg.gossip_budget_bytes = flags.get_int("gossip-budget-bytes", 3200);
+  cfg.gossip_stale_rounds = int(flags.get_int("gossip-stale-rounds", 30));
 
   cfg.chaos_scenario = flags.get_string("chaos-scenario", "");
   cfg.chaos_seed = std::uint64_t(flags.get_int("chaos-seed", 0));
@@ -210,6 +229,15 @@ int main(int argc, char** argv) {
           (long long)m.shard_batches, (long long)m.shard_repairs,
           (long long)m.lease_grants, (long long)m.lease_nacks,
           (long long)m.lease_expired, m.lease_overgrant_kbps);
+    }
+    if (m.gossip_submitted > 0) {
+      std::printf(
+          "rep %d: gossip admitted %lld/%lld | repairs %lld | digests "
+          "%lld | digest bytes %lld | merges %lld | prunes %lld\n",
+          rep, (long long)m.gossip_admitted, (long long)m.gossip_submitted,
+          (long long)m.gossip_repairs, (long long)m.gossip_sends,
+          (long long)m.gossip_sent_bytes, (long long)m.gossip_merges,
+          (long long)m.gossip_prunes);
     }
     if (m.slo_pass == 0) slo_violated = true;
     composed.add(m.composed);

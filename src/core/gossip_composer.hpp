@@ -1,0 +1,75 @@
+// Hop-by-hop composer over a gossip partial view (decentralized control
+// plane; after Asaduzzaman & Maheswaran's hop-by-hop composition).
+//
+// Where MinCostComposer solves a global min-cost flow over the full
+// discovery snapshot, this composer walks each substream's service chain
+// stage by stage: at every stage it scores the capable providers by
+// next-hop cost — propagation latency from the previous hop (plus the
+// final hop to the destination at the last stage), observed drop ratio,
+// and a soft load penalty from the gossip demand hints — and takes the
+// cheapest, with bounded backtracking when a greedy prefix strands a
+// later stage without capacity. Capacity accounting reuses the shared
+// ResidualTracker, so multi-substream requests see their own earlier
+// placements exactly as the centralized composers do.
+//
+// The composer itself is deterministic (ties break by node index); all
+// placement variety comes from the view it is given.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "core/composer.hpp"
+
+namespace rasc::core {
+
+class GossipComposer : public Composer {
+ public:
+  /// One-way propagation latency between two nodes, in milliseconds.
+  /// Null = latency-blind (cost degrades to drops + load only).
+  using LatencyFn = std::function<double(sim::NodeIndex, sim::NodeIndex)>;
+
+  struct Options {
+    LatencyFn latency_ms;
+    /// Extra candidate expansions allowed per substream beyond the pure
+    /// greedy walk; 0 = plain greedy, fail on the first stranded stage.
+    int backtrack_budget = 8;
+    /// Cost weights. Latency is in ms; drop ratio and load fraction are
+    /// unitless in [0, 1], so their weights also set the exchange rate
+    /// into milliseconds.
+    double latency_weight = 1.0;
+    double drop_weight = 200.0;
+    double load_weight = 50.0;
+    /// Drop prior for nodes whose snapshot held no drop outcomes.
+    double drop_prior = 0.02;
+  };
+
+  explicit GossipComposer(Options options) : options_(std::move(options)) {}
+
+  const char* name() const override { return "gossip"; }
+
+  /// Outbound demand already committed per node (from the gossip view's
+  /// demand hints); feeds the load penalty. Cleared state persists until
+  /// the next call, so the control plane refreshes it before every
+  /// compose.
+  void set_load_hints(std::map<sim::NodeIndex, double> demand_kbps) {
+    hints_ = std::move(demand_kbps);
+  }
+
+  ComposeResult compose(const ComposeInput& input) override;
+
+  /// Candidate expansions beyond the greedy walk in the last compose()
+  /// (tests: proves backtracking engaged / stayed within budget).
+  int last_backtracks() const { return last_backtracks_; }
+
+ private:
+  double hop_cost(sim::NodeIndex from, sim::NodeIndex candidate,
+                  sim::NodeIndex destination, bool last_stage,
+                  const ResidualTracker& tracker) const;
+
+  Options options_;
+  std::map<sim::NodeIndex, double> hints_;
+  int last_backtracks_ = 0;
+};
+
+}  // namespace rasc::core

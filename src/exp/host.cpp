@@ -71,6 +71,7 @@ void Host::handle_packet(const sim::Packet& packet) {
   if (supervisor_->handle_packet(packet)) return;
   if (granter_ != nullptr && granter_->handle_packet(packet)) return;
   if (shard_ != nullptr && shard_->handle_packet(packet)) return;
+  if (extra_ && extra_(packet)) return;
   RASC_LOG(kWarn) << "host " << packet.dst << ": unhandled packet kind "
                   << (packet.payload ? packet.payload->kind() : "null");
 }

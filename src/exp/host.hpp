@@ -54,6 +54,13 @@ class Host {
   /// ShardControlPlane); its packets route through handle_packet.
   void set_shard(core::CoordinatorShard* shard) { shard_ = shard; }
 
+  /// Extra per-node packet consumer at the end of the demux chain (the
+  /// gossip agent; owned by its control plane). Return true = consumed.
+  using ExtraHandler = std::function<bool(const sim::Packet&)>;
+  void set_extra_handler(ExtraHandler handler) {
+    extra_ = std::move(handler);
+  }
+
   /// Constructs this node's rate adapter on first call (idempotent for
   /// identical params; later calls return the existing instance) and
   /// wires it into the supervisor as the first-line starvation response.
@@ -84,6 +91,7 @@ class Host {
   std::unique_ptr<core::RateAdapter> adapter_;
   std::unique_ptr<runtime::LeaseGranter> granter_;
   core::CoordinatorShard* shard_ = nullptr;
+  ExtraHandler extra_;
 };
 
 }  // namespace rasc::exp

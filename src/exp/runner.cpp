@@ -6,6 +6,7 @@
 #include "chaos/injector.hpp"
 #include "chaos/scenario.hpp"
 #include "exp/control_plane.hpp"
+#include "exp/gossip_control_plane.hpp"
 #include "util/logging.hpp"
 
 namespace rasc::exp {
@@ -16,11 +17,15 @@ RunMetrics run_experiment(const RunConfig& config) {
 
 RunMetrics run_experiment(const RunConfig& config,
                           std::vector<obs::MetricRow>* snapshot_out) {
-  const bool sharded = config.coordinators > 1;
+  const bool gossip = config.control_plane == "gossip";
+  const bool sharded =
+      !gossip && (config.control_plane == "sharded" ||
+                  (config.control_plane.empty() && config.coordinators > 1));
   WorldConfig world_config = config.world;
   // Lease accounting on the nodes relies on failed attempts being rolled
-  // back (debits returned); unsharded runs keep the configured policy.
-  if (sharded) world_config.deploy_policy.rollback = true;
+  // back (debits returned); pool debits in gossip mode likewise. Plain
+  // centralized runs keep the configured policy.
+  if (sharded || gossip) world_config.deploy_policy.rollback = true;
   World world(world_config);
   auto& simulator = world.simulator();
 
@@ -42,8 +47,23 @@ RunMetrics run_experiment(const RunConfig& config,
     plane_config.lease_duration = config.lease_duration;
     plane_config.lease_renew = config.lease_renew;
     plane_config.algorithm = config.algorithm;
+    plane_config.coordinators = std::max(plane_config.coordinators, 2);
     plane = std::make_unique<ShardControlPlane>(
         world, plane_config, simulator.rng().split(0x73686164 /*shad*/));
+  }
+
+  // Gossip control plane (--control-plane=gossip only): same construction
+  // discipline — strictly after the splits above, so centralized and
+  // sharded random streams are untouched.
+  std::unique_ptr<GossipControlPlane> gossip_plane;
+  if (gossip) {
+    GossipControlPlane::Config plane_config;
+    plane_config.agent.fanout = config.gossip_fanout;
+    plane_config.agent.interval = config.gossip_interval;
+    plane_config.agent.budget_bytes = config.gossip_budget_bytes;
+    plane_config.agent.stale_rounds = config.gossip_stale_rounds;
+    gossip_plane = std::make_unique<GossipControlPlane>(
+        world, plane_config, simulator.rng().split(0x676f7373 /*goss*/));
   }
 
   RunMetrics metrics;
@@ -73,8 +93,11 @@ RunMetrics run_experiment(const RunConfig& config,
 
   const sim::SimTime t0 = simulator.now();
   // Sharded runs hold submissions until every node's first lease grant
-  // landed; unsharded runs start at t0 exactly as before.
-  const sim::SimTime submit0 = sharded ? t0 + plane->warmup() : t0;
+  // landed; gossip runs until the views had a full dissemination sweep;
+  // unsharded runs start at t0 exactly as before.
+  const sim::SimTime submit0 = sharded  ? t0 + plane->warmup()
+                               : gossip ? t0 + gossip_plane->warmup()
+                                        : t0;
   const sim::SimTime last_submit =
       submit0 + sim::SimDuration(requests.size()) * config.submit_gap;
   const sim::SimTime stream_stop =
@@ -82,6 +105,7 @@ RunMetrics run_experiment(const RunConfig& config,
   const sim::SimTime run_end = stream_stop + config.drain;
 
   if (sharded) plane->start(t0);
+  if (gossip) gossip_plane->start(t0);
 
   // Submit each request, staggered: through its source node's own
   // coordinator, or routed to its hash-owned shard when sharded.
@@ -96,8 +120,9 @@ RunMetrics run_experiment(const RunConfig& config,
         sharded ? plane->home_of(plane->shard_of(request.app))
                 : request.source;
     simulator.call_at(when, [&simulator, &world, &metrics, &request,
-                             &composer, &plane, stream_stop, supervise,
-                             adapt, adapt_params, sharded, ctl_node] {
+                             &composer, &plane, &gossip_plane, stream_stop,
+                             supervise, adapt, adapt_params, sharded, gossip,
+                             ctl_node] {
       auto on_outcome = [&simulator, &world, &metrics, &request,
                          stream_stop, supervise, adapt, adapt_params,
                          ctl_node](const core::SubmitOutcome& outcome) {
@@ -135,6 +160,9 @@ RunMetrics run_experiment(const RunConfig& config,
       if (sharded) {
         plane->submit(request, /*stream_start=*/0, stream_stop,
                       std::move(on_outcome));
+      } else if (gossip) {
+        gossip_plane->submit(request, /*stream_start=*/0, stream_stop,
+                             std::move(on_outcome));
       } else {
         world.host(std::size_t(request.source))
             .coordinator()
@@ -221,6 +249,14 @@ RunMetrics run_experiment(const RunConfig& config,
   metrics.lease_grants = registry.counter_total("lease.granted");
   metrics.lease_nacks = registry.counter_total("lease.nacks");
   metrics.lease_expired = registry.counter_total("lease.expired");
+  metrics.gossip_submitted = registry.counter_total("gossip.submitted");
+  metrics.gossip_admitted = registry.counter_total("gossip.admitted");
+  metrics.gossip_rejected = registry.counter_total("gossip.rejected");
+  metrics.gossip_repairs = registry.counter_total("gossip.repairs");
+  metrics.gossip_sends = registry.counter_total("gossip.sends");
+  metrics.gossip_sent_bytes = registry.counter_total("gossip.sent_bytes");
+  metrics.gossip_merges = registry.counter_total("gossip.merges_fresh");
+  metrics.gossip_prunes = registry.counter_total("gossip.prunes");
   for (std::size_t n = 0; n < world.size(); ++n) {
     const auto* granter = world.host(n).lease_granter();
     if (granter != nullptr) {

@@ -75,6 +75,21 @@ struct RunConfig {
   /// Node-side lease lifetime and shard-side renewal cadence.
   sim::SimDuration lease_duration = sim::sec(12);
   sim::SimDuration lease_renew = sim::sec(5);
+
+  // --- Control-plane selection (empty by default: the legacy behavior —
+  // centralized per-source coordinators, or the sharded plane when
+  // coordinators > 1 — is untouched, and no gossip object is ever
+  // constructed, keeping default runs byte-identical) ---
+
+  /// "" (auto: sharded iff coordinators > 1), "centralized", "sharded",
+  /// or "gossip" (decentralized: per-node partial views + hop-by-hop
+  /// composition + leaseless pool debits; forces deploy rollback).
+  std::string control_plane;
+  /// Gossip knobs (--control-plane=gossip only; ignored otherwise).
+  int gossip_fanout = 3;
+  sim::SimDuration gossip_interval = sim::msec(500);
+  std::int64_t gossip_budget_bytes = 3200;
+  int gossip_stale_rounds = 30;
 };
 
 struct RunMetrics {
@@ -128,6 +143,17 @@ struct RunMetrics {
   /// Max over nodes of the overgrant high-water mark: > 0 would mean
   /// some node promised more bandwidth than it had (double reservation).
   double lease_overgrant_kbps = 0;
+
+  /// Gossip-control-plane outcomes (all zero unless control_plane is
+  /// "gossip").
+  std::int64_t gossip_submitted = 0;
+  std::int64_t gossip_admitted = 0;
+  std::int64_t gossip_rejected = 0;
+  std::int64_t gossip_repairs = 0;   // NACK-repair re-compositions
+  std::int64_t gossip_sends = 0;     // digests pushed
+  std::int64_t gossip_sent_bytes = 0;  // digest payload bytes (no framing)
+  std::int64_t gossip_merges = 0;    // fresh entries accepted
+  std::int64_t gossip_prunes = 0;    // entries aged out as stale
   double recovery_ms = -1;      // SLO recovery time; -1 = n/a or never
   int slo_pass = -1;            // -1 = no SLO evaluated, else 0/1
 

@@ -1,0 +1,53 @@
+// Versioned per-node load summary disseminated by the gossip subsystem.
+//
+// Each node periodically snapshots what a remote composer would need to
+// place work on it — free bandwidth per direction, the lease pool still
+// grantable by its LeaseGranter, CPU headroom, congestion feedback and a
+// demand hint — and stamps it with a monotonically increasing version.
+// Merge semantics are strictly version-ordered per origin (see
+// gossip/agent.hpp), so replicas converge to the newest summary no matter
+// the dissemination order.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/message.hpp"
+
+namespace rasc::gossip {
+
+struct LoadSummary {
+  sim::NodeIndex origin = sim::kInvalidNode;
+  /// Bumped once per local refresh round at the origin; receivers accept
+  /// an entry only when its version is strictly newer than what they
+  /// hold for that origin.
+  std::uint64_t version = 0;
+
+  // Static access-link capacity (lets receivers reconstruct utilization).
+  double capacity_in_kbps = 0;
+  double capacity_out_kbps = 0;
+
+  // Monitor availability: capacity minus max(measured, reserved).
+  double free_in_kbps = 0;
+  double free_out_kbps = 0;
+
+  // What the node's lease authority would still grant (its headroomed
+  // pool minus live promises) — the authoritative bound a remote
+  // composer must stay under for its deploy to debit successfully.
+  double lease_headroom_in_kbps = 0;
+  double lease_headroom_out_kbps = 0;
+
+  double cpu_free_fraction = 0;
+
+  // Congestion feedback (min-cost edge input).
+  double drop_ratio = 0;
+  std::int64_t drop_samples = 0;
+
+  /// Outbound bandwidth already committed at the origin: a load hint the
+  /// hop-by-hop composer uses as a soft penalty to spread placements.
+  double demand_hint_kbps = 0;
+
+  /// Modelled wire footprint of one digest entry.
+  static constexpr std::int64_t kWireBytes = 64;
+};
+
+}  // namespace rasc::gossip

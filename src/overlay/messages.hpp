@@ -71,6 +71,18 @@ struct LeafSetExchange final : sim::Message {
   }
 };
 
+/// Routed neighborhood repair probe (inner payload; the prober is the
+/// envelope's origin). A node periodically routes a probe keyed by its own
+/// id via a rotating known peer; whichever node delivers it as root learns
+/// the prober and replies with its leaf set. Unlike the push-only leaf
+/// exchange this has global reach through prefix routing, so a node whose
+/// join seeded the wrong neighborhood still converges to its true ring
+/// position instead of staying invisible to its real neighbors.
+struct NeighborProbe final : sim::Message {
+  const char* kind() const override { return "overlay.neighbor_probe"; }
+  static constexpr std::int64_t kBytes = 8;
+};
+
 /// A node announcing itself to a peer it learned about while joining.
 struct Announce final : sim::Message {
   const char* kind() const override { return "overlay.announce"; }

@@ -47,6 +47,13 @@ void PastryNode::run_maintenance() {
       send_direct(leaf.addr, size, msg);
     }
   }
+  // Probe aggressively while the ring is converging, then back off: a
+  // healthy node's probe is a no-op round trip, so steady state only
+  // needs enough probes to catch drift after churn.
+  if (maintenance_rounds_ < kFastMaintenanceRounds ||
+      maintenance_rounds_ % kSlowProbeEvery == 0) {
+    send_neighbor_probe();
+  }
   ++maintenance_rounds_;
   const auto interval = maintenance_rounds_ < kFastMaintenanceRounds
                             ? kLeafMaintenanceFast
@@ -60,10 +67,40 @@ void PastryNode::send_direct(sim::NodeIndex to, std::int64_t size,
   network_.send(addr_, to, size, std::move(msg));
 }
 
+void PastryNode::send_neighbor_probe() {
+  // Hand a probe keyed by our own id to a rotating known peer; it routes
+  // to whichever node currently believes it is root for our id. When our
+  // state is consistent that is us (the probe comes straight back); when
+  // it is not, the false root learns us and replies with its leaf set,
+  // pulling us toward our true ring neighborhood.
+  const auto peers = known_peers();
+  if (peers.empty()) return;
+  const PeerRef& via = peers[maintenance_rounds_ % peers.size()];
+  auto m = std::make_shared<RoutedMessage>();
+  m->key = id_;
+  m->origin = self();
+  m->inner = std::make_shared<NeighborProbe>();
+  m->inner_size = NeighborProbe::kBytes;
+  const auto size = m->wire_size();
+  send_direct(via.addr, size, std::move(m));
+}
+
 void PastryNode::learn(const PeerRef& peer) {
   if (peer.addr == addr_) return;
-  leaves_.insert(peer);
+  const bool new_leaf = leaves_.insert(peer);
   table_.insert(peer);
+  // A newly accepted leaf is a ring neighbor that may not know us (the
+  // "I see you, you don't see me" asymmetry that strands joiners seeded
+  // with a stale neighborhood). Push our leaf set so discovery is
+  // bidirectional; acceptance strictly shrinks a side's span, so the
+  // cascade terminates.
+  if (new_leaf && ready_) {
+    auto msg = std::make_shared<LeafSetExchange>();
+    msg->sender = self();
+    msg->leaves = leaves_.all();
+    const auto size = msg->wire_size();
+    send_direct(peer.addr, size, std::move(msg));
+  }
 }
 
 std::vector<PeerRef> PastryNode::known_peers() const {
@@ -144,6 +181,17 @@ void PastryNode::handle_routed(const RoutedMessage& m) {
 
 void PastryNode::deliver_at_root(const RoutedMessage& m) {
   const auto& inner = m.inner;
+  if (dynamic_cast<const NeighborProbe*>(inner.get()) != nullptr) {
+    if (m.origin.addr != addr_) {
+      learn(m.origin);
+      auto reply = std::make_shared<LeafSetExchange>();
+      reply->sender = self();
+      reply->leaves = leaves_.all();
+      const auto size = reply->wire_size();
+      send_direct(m.origin.addr, size, std::move(reply));
+    }
+    return;
+  }
   if (const auto* put = dynamic_cast<const DhtPut*>(inner.get())) {
     auto& values = store_[put->key];
     if (!put->append) values.clear();

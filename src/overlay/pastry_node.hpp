@@ -40,6 +40,8 @@ class PastryNode {
   static constexpr sim::SimDuration kLeafMaintenanceFast = sim::msec(300);
   static constexpr sim::SimDuration kLeafMaintenanceSlow = sim::msec(2000);
   static constexpr int kFastMaintenanceRounds = 10;
+  /// Slow-phase neighbor probes run every Nth maintenance round.
+  static constexpr int kSlowProbeEvery = 4;
 
   PastryNode(sim::Simulator& simulator, sim::Network& network,
              sim::NodeIndex addr, NodeId128 id);
@@ -100,6 +102,7 @@ class PastryNode {
  private:
   void start_maintenance();
   void run_maintenance();
+  void send_neighbor_probe();
   void forward(const RoutedMessage& m);
   void handle_routed(const RoutedMessage& m);
   void deliver_at_root(const RoutedMessage& m);

@@ -198,8 +198,38 @@ void LeaseGranter::expire(std::int32_t shard, std::uint64_t epoch) {
   network_.send(node_, g.holder, LeaseRevokeMsg::kBytes, std::move(revoke));
 }
 
+void LeaseGranter::pool_remaining_kbps(double& in_kbps,
+                                       double& out_kbps) const {
+  pool_kbps(in_kbps, out_kbps);
+  for (const auto& [s, g] : grants_) {
+    (void)s;
+    if (g.expired) continue;
+    in_kbps -= g.in_kbps;
+    out_kbps -= g.out_kbps;
+  }
+  in_kbps = std::max(0.0, in_kbps);
+  out_kbps = std::max(0.0, out_kbps);
+}
+
 bool LeaseGranter::debit(std::int32_t shard, std::uint64_t lease_epoch,
                          AppId app, double in_kbps, double out_kbps) {
+  if (shard == kPoolShard) {
+    // Leaseless pool debit: checked against the live pool at arrival
+    // order. No ledger entry — the reservation the runtime registers
+    // right after this debit *is* the durable accounting, so release
+    // flows back through the monitor at teardown.
+    (void)lease_epoch;
+    double pool_in = 0, pool_out = 0;
+    pool_remaining_kbps(pool_in, pool_out);
+    if (in_kbps > pool_in + kDebitSlackKbps ||
+        out_kbps > pool_out + kDebitSlackKbps) {
+      nacks_->add();
+      nacks_overdraw_->add();
+      return false;
+    }
+    debits_->add();
+    return true;
+  }
   const auto it = grants_.find(shard);
   const bool current_term =
       it != grants_.end() && !it->second.expired &&

@@ -45,6 +45,15 @@ class LeaseGranter {
     int shards = 1;
   };
 
+  /// Sentinel shard id for leaseless debits (gossip control plane): the
+  /// debit is checked against the node's *live* grantable pool — current
+  /// availability minus what is still promised to real shards — instead
+  /// of a pre-negotiated grant, and the lease epoch is ignored. The node
+  /// stays the authoritative admission point: two gossip composers racing
+  /// for the same bandwidth serialize through their debits here, and the
+  /// loser NACKs exactly as a sharded overdraw would.
+  static constexpr std::int32_t kPoolShard = 1 << 20;
+
   /// `registry` is the deployment-wide metric registry; the granter owns
   /// a private one when null. Emits under lease.* with this node's label.
   LeaseGranter(sim::Simulator& simulator, sim::Network& network,
@@ -69,6 +78,12 @@ class LeaseGranter {
   /// from expired or re-granted terms return via the next renewal's pool
   /// instead — crediting them now would double-count).
   void release_app(AppId app);
+
+  /// Live grantable pool per direction: headroomed availability minus the
+  /// unspent remainders still promised to real shards. What a kPoolShard
+  /// debit is checked against, and what the gossip agent advertises as
+  /// this node's lease headroom.
+  void pool_remaining_kbps(double& in_kbps, double& out_kbps) const;
 
   // --- Introspection (tests / bench invariants) ---
   double remaining_in_kbps(std::int32_t shard) const;

@@ -16,6 +16,15 @@ constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
 /// LP index the current thread is executing; -1 outside a window.
 thread_local int tl_context_lp = -1;
 
+/// Window epoch the current thread is executing in; 0 outside run_until
+/// windows (step()'s serial LP execution posts with stamp 0, which every
+/// later window treats as already-frozen).
+thread_local std::uint64_t tl_window_epoch = 0;
+
+/// merge_inbox() bound that drains every post regardless of stamp
+/// (serial paths, workers parked).
+constexpr std::uint64_t kDrainAll = std::numeric_limits<std::uint64_t>::max();
+
 /// RAII context marker so exceptions cannot leave a stale LP context.
 struct ContextScope {
   explicit ContextScope(int lp) { tl_context_lp = lp; }
@@ -193,14 +202,16 @@ EventId ParallelEngine::schedule_on(std::size_t lp, SimTime t,
     // Coordinating thread: workers are parked, direct push is safe. The
     // target may have locally advanced past a barrier-deferred caller's
     // clock; never schedule into its past.
-    return target.queue.schedule(std::max(t, target.now), std::move(fn));
+    const SimTime at = std::max(t, target.now);
+    coord_sched_min_ = std::min(coord_sched_min_, at);
+    return target.queue.schedule(at, std::move(fn));
   }
   // Cross-LP: buffer in the destination inbox, stamped for deterministic
   // drain order. Not cancellable (id 0) — the packet-delivery paths that
   // take this route never cancel.
   LpState& src = *lps_[std::size_t(ctx)];
   Post post{std::max(t, src.now), std::uint32_t(ctx) + 1, src.post_seq++,
-            std::move(fn)};
+            tl_window_epoch, std::move(fn)};
   {
     std::lock_guard<std::mutex> lk(target.inbox_mu);
     target.inbox_min = std::min(target.inbox_min, post.time);
@@ -237,7 +248,8 @@ void ParallelEngine::exclusive(std::function<void()> fn) {
     return;
   }
   LpState& src = *lps_[std::size_t(ctx)];
-  Post post{src.now, std::uint32_t(ctx) + 1, src.post_seq++, std::move(fn)};
+  Post post{src.now, std::uint32_t(ctx) + 1, src.post_seq++,
+            tl_window_epoch, std::move(fn)};
   {
     std::lock_guard<std::mutex> lk(excl_mu_);
     excl_posts_.push_back(std::move(post));
@@ -246,48 +258,57 @@ void ParallelEngine::exclusive(std::function<void()> fn) {
 }
 
 SimTime ParallelEngine::min_lp_time() const {
+  // Called at barriers only (workers parked): the inbox_min writes of the
+  // just-finished windows happened-before this read through the run_mu_
+  // completion handshake, so the lock-free read is ordered and exact.
   SimTime t = kNoEvent;
   for (const auto& lp : lps_) {
     if (!lp->queue.empty()) t = std::min(t, lp->queue.next_time());
-    t = std::min(t, lp->staged_min);
+    if (lp->inbox_nonempty.load(std::memory_order_acquire)) {
+      t = std::min(t, lp->inbox_min);
+    }
   }
   return t;
 }
 
-void ParallelEngine::merge_staged(LpState& lp) {
-  if (lp.staged.empty()) return;
-  std::sort(lp.staged.begin(), lp.staged.end(),
+void ParallelEngine::merge_inbox(LpState& lp, std::uint64_t window_epoch) {
+  if (!lp.inbox_nonempty.load(std::memory_order_acquire)) return;
+  auto& ready = lp.merge_scratch;
+  ready.clear();
+  {
+    std::lock_guard<std::mutex> lk(lp.inbox_mu);
+    // Extract the frozen set (stamps from completed windows); posts of the
+    // window currently opening — concurrent workers may already be
+    // posting — stay buffered and keep inbox_min covering them.
+    std::size_t kept = 0;
+    for (auto& p : lp.inbox) {
+      if (p.epoch < window_epoch) {
+        ready.push_back(std::move(p));
+      } else {
+        lp.inbox[kept++] = std::move(p);
+      }
+    }
+    lp.inbox.resize(kept);
+    SimTime remaining_min = kNever;
+    for (const auto& p : lp.inbox) {
+      remaining_min = std::min(remaining_min, p.time);
+    }
+    lp.inbox_min = remaining_min;
+    lp.inbox_nonempty.store(kept != 0, std::memory_order_relaxed);
+  }
+  if (ready.empty()) return;
+  std::sort(ready.begin(), ready.end(),
             [](const Post& a, const Post& b) {
               if (a.time != b.time) return a.time < b.time;
               if (a.src != b.src) return a.src < b.src;
               return a.seq < b.seq;
             });
-  for (auto& p : lp.staged) lp.queue.schedule(p.time, std::move(p.fn));
-  lp.staged.clear();
-  lp.staged_min = kNever;
+  for (auto& p : ready) lp.queue.schedule(p.time, std::move(p.fn));
+  ready.clear();
 }
 
-void ParallelEngine::drain_posts() {
+void ParallelEngine::drain_exclusive() {
   assert(tl_context_lp < 0);
-  // Stage inboxes: an O(1) buffer swap per LP. The sort + heap pushes —
-  // the expensive part of draining — happen in the owning worker at its
-  // next window start, in parallel, instead of serially here. staged_min
-  // keeps the posts visible to the window-horizon computation meanwhile.
-  for (auto& lp : lps_) {
-    if (!lp->inbox_nonempty.load(std::memory_order_acquire)) continue;
-    std::lock_guard<std::mutex> lk(lp->inbox_mu);
-    if (lp->staged.empty()) {
-      lp->staged.swap(lp->inbox);
-    } else {
-      lp->staged.insert(lp->staged.end(),
-                        std::make_move_iterator(lp->inbox.begin()),
-                        std::make_move_iterator(lp->inbox.end()));
-      lp->inbox.clear();
-    }
-    lp->staged_min = std::min(lp->staged_min, lp->inbox_min);
-    lp->inbox_min = kNever;
-    lp->inbox_nonempty.store(false, std::memory_order_relaxed);
-  }
   if (excl_nonempty_.load(std::memory_order_acquire)) {
     std::vector<Post> posts;
     {
@@ -333,14 +354,16 @@ void ParallelEngine::run_window(SimTime horizon) {
   cv_done_.wait(lk, [&] { return running_ == 0; });
 }
 
-void ParallelEngine::run_lp_window(std::size_t lp_index, SimTime horizon) {
+void ParallelEngine::run_lp_window(std::size_t lp_index, SimTime horizon,
+                                   std::uint64_t window_epoch) {
   LpState& lp = *lps_[lp_index];
-  // Merge the posts staged at the last barrier before looking at the
-  // queue head: a staged post may be this window's earliest event. The
-  // staged buffer was frozen while workers were parked, so its content —
-  // and therefore the queue's sequence numbering — is independent of the
+  // Merge the posts of completed windows before looking at the queue
+  // head: one of them may be this window's earliest event. The stamp test
+  // selects exactly the set that existed at the last barrier — whatever
+  // same-epoch posts race in from concurrently running workers are left
+  // buffered — so the queue's sequence numbering is independent of the
   // thread partition.
-  merge_staged(lp);
+  merge_inbox(lp, window_epoch);
   if (lp.queue.empty() || lp.queue.next_time() >= horizon) return;
   ContextScope scope{int(lp_index)};
   do {
@@ -365,9 +388,11 @@ void ParallelEngine::worker_main(int worker) {
       seen_epoch = epoch_;
       horizon = horizon_;
     }
+    tl_window_epoch = seen_epoch;
     for (std::size_t lp = first; lp < last; ++lp) {
-      run_lp_window(lp, horizon);
+      run_lp_window(lp, horizon, seen_epoch);
     }
+    tl_window_epoch = 0;
     {
       std::lock_guard<std::mutex> lk(run_mu_);
       if (--running_ == 0) cv_done_.notify_one();
@@ -378,7 +403,7 @@ void ParallelEngine::worker_main(int worker) {
 void ParallelEngine::run_until(SimTime end) {
   assert(tl_context_lp < 0);
   for (;;) {
-    drain_posts();
+    drain_exclusive();
     const SimTime t_lp = min_lp_time();
     const SimTime t_g = global_queue_.empty() ? kNoEvent
                                               : global_queue_.next_time();
@@ -387,16 +412,22 @@ void ParallelEngine::run_until(SimTime end) {
     if (t_g <= t_lp) {
       // Global-first tie rule: matches step()'s serial order, so setup
       // (driven by step) and the windowed run agree on interleaving.
-      // Consecutive same-time global events are coalesced into one
-      // exclusive stretch: with all LP events at >= this timestamp and
-      // events never scheduling into the past, running them back to back
-      // preserves the one-at-a-time order while paying the barrier
-      // bookkeeping (inbox staging + LP min scan) once instead of once
-      // per event.
-      const SimTime t = t_g;
-      run_one_global();
-      while (!global_queue_.empty() && global_queue_.next_time() == t) {
+      // A whole *stretch* of global events runs back to back inside one
+      // exclusive gap: the true min LP event time can only drop below
+      // t_lp through the coordinating thread's own direct pushes (the
+      // workers are parked, inboxes are frozen), so tracking the min
+      // pushed time gives an exact conservative floor and every global
+      // event up to that floor keeps the one-at-a-time order while
+      // paying the park/unpark cycle and the per-LP min scan once
+      // instead of once per event.
+      SimTime lp_floor = t_lp;
+      for (;;) {
+        coord_sched_min_ = kNever;
         run_one_global();
+        lp_floor = std::min(lp_floor, coord_sched_min_);
+        if (global_queue_.empty()) break;
+        const SimTime t_next = global_queue_.next_time();
+        if (t_next > lp_floor || t_next > end) break;
       }
       continue;
     }
@@ -408,10 +439,11 @@ void ParallelEngine::run_until(SimTime end) {
 
 bool ParallelEngine::step() {
   assert(tl_context_lp < 0);
-  drain_posts();
-  // Serial path: no window will merge the staged posts, do it here (the
-  // workers are parked, so the coordinating thread may touch staged).
-  for (auto& lp : lps_) merge_staged(*lp);
+  drain_exclusive();
+  // Serial path: no window will merge the buffered posts, do it here —
+  // all of them, whatever their stamp (the workers are parked, so every
+  // post belongs to a completed window or to a previous step()).
+  for (auto& lp : lps_) merge_inbox(*lp, kDrainAll);
   const SimTime t_g =
       global_queue_.empty() ? kNoEvent : global_queue_.next_time();
   SimTime t_best = kNoEvent;
@@ -445,12 +477,12 @@ std::size_t ParallelEngine::run_all(std::size_t max_events) {
 }
 
 std::size_t ParallelEngine::pending_events() const {
-  // Counts staged/inboxed posts too: a post is a pending event that no
-  // queue holds yet. Called between runs (workers parked), so the
-  // buffers are stable.
+  // Counts inboxed posts too: a post is a pending event that no queue
+  // holds yet. Called between runs (workers parked), so the buffers are
+  // stable.
   std::size_t n = global_queue_.size();
   for (const auto& lp : lps_) {
-    n += lp->queue.size() + lp->staged.size() + lp->inbox.size();
+    n += lp->queue.size() + lp->inbox.size();
   }
   return n;
 }

@@ -26,10 +26,13 @@
 //            factor, so any send issued by an event at t >= T_lp arrives
 //            at >= T_lp + lookahead >= horizon: never inside the window
 //            that generated it. Cross-LP messages are buffered in the
-//            destination LP's inbox, *staged* (an O(1) buffer swap) at the
-//            next barrier, and sorted + merged into the LP's queue by the
-//            owning worker at its next window start — the coordinating
-//            thread never pays the per-post sorting cost.
+//            destination LP's inbox, stamped with the window epoch that
+//            produced them, and sorted + merged into the LP's queue by the
+//            owning worker at its next window start. A worker drains
+//            exactly the posts of *completed* windows (stamp < its current
+//            epoch) — a set frozen at the barrier by construction — so the
+//            coordinating thread touches no per-LP buffer at all between
+//            windows; its only per-LP cost is the horizon min-scan.
 //
 //   determinism: every ordering decision is a function of
 //            (time, source LP, per-source sequence number) — never of the
@@ -192,6 +195,12 @@ class ParallelEngine {
     SimTime time;
     std::uint32_t src;  // source LP + 1 (0 reserved: coordinator posts none)
     std::uint64_t seq;  // per-source monotone counter
+    /// Window epoch the posting event ran in (0: posted outside a window,
+    /// e.g. from step()'s serial LP execution). The owning worker merges
+    /// posts with epoch < its current window's epoch: exactly the set that
+    /// was frozen at the last barrier, whatever the arrival timing of
+    /// same-epoch posts from concurrently running workers.
+    std::uint64_t epoch;
     std::function<void()> fn;
   };
 
@@ -207,15 +216,13 @@ class ParallelEngine {
     util::Xoshiro256 rng;
     std::mutex inbox_mu;
     std::vector<Post> inbox;
-    /// Earliest time among buffered inbox posts (guarded by inbox_mu).
+    /// Earliest time among buffered inbox posts (guarded by inbox_mu;
+    /// read lock-free by the coordinating thread at barriers, where the
+    /// workers' run_mu_ handshake orders the writes before the read).
     SimTime inbox_min = kNever;
     std::atomic<bool> inbox_nonempty{false};
-    /// Posts staged at the last barrier, waiting for the owning worker to
-    /// sort and merge them at window start. Touched only by the
-    /// coordinating thread while workers are parked (staging) and by the
-    /// owning worker inside a window (merging) — never concurrently.
-    std::vector<Post> staged;
-    SimTime staged_min = kNever;
+    /// Reusable merge buffer of the owning worker (no per-window allocs).
+    std::vector<Post> merge_scratch;
   };
 
   // Partition by cfg_.threads, not workers_.size(): workers start running
@@ -225,16 +232,17 @@ class ParallelEngine {
   }
 
   void worker_main(int worker);
-  void run_lp_window(std::size_t lp, SimTime horizon);
-  /// Barrier bookkeeping, coordinating thread only: swaps each nonempty
-  /// inbox into its LP's staged buffer (O(1) per LP — no sorting, no heap
-  /// pushes; the owning worker merges at window start) and runs deferred
-  /// exclusive work.
-  void drain_posts();
-  /// Sorts and schedules an LP's staged posts into its queue. Called by
-  /// the owning worker at window start, or by the coordinating thread
-  /// (step()/serial paths) with workers parked.
-  static void merge_staged(LpState& lp);
+  void run_lp_window(std::size_t lp, SimTime horizon,
+                     std::uint64_t window_epoch);
+  /// Barrier bookkeeping, coordinating thread only: runs deferred
+  /// exclusive work in (time, src, seq) order. Inboxes are not touched —
+  /// each owning worker drains its own at window start.
+  void drain_exclusive();
+  /// Extracts the inbox posts stamped before `window_epoch`, sorts them
+  /// by (time, src, seq) and schedules them into the LP's queue. Called
+  /// by the owning worker at window start, or by the coordinating thread
+  /// (step()/serial paths, with kDrainAll) while workers are parked.
+  static void merge_inbox(LpState& lp, std::uint64_t window_epoch);
   void run_one_global();
   void run_window(SimTime horizon);
   SimTime min_lp_time() const;
@@ -252,6 +260,14 @@ class ParallelEngine {
   std::mutex excl_mu_;
   std::vector<Post> excl_posts_;
   std::atomic<bool> excl_nonempty_{false};
+
+  /// Earliest time the coordinating thread scheduled onto any LP since the
+  /// last reset (coordinating thread only). Lets run_until batch a stretch
+  /// of global events under one park/unpark: the true min LP event time
+  /// can only drop below its last computed value through exactly these
+  /// pushes, so min(t_lp, coord_sched_min_) stays a conservative floor
+  /// while globals run back to back.
+  SimTime coord_sched_min_ = kNever;
 
   std::vector<std::thread> workers_;
   std::mutex run_mu_;

@@ -332,6 +332,83 @@ TEST(OverlayChurn, LateJoinIntegratesWhileTrafficFlows) {
   EXPECT_TRUE(found);
 }
 
+// Regression for the ~250-node bootstrap ceiling: joins seeded from a
+// stale root left dozens of nodes with leaf sets pointing at the wrong
+// ring neighborhood, and the push-only leaf exchange could never repair
+// them (their true neighbors did not know they existed). The neighbor
+// probe + exchange-on-new-leaf repair must converge every leaf set to
+// ground truth on a heterogeneous low-bandwidth topology, and a
+// World-style staggered registration wave must complete without a
+// single put failure.
+TEST(OverlayScale, FourHundredNodeBootstrapConverges) {
+  const std::size_t n = 400;
+  sim::Simulator simulator(1);
+  auto topo_rng = simulator.rng().split(0x746f706f);
+  sim::PlanetLabParams params;
+  sim::Network network(
+      simulator, sim::make_planetlab_like(n, topo_rng, params));
+  auto overlay = build_overlay(simulator, network, n);
+
+  // Every leaf set must hold the true 4 closest peers per side.
+  std::vector<NodeId128> ids(n);
+  for (std::size_t i = 0; i < n; ++i) ids[i] = overlay.at(i).id();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto self = ids[i];
+    std::vector<NodeId128> cw, ccw;
+    for (const auto& id : ids) {
+      if (!(id == self)) cw.push_back(id);
+    }
+    ccw = cw;
+    std::sort(cw.begin(), cw.end(), [&](const auto& a, const auto& b) {
+      return a.ring_sub(self) < b.ring_sub(self);
+    });
+    std::sort(ccw.begin(), ccw.end(), [&](const auto& a, const auto& b) {
+      return self.ring_sub(a) < self.ring_sub(b);
+    });
+    const auto leaves = overlay.at(i).leaf_set().all();
+    auto have = [&leaves](const NodeId128& id) {
+      return std::any_of(leaves.begin(), leaves.end(),
+                         [&id](const PeerRef& p) { return p.id == id; });
+    };
+    for (std::size_t k = 0; k < LeafSet::kHalf && k < cw.size(); ++k) {
+      ASSERT_TRUE(have(cw[k])) << "node " << i << " missing cw leaf " << k;
+    }
+    for (std::size_t k = 0; k < LeafSet::kHalf && k < ccw.size(); ++k) {
+      ASSERT_TRUE(have(ccw[k])) << "node " << i << " missing ccw leaf " << k;
+    }
+  }
+
+  // World-style registration pressure: 5 staggered puts per node spread
+  // over 10 hot keys; the ceiling showed up as routed puts looping past
+  // kMaxHops and timing out.
+  std::vector<NodeId128> keys;
+  for (int s = 0; s < 10; ++s) {
+    keys.push_back(NodeId128::hash_of("svc" + std::to_string(s)));
+  }
+  std::size_t outstanding = 0, failures = 0;
+  sim::SimDuration offset = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int s = 0; s < 5; ++s) {
+      ++outstanding;
+      offset += sim::msec(15);
+      auto* node = &overlay.at(i);
+      const auto key = keys[(i + std::size_t(s)) % keys.size()];
+      simulator.call_after(offset, [node, key, i, &outstanding, &failures] {
+        node->dht_put(key, "v" + std::to_string(i), true,
+                      [&outstanding, &failures](bool ok) {
+                        if (!ok) ++failures;
+                        --outstanding;
+                      });
+      });
+    }
+  }
+  while (outstanding > 0 && simulator.step()) {
+  }
+  EXPECT_EQ(outstanding, 0u);
+  EXPECT_EQ(failures, 0u);
+  EXPECT_EQ(network.packets_dropped(), 0);
+}
+
 TEST(OverlayChurn, PurgedPeerIsForgottenEverywhere) {
   Fixture f(16);
   const sim::NodeIndex victim = 5;
