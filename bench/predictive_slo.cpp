@@ -1,0 +1,167 @@
+// Reactive vs predictive SLO enforcement under sustained load drift:
+// does acting on the *predicted* end-to-end latency (M/G/1 model, see
+// core/latency_model.hpp) cut deadline-violating windows compared to the
+// same adapter reacting to observed drops alone? Both columns run the
+// "load-drift" chaos scenario with the same deadline stamped on every
+// request and the same adaptation cadence; the only difference is the
+// --adapt-predictive trigger. Averaged over seeded repetitions.
+//
+//   ./build/bench/predictive_slo [--reps 3] [--nodes 12] [--requests 10]
+//       [--rate 300] [--deadline-ms 120] [--csv out.csv] [--json out.json]
+//
+// Exits nonzero when the acceptance gate fails: the predictive column
+// must cut the violated-window fraction to <= 0.7x the reactive column
+// without shipping a single extra teardown — otherwise the predictive
+// trigger is either blind or thrashing.
+#include <cstdio>
+#include <vector>
+
+#include "figures_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rasc;
+  util::Flags flags(argc, argv);
+  auto sweep = bench::paper_sweep(flags);
+  // Same small drift world as adaptation_drift: the paper sweep's
+  // 60-request regime keeps every node contended and the model would
+  // predict violations everywhere (EXPERIMENTS.md).
+  sweep.base.world.nodes = std::size_t(flags.get_int("nodes", 12));
+  sweep.base.workload.num_requests = int(flags.get_int("requests", 10));
+  const int reps = int(flags.get_int("bench-reps", 3));
+  const double rate = flags.get_double("rate", 250);
+  const double deadline_ms = flags.get_double("deadline-ms", 130);
+  // CPU-heavy services: queueing delay, not wire time, is what the
+  // deadline fights, and what the M/G/1 model can see coming.
+  const int cpu_min_ms = int(flags.get_int("cpu-min-ms", 8));
+  const int cpu_max_ms = int(flags.get_int("cpu-max-ms", 16));
+  const double drift_mag = flags.get_double("drift-mag", 0.3);
+  // Uniform access bandwidth, unless --bw-min asked otherwise: the drift
+  // scenario sags the lowest-*nominal*-bw links, and with a spread the
+  // composer simply never routes through the weakest nodes — the faults
+  // land on idle links and the bench measures nothing. Uniform capacity
+  // makes the sagged links ordinary, loaded ones, and the sag parks their
+  // utilization in the heavy-queueing band below the drop threshold:
+  // latency the reactive trigger is blind to and the model is not.
+  sweep.base.world.net.bw_min_kbps =
+      flags.get_double("bw-min", sweep.base.world.net.bw_max_kbps);
+  const int adapt_ms = int(flags.get_int("adapt-ms", 2000));
+  const std::string csv_path = flags.get_string("csv", "");
+  const std::string json_path = flags.get_string("json", "");
+  flags.finish();
+  sweep.base.world.service_cpu_min = sim::msec(cpu_min_ms);
+  sweep.base.world.service_cpu_max = sim::msec(cpu_max_ms);
+  // Short, tame links: end-to-end delay must be dominated by CPU queueing
+  // (which the model predicts), not by wire latency (which it can only
+  // route around). The paper-sweep default of 10-200ms per hop would bury
+  // the queueing signal the bench is about.
+  sweep.base.world.net.latency_min = sim::msec(2);
+  sweep.base.world.net.latency_max = sim::msec(10);
+  sweep.base.world.net.latency_jitter = 0.1;
+  const std::string scenario =
+      "load-drift:mag=" + std::to_string(drift_mag);
+
+  // Column 0: reactive (deadline admission + adapter, observed-drop
+  // trigger only). Column 1: predictive (same, plus the model trigger).
+  const char* col_names[] = {"reactive", "predictive"};
+  exp::SeriesTable table;
+  table.title = "Deadline-violating windows under load drift: reactive vs "
+                "predictive adaptation";
+  table.row_header = "metric";
+  table.col_header = "trigger";
+  table.col_labels = {col_names[0], col_names[1]};
+
+  util::ThreadPool pool(sweep.threads);
+  std::vector<std::vector<exp::RunMetrics>> metrics(
+      2, std::vector<exp::RunMetrics>(std::size_t(reps)));
+  pool.parallel_for(2 * std::size_t(reps), [&](std::size_t i) {
+    const std::size_t col = i / std::size_t(reps);
+    const std::size_t rep = i % std::size_t(reps);
+    exp::RunConfig run = sweep.base;
+    run.algorithm = "mincost";
+    run.workload.avg_rate_kbps = rate;
+    run.steady_duration = sim::sec(20);
+    run.chaos_scenario = scenario;
+    run.chaos_seed = sweep.base_seed + std::uint64_t(rep) * 104729;
+    run.world.seed = sweep.base_seed + std::uint64_t(rep) * 7919;
+    run.deadline_ms = deadline_ms;
+    run.adapt_interval = sim::msec(adapt_ms);
+    run.adapt_predictive = col == 1;
+    metrics[col][rep] = exp::run_experiment(run);
+  });
+
+  std::vector<double> violated, windows, triggers, deltas, teardowns,
+      delivered;
+  for (std::size_t col = 0; col < 2; ++col) {
+    double vw = 0, w = 0, tr = 0, dl = 0, td = 0, df = 0;
+    for (const auto& m : metrics[col]) {
+      w += double(m.slo_windows);
+      vw += double(m.slo_windows_violated);
+      tr += double(m.predict_triggers);
+      dl += double(m.adapt_deltas);
+      td += double(m.adapt_teardowns);
+      df += m.delivered_fraction();
+    }
+    const double r = double(metrics[col].size());
+    violated.push_back(w > 0 ? vw / w : 0);  // pooled fraction over reps
+    windows.push_back(w / r);
+    triggers.push_back(tr / r);
+    deltas.push_back(dl / r);
+    teardowns.push_back(td / r);
+    delivered.push_back(df / r);
+  }
+  table.row_labels = {"violated window fraction", "slo windows (mean)",
+                      "predict triggers (mean)",  "adapt deltas (mean)",
+                      "adapt teardowns (mean)",   "delivered fraction"};
+  table.values = {violated, windows, triggers, deltas, teardowns, delivered};
+  table.precision = 3;
+  exp::print_table(table);
+  std::printf(
+      "\nexpectation: the reactive column only replans once drops show up, "
+      "so the drift costs it whole violation windows; the predictive "
+      "column fires when the modelled latency crosses the deadline and "
+      "re-spreads rate before the queues build, cutting the violated "
+      "fraction by >= 30%% at zero extra teardowns.\n");
+  if (!csv_path.empty()) {
+    exp::write_csv(table, csv_path);
+    std::printf("csv written to %s\n", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    FILE* json = std::fopen(json_path.c_str(), "w");
+    if (json != nullptr) {
+      std::fprintf(json, "[");
+      for (std::size_t col = 0; col < 2; ++col) {
+        std::fprintf(json,
+                     "%s\n  {\"name\": \"predictive_slo/%s\", "
+                     "\"violated_window_fraction\": %.6f, "
+                     "\"slo_windows\": %.3f, \"predict_triggers\": %.3f, "
+                     "\"adapt_teardowns\": %.3f, \"delivered\": %.6f}",
+                     col == 0 ? "" : ",", col_names[col], violated[col],
+                     windows[col], triggers[col], teardowns[col],
+                     delivered[col]);
+      }
+      std::fprintf(json, "\n]\n");
+      std::fclose(json);
+    }
+  }
+
+  // Acceptance gate (ISSUE 9): >= 30% fewer violated windows, no extra
+  // teardowns.
+  bool failed = false;
+  if (violated[0] > 0 && violated[1] > 0.7 * violated[0]) {
+    std::printf("\nFAIL: predictive violated fraction %.3f > 0.7 x "
+                "reactive %.3f\n",
+                violated[1], violated[0]);
+    failed = true;
+  }
+  if (violated[0] == 0) {
+    std::printf("\nFAIL: reactive column saw no violations — drift too "
+                "mild to measure anything\n");
+    failed = true;
+  }
+  if (teardowns[1] > teardowns[0]) {
+    std::printf("\nFAIL: predictive trigger added teardowns (%.3f > %.3f)\n",
+                teardowns[1], teardowns[0]);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

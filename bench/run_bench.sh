@@ -58,6 +58,19 @@ else
   echo "skipping gossip_quality (not built at $gossip_bin)" >&2
 fi
 
+# Predictive-SLO figure bench: same convention. Exits nonzero unless the
+# predictive trigger cuts the deadline-violating window fraction to
+# <= 0.7x the reactive column under load drift, with no extra teardowns.
+predictive_json=""
+predictive_bin="$build_dir/bench/predictive_slo"
+if [[ -x "$predictive_bin" ]]; then
+  echo "running predictive_slo ..." >&2
+  "$predictive_bin" --json "$tmp_dir/predictive_slo.rows" >/dev/null
+  predictive_json="$tmp_dir/predictive_slo.rows"
+else
+  echo "skipping predictive_slo (not built at $predictive_bin)" >&2
+fi
+
 shopt -s nullglob
 results=("$tmp_dir"/*.json)
 if [[ ${#results[@]} -eq 0 ]]; then
@@ -81,6 +94,11 @@ fi
 
 if [[ -n "$gossip_json" ]]; then
   jq --slurpfile gossip "$gossip_json" '.gossip_quality = $gossip[0]' \
+    "$out" >"$out.tmp" && mv "$out.tmp" "$out"
+fi
+
+if [[ -n "$predictive_json" ]]; then
+  jq --slurpfile pred "$predictive_json" '.predictive_slo = $pred[0]' \
     "$out" >"$out.tmp" && mv "$out.tmp" "$out"
 fi
 

@@ -16,6 +16,7 @@
 //       [--control-plane centralized|sharded|gossip] [--gossip-fanout 3]
 //       [--gossip-interval-ms 500] [--gossip-budget-bytes 3200]
 //       [--gossip-stale-rounds 30] [--sim-threads 8]
+//       [--deadline-ms 400] [--adapt-predictive] [--slo-window-ms 1000]
 //
 // --sim-threads > 1 runs the discrete-event core sharded across worker
 // threads (one logical process per node, conservative lookahead sync).
@@ -52,6 +53,15 @@
 // shard-side renewal period. With the default --coordinators 1 none of
 // this machinery is constructed and output is byte-identical to
 // pre-shard builds.
+//
+// --deadline-ms stamps an end-to-end latency SLO on every request:
+// composers predict each plan's latency with the M/G/1 queueing model
+// (core/latency_model.hpp) and reject deadline violations at admission;
+// per-(app, second) violation windows are scored from the sink delay
+// histograms. --adapt-predictive additionally lets the rate adapter act
+// when the *predicted* latency of a deployed plan crosses the deadline,
+// before drops appear (needs --adapt-interval). With the default
+// --deadline-ms 0 none of this exists and output is byte-identical.
 //
 // --control-plane gossip switches to the fully decentralized plane: every
 // node runs a budgeted epidemic disseminator of load summaries (see
@@ -121,6 +131,11 @@ int main(int argc, char** argv) {
 
   cfg.adapt_interval = sim::msec(flags.get_int("adapt-interval", 0));
   cfg.adapt_hysteresis = flags.get_double("adapt-hysteresis", 0.05);
+
+  // Predictive latency SLO (default 0 = off, byte-identical output).
+  cfg.deadline_ms = flags.get_double("deadline-ms", 0);
+  cfg.adapt_predictive = flags.get_bool("adapt-predictive", false);
+  cfg.slo_window = sim::msec(flags.get_int("slo-window-ms", 1000));
 
   // Deploy-phase reliability (defaults keep the legacy single-shot
   // protocol and identical output bytes).
@@ -213,6 +228,16 @@ int main(int argc, char** argv) {
                   rep, (long long)m.adapt_attempts, (long long)m.adapt_deltas,
                   (long long)m.adapt_teardowns);
     }
+    if (m.slo_windows > 0 || m.predict_triggers > 0) {
+      std::printf(
+          "rep %d: slo windows %lld | violated %lld (%.3f) | predict "
+          "triggers %lld\n",
+          rep, (long long)m.slo_windows, (long long)m.slo_windows_violated,
+          m.slo_windows > 0
+              ? double(m.slo_windows_violated) / double(m.slo_windows)
+              : 0.0,
+          (long long)m.predict_triggers);
+    }
     if (m.deploy_retries > 0 || m.deploy_rollbacks > 0 ||
         m.orphans_reaped > 0) {
       std::printf("rep %d: deploy retries %lld | rollbacks %lld | orphans "
@@ -229,6 +254,10 @@ int main(int argc, char** argv) {
           (long long)m.shard_batches, (long long)m.shard_repairs,
           (long long)m.lease_grants, (long long)m.lease_nacks,
           (long long)m.lease_expired, m.lease_overgrant_kbps);
+      if (m.shard_failovers > 0) {
+        std::printf("rep %d: shard failovers %lld\n", rep,
+                    (long long)m.shard_failovers);
+      }
     }
     if (m.gossip_submitted > 0) {
       std::printf(

@@ -33,6 +33,10 @@ struct ComposeResult {
   /// Objective value (scaled expected drops) for admitted min-cost plans;
   /// 0 for the baselines.
   std::int64_t objective = 0;
+  /// Predicted end-to-end latency of the plan (ms) when the composer ran
+  /// with a LatencyModel and the request carried a deadline; -1 when no
+  /// prediction was made.
+  double predicted_latency_ms = -1;
 };
 
 class Composer {

@@ -1,8 +1,10 @@
 #include "core/gossip_composer.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <vector>
 
+#include "core/latency_model.hpp"
 #include "core/plan_math.hpp"
 
 namespace rasc::core {
@@ -88,6 +90,11 @@ ComposeResult GossipComposer::compose(const ComposeInput& input) {
         if (t.avail_in_kbps(stats.node) < need_in) continue;
         if (t.avail_out_kbps(stats.node) < need_out) continue;
         if (t.avail_cpu_fraction(stats.node) < need_cpu) continue;
+        // Latency SLO: a saturated node predicts unbounded delay — skip.
+        if (req.deadline_ms > 0 && options_.latency_model != nullptr &&
+            options_.latency_model->saturated(&stats, need_cpu)) {
+          continue;
+        }
         scored.emplace_back(hop_cost(prev, stats.node, req.destination,
                                      st == k - 1, t),
                             stats.node);
@@ -154,6 +161,33 @@ ComposeResult GossipComposer::compose(const ComposeInput& input) {
   }
 
   result.plan = build_app_plan(req, *input.catalog, all_shares);
+
+  // Latency SLO admission over the finished chain (same semantics as
+  // MinCostComposer: the candidate plan is not in the snapshots yet).
+  if (req.deadline_ms > 0 && options_.latency_model != nullptr) {
+    std::map<sim::NodeIndex, const monitor::NodeStats*> by_node;
+    for (const auto& [service, stats] : input.providers) {
+      for (const auto& s : stats) by_node.emplace(s.node, &s);
+    }
+    by_node.emplace(input.source_stats.node, &input.source_stats);
+    by_node.emplace(input.destination_stats.node, &input.destination_stats);
+    const double predicted = options_.latency_model->predict_ms(
+        result.plan,
+        [&by_node](sim::NodeIndex n) -> const monitor::NodeStats* {
+          const auto it = by_node.find(n);
+          return it == by_node.end() ? nullptr : it->second;
+        });
+    result.predicted_latency_ms = predicted;
+    if (!(predicted <= req.deadline_ms)) {
+      std::ostringstream os;
+      os << "predicted latency " << predicted << " ms exceeds deadline "
+         << req.deadline_ms << " ms";
+      result.error = os.str();
+      result.plan = {};
+      return result;
+    }
+  }
+
   result.admitted = true;
   return result;
 }

@@ -23,6 +23,8 @@
 
 namespace rasc::core {
 
+class LatencyModel;
+
 class GossipComposer : public Composer {
  public:
   /// One-way propagation latency between two nodes, in milliseconds.
@@ -42,6 +44,11 @@ class GossipComposer : public Composer {
     double load_weight = 50.0;
     /// Drop prior for nodes whose snapshot held no drop outcomes.
     double drop_prior = 0.02;
+    /// Latency SLO admission (only consulted when the request carries a
+    /// nonzero deadline_ms): CPU-saturated candidates are skipped during
+    /// the walk and chains whose predicted end-to-end latency exceeds the
+    /// deadline are rejected. Null disables both checks.
+    const LatencyModel* latency_model = nullptr;
   };
 
   explicit GossipComposer(Options options) : options_(std::move(options)) {}

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/composition_graph.hpp"
+#include "core/latency_model.hpp"
 #include "core/plan_math.hpp"
 #include "util/logging.hpp"
 
@@ -72,6 +73,19 @@ class NodeUsageTable {
   std::vector<sim::NodeIndex> touched_;
 };
 
+/// Freshest-known stats per node across the whole compose input (for
+/// latency prediction; first snapshot seen per node wins).
+std::map<sim::NodeIndex, const monitor::NodeStats*> stats_by_node(
+    const ComposeInput& input) {
+  std::map<sim::NodeIndex, const monitor::NodeStats*> out;
+  for (const auto& [service, stats] : input.providers) {
+    for (const auto& s : stats) out.emplace(s.node, &s);
+  }
+  out.emplace(input.source_stats.node, &input.source_stats);
+  out.emplace(input.destination_stats.node, &input.destination_stats);
+  return out;
+}
+
 }  // namespace
 
 ComposeResult MinCostComposer::compose(const ComposeInput& input) {
@@ -120,6 +134,12 @@ ComposeResult MinCostComposer::compose(const ComposeInput& input) {
                 ? tracker.avail_cpu_fraction(stats.node) *
                       options_.utilization_target
                 : -1.0);
+        // Latency SLO: a CPU-saturated node has no steady-state queue, so
+        // its predicted delay is unbounded — price it as unusable.
+        if (req.deadline_ms > 0 && options_.latency_model != nullptr &&
+            options_.latency_model->saturated(&stats, 0.0)) {
+          cand.max_delivered_ups = 0;
+        }
         // An empty drop window means "never measured", not "drop-free":
         // price the unknown with the configured prior instead of 0.
         cand.drop_ratio = tracker.drop_known(stats.node)
@@ -287,6 +307,29 @@ ComposeResult MinCostComposer::compose(const ComposeInput& input) {
   }
 
   result.plan = build_app_plan(req, *input.catalog, all_shares);
+
+  // Latency SLO admission: reject plans whose predicted end-to-end delay
+  // violates the request's deadline. Base utilization comes from the
+  // snapshots (this candidate plan is not reflected there yet).
+  if (req.deadline_ms > 0 && options_.latency_model != nullptr) {
+    const auto stats = stats_by_node(input);
+    const double predicted = options_.latency_model->predict_ms(
+        result.plan, [&stats](sim::NodeIndex n) -> const monitor::NodeStats* {
+          const auto it = stats.find(n);
+          return it == stats.end() ? nullptr : it->second;
+        });
+    result.predicted_latency_ms = predicted;
+    if (!(predicted <= req.deadline_ms)) {
+      std::ostringstream os;
+      os << "predicted latency " << predicted << " ms exceeds deadline "
+         << req.deadline_ms << " ms";
+      result.error = os.str();
+      result.plan = {};
+      result.objective = 0;
+      return result;
+    }
+  }
+
   result.admitted = true;
   return result;
 }

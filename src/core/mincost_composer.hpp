@@ -13,6 +13,8 @@
 
 namespace rasc::core {
 
+class LatencyModel;
+
 class MinCostComposer final : public Composer {
  public:
   /// The capacity-repair loop accepts plans that overfill a node by up to
@@ -43,6 +45,11 @@ class MinCostComposer final : public Composer {
     /// nodes; a nonzero prior prices that uncertainty. Default 0 keeps
     /// historical compositions bit-identical.
     double unknown_drop_prior = 0.0;
+    /// Latency SLO admission (only consulted when the request carries a
+    /// nonzero deadline_ms): CPU-saturated candidates are priced as
+    /// unusable and plans whose predicted end-to-end latency exceeds the
+    /// deadline are rejected. Null disables both checks.
+    const LatencyModel* latency_model = nullptr;
   };
 
   MinCostComposer() = default;

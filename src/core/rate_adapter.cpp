@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/composer.hpp"
+#include "core/latency_model.hpp"
 #include "core/plan_math.hpp"
 #include "runtime/deploy_messages.hpp"
 #include "util/logging.hpp"
@@ -203,12 +204,16 @@ void RateAdapter::attempt(runtime::AppId app, bool bypass_cooldown,
   targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
 
   std::weak_ptr<bool> alive = alive_;
-  stats_.query_many(
-      targets, [this, app, alive, done = std::move(done)](
-                   std::vector<monitor::NodeStats> stats) mutable {
-        if (alive.expired()) return;
-        on_stats(app, std::move(stats), std::move(done));
-      });
+  auto deliver = [this, app, alive, done = std::move(done)](
+                     std::vector<monitor::NodeStats> stats) mutable {
+    if (alive.expired()) return;
+    on_stats(app, std::move(stats), std::move(done));
+  };
+  if (stats_provider_) {
+    stats_provider_(targets, std::move(deliver));
+  } else {
+    stats_.query_many(targets, std::move(deliver));
+  }
 }
 
 void RateAdapter::on_stats(runtime::AppId app,
@@ -270,10 +275,60 @@ void RateAdapter::on_stats(runtime::AppId app,
     credit(t.plan.destination, math.wire_in_kbps(k, delivered_total), 0, 0);
   }
 
+  // Predictive trigger: model the deployed plan's end-to-end latency on
+  // the credited snapshots (base load of everyone else + this plan's own
+  // planned rates — the same accounting admission used). A predicted
+  // deadline violation is acted on below even when the cost hysteresis
+  // would wait, catching load drift before drops materialize.
+  const bool predictive = params_.predictive &&
+                          params_.latency_model != nullptr &&
+                          t.request.deadline_ms > 0;
+  const auto stats_of =
+      [&by_node](sim::NodeIndex n) -> const monitor::NodeStats* {
+    const auto sit = by_node.find(n);
+    return sit == by_node.end() ? nullptr : &sit->second;
+  };
+  bool predicted_violation = false;
+  double predicted_ms = 0;
+  if (predictive) {
+    predicted_ms = params_.latency_model->predict_ms(t.plan, stats_of);
+    if (t.predict_gauge == nullptr) {
+      obs::Labels labels;
+      labels.node = node_;
+      labels.app = app;
+      t.predict_gauge = &metrics_->gauge("predict.latency_ms", labels);
+    }
+    t.predict_gauge->set(std::isfinite(predicted_ms) ? predicted_ms
+                                                     : -1.0);
+    predicted_violation = !(predicted_ms <= t.request.deadline_ms);
+    if (predicted_violation) {
+      if (predict_triggers_ == nullptr) {
+        obs::Labels labels;
+        labels.node = node_;
+        predict_triggers_ = &metrics_->counter("adapt.predict_triggers",
+                                               labels);
+      }
+      predict_triggers_->add();
+    }
+  }
+
   std::vector<std::vector<std::vector<runtime::Placement>>> shares;
   std::int64_t new_cost = 0;
   std::int64_t current_cost = 0;
-  if (!resolve(t, by_node, &shares, &new_cost, &current_cost)) {
+  bool latency_aware = predicted_violation;
+  bool solved = resolve(t, by_node, &shares, &new_cost, &current_cost,
+                        latency_aware);
+  if (!solved && latency_aware) {
+    // Latency-aware pricing zeroes every saturated candidate, which can
+    // leave a stage with no capacity at all exactly when the fleet is
+    // hottest. Freezing there would be strictly worse than reactive
+    // behavior — fall back to plain pricing and let the normal cost
+    // hysteresis decide.
+    latency_aware = false;
+    shares.clear();
+    solved = resolve(t, by_node, &shares, &new_cost, &current_cost, false);
+  }
+  if (!solved) {
     infeasible_->add();
     finish(done, false);
     return;
@@ -281,17 +336,33 @@ void RateAdapter::on_stats(runtime::AppId app,
 
   // Hysteresis: only act on a clear improvement — chasing sub-threshold
   // cost wiggles would thrash placements for nothing.
-  const bool improves =
+  bool improves =
       current_cost > new_cost &&
       double(current_cost - new_cost) >=
           params_.hysteresis * double(current_cost);
+  runtime::AppPlan new_plan;
+  bool plan_built = false;
+  if (!improves && predicted_violation) {
+    // An SLO violation is already predicted: waiting for the cost
+    // hysteresis means paying it first. But the bypass is earned only by
+    // a candidate the model predicts *meets* the deadline. SLO windows
+    // are binary — a plan that merely shaves latency (or cost) while
+    // staying above the deadline fixes nothing, and the migration's
+    // transient disruption can itself starve a window. If no candidate
+    // crosses below, holding still is strictly better than churning.
+    new_plan = build_app_plan(t.request, catalog_, shares);
+    plan_built = true;
+    const double candidate_ms =
+        params_.latency_model->predict_ms(new_plan, stats_of);
+    improves = candidate_ms <= t.request.deadline_ms;
+  }
   if (!improves) {
     skipped_->add();
     finish(done, false);
     return;
   }
 
-  runtime::AppPlan new_plan = build_app_plan(t.request, catalog_, shares);
+  if (!plan_built) new_plan = build_app_plan(t.request, catalog_, shares);
   const int sent = ship_deltas(t, new_plan);
   if (sent == 0) {
     skipped_->add();
@@ -310,7 +381,8 @@ void RateAdapter::on_stats(runtime::AppId app,
 bool RateAdapter::resolve(
     Tracked& t, const std::map<sim::NodeIndex, monitor::NodeStats>& by_node,
     std::vector<std::vector<std::vector<runtime::Placement>>>* shares,
-    std::int64_t* new_cost, std::int64_t* current_cost) {
+    std::int64_t* new_cost, std::int64_t* current_cost,
+    bool latency_aware) {
   // A local ComposeInput feeds the shared ResidualTracker so availability
   // semantics (headroom, max(measured, reserved)) match composition.
   ComposeInput input;
@@ -369,6 +441,21 @@ bool RateAdapter::resolve(
                               tracker.avail_out_kbps(node)) /
                                  cap_total
                      : 1.0;
+          if (latency_aware) {
+            // A deadline violation is predicted: queueing delay, not wire
+            // utilization, is what the re-solve must flee. Fold the
+            // node's base CPU utilization (other tenants, after this
+            // app's credit-back) into the cost's utilization term and
+            // price saturated nodes unusable — the solver then spreads
+            // rate onto cool CPUs instead of regenerating the hot plan.
+            const monitor::NodeStats& s = bit->second;
+            util = std::max(util, std::max(s.cpu_used_fraction,
+                                           s.cpu_reserved_fraction));
+            if (params_.latency_model != nullptr &&
+                params_.latency_model->saturated(&s, 0.0)) {
+              cap = 0;
+            }
+          }
         }
         caps[std::size_t(st)][j] = cap;
         cg.set_candidate_cap(st, int(j), cap);
@@ -417,6 +504,25 @@ bool RateAdapter::resolve(
         if (u.in_kbps > ai * 1.02) factor = std::min(factor, ai / u.in_kbps);
         if (u.out_kbps > ao * 1.02) {
           factor = std::min(factor, ao / u.out_kbps);
+        }
+        if (latency_aware && u.cpu_fraction > 0) {
+          // The bandwidth-only repair happily stacks several stages of
+          // this very app on one node — per-stage costs cannot see the
+          // aggregate, and an M/G/1 wait at the stacked rho is exactly
+          // the predicted violation that triggered this round. Repair
+          // aggregate CPU (base load plus the candidate's own planned
+          // CPU) against the rho budget so the flow spreads instead.
+          const auto bit = by_node.find(node);
+          const double base_rho =
+              bit == by_node.end()
+                  ? 0.0
+                  : std::max(bit->second.cpu_used_fraction,
+                             bit->second.cpu_reserved_fraction);
+          const double allowed =
+              std::max(0.0, params_.predictive_rho_target - base_rho);
+          if (u.cpu_fraction > allowed * 1.02) {
+            factor = std::min(factor, allowed / u.cpu_fraction);
+          }
         }
         if (factor >= 1.0) continue;
         violated = true;

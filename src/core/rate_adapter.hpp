@@ -59,7 +59,33 @@ class RateAdapter {
     /// Cost-model knobs shared with composition (utilization target,
     /// CPU constraint, unknown-drop prior, share folding).
     MinCostComposer::Options cost;
+    /// Predictive trigger: when true (and latency_model is set), every
+    /// attempt also predicts the deployed plan's end-to-end latency from
+    /// the round's credited statistics. A prediction past the request's
+    /// deadline_ms bypasses the cost-improvement hysteresis — the adapter
+    /// acts on the drift *before* drops appear — while the cooldown still
+    /// bounds the ship rate. Off by default: no prediction, no predict.*
+    /// registry cells, byte-identical runs.
+    bool predictive = false;
+    const LatencyModel* latency_model = nullptr;
+    /// Per-node aggregate CPU utilization budget for latency-aware
+    /// re-solves (base load plus the candidate plan's own planned CPU).
+    /// The M/G/1 wait explodes as rho -> 1, so a triggered round's repair
+    /// loop tightens any node the candidate would push past this — the
+    /// flow spreads across providers instead of stacking stages on the
+    /// bandwidth-cheapest node (which is how a purely reactive round can
+    /// cook its own CPU hotspot).
+    double predictive_rho_target = 0.7;
   };
+
+  /// Pluggable statistics source: invoked with the deduplicated target
+  /// node set and a completion callback. Unset, the adapter round-trips
+  /// to the central StatsAgent; the gossip control plane substitutes a
+  /// synchronous read of the node-local partial view so adaptation stops
+  /// defeating the decentralized plane.
+  using StatsProvider = std::function<void(
+      const std::vector<sim::NodeIndex>&,
+      std::function<void(std::vector<monitor::NodeStats>)>)>;
 
   /// `done(shipped)` — whether the attempt shipped any delta.
   using AttemptCallback = std::function<void(bool shipped)>;
@@ -92,6 +118,11 @@ class RateAdapter {
   /// because delta repair could not help.
   void note_teardown();
 
+  /// Replaces the central stats round-trip (empty resets to the default).
+  void set_stats_provider(StatsProvider provider) {
+    stats_provider_ = std::move(provider);
+  }
+
   std::size_t tracked_count() const { return tracked_.size(); }
   /// The plan the adapter believes is deployed (tests).
   const runtime::AppPlan* current_plan(runtime::AppId app) const;
@@ -116,6 +147,9 @@ class RateAdapter {
     sim::EventId timer = 0;
     bool busy = false;  // a stats round-trip is in flight
     std::vector<SubstreamState> substreams;
+    /// Last predicted latency of the deployed plan (predictive mode only;
+    /// cell created lazily on the first predictive round).
+    obs::Gauge* predict_gauge = nullptr;
   };
 
   void schedule_tick(runtime::AppId app);
@@ -126,12 +160,18 @@ class RateAdapter {
   /// Re-solve every substream against credited-back fresh stats. Returns
   /// false (infeasible) when any substream cannot route its demand; on
   /// success fills `shares` (delivered ups per substream/stage/node) and
-  /// the integer costs of the new and currently-deployed plans.
+  /// the integer costs of the new and currently-deployed plans. With
+  /// `latency_aware` set (a predicted deadline violation this round) the
+  /// cost model folds each candidate's base CPU utilization into the
+  /// utilization term and prices saturated nodes unusable, so the solver
+  /// spreads rate onto cool CPUs instead of regenerating the hot plan;
+  /// both plans are priced with the same modified costs.
   bool resolve(Tracked& t,
                const std::map<sim::NodeIndex, monitor::NodeStats>& by_node,
                std::vector<std::vector<std::vector<runtime::Placement>>>*
                    shares,
-               std::int64_t* new_cost, std::int64_t* current_cost);
+               std::int64_t* new_cost, std::int64_t* current_cost,
+               bool latency_aware = false);
   /// Diff old vs new plan and ship delta messages; returns how many were
   /// sent (0 = plans identical).
   int ship_deltas(Tracked& t, const runtime::AppPlan& new_plan);
@@ -151,6 +191,11 @@ class RateAdapter {
   obs::Counter* infeasible_;
   obs::Counter* teardowns_;
   obs::Histogram* solve_us_;
+  /// Attempts where the predictive trigger fired (lazily created — the
+  /// cell exists only in predictive runs).
+  obs::Counter* predict_triggers_ = nullptr;
+
+  StatsProvider stats_provider_;
 
   std::map<runtime::AppId, std::unique_ptr<Tracked>> tracked_;
   /// Reusable warm-started solver (workspaces survive across apps,

@@ -27,6 +27,7 @@ std::string ServiceRequest::validate() const {
   if (destination < 0) return "invalid destination node";
   if (unit_bytes <= 0) return "unit_bytes must be positive";
   if (substreams.empty()) return "request has no substreams";
+  if (deadline_ms < 0) return "deadline_ms must be non-negative";
   for (std::size_t i = 0; i < substreams.size(); ++i) {
     if (substreams[i].rate_kbps <= 0) {
       return "substream " + std::to_string(i) + " has non-positive rate";

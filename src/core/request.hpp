@@ -29,6 +29,9 @@ struct ServiceRequest {
   /// Size of one data unit at the source (application-defined, §2.1).
   std::int64_t unit_bytes = 1250;
   std::vector<Substream> substreams;
+  /// Optional end-to-end latency SLO (ms). 0 means no deadline: admission
+  /// and adaptation ignore predicted latency entirely.
+  double deadline_ms = 0;
 
   /// All distinct service names across substreams, in first-seen order.
   std::vector<std::string> distinct_services() const;

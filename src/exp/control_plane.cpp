@@ -9,16 +9,17 @@
 
 namespace rasc::exp {
 
-std::unique_ptr<core::Composer> make_composer(const std::string& name,
-                                              util::Xoshiro256 rng) {
-  if (name == "mincost") return std::make_unique<core::MinCostComposer>();
+std::unique_ptr<core::Composer> make_composer(
+    const std::string& name, util::Xoshiro256 rng,
+    core::MinCostComposer::Options options) {
+  if (name == "mincost") {
+    return std::make_unique<core::MinCostComposer>(options);
+  }
   if (name == "mincost-nosplit") {
-    core::MinCostComposer::Options options;
     options.single_instance_per_stage = true;
     return std::make_unique<core::MinCostComposer>(options);
   }
   if (name == "mincost-nocpu") {
-    core::MinCostComposer::Options options;
     options.consider_cpu = false;
     return std::make_unique<core::MinCostComposer>(options);
   }
@@ -63,7 +64,8 @@ ShardControlPlane::ShardControlPlane(World& world, Config config,
         world.simulator(), world.network(), world.overlay().at(std::size_t(home)),
         host.stats_agent(), host.coordinator(), world.catalog(),
         make_composer(config_.algorithm,
-                      rng.split(0x73686172u /* "shar" */ ^ std::uint64_t(s))),
+                      rng.split(0x73686172u /* "shar" */ ^ std::uint64_t(s)),
+                      config_.composer_options),
         params, &world.metrics()));
     host.set_shard(shards_.back().get());
   }
@@ -89,7 +91,28 @@ void ShardControlPlane::submit(const core::ServiceRequest& request,
                                sim::SimTime stream_start,
                                sim::SimTime stream_stop,
                                core::Coordinator::Callback done) {
-  const auto home = home_of(shard_of(request.app));
+  std::int32_t shard = shard_of(request.app);
+  // Fail fast on a dead shard: the source node's own granter knows when a
+  // coordinator stopped renewing its lease (an expired grant means ~7 s
+  // of missed renewals at the default cadence). Submitting there anyway
+  // would hang until the 5 s deploy timeout; reroute to the next live
+  // shard instead. Healthy runs never enter this branch.
+  const auto* granter =
+      world_.host(std::size_t(request.source)).lease_granter();
+  if (granter != nullptr && granter->holder_suspect(shard)) {
+    const int k = shards();
+    for (int i = 1; i < k; ++i) {
+      const auto next = std::int32_t((shard + i) % k);
+      if (granter->holder_suspect(next)) continue;
+      shard = next;
+      if (failovers_ == nullptr) {
+        failovers_ = &world_.metrics().counter("shard.failovers", {});
+      }
+      failovers_->add();
+      break;
+    }
+  }
+  const auto home = home_of(shard);
   auto msg = std::make_shared<core::SubmitShardMsg>();
   msg->request = request;
   msg->stream_start = stream_start;

@@ -22,9 +22,12 @@
 namespace rasc::exp {
 
 /// Builds the composition algorithm by name ("mincost", "greedy", ...;
-/// shared by the runner and the shard control plane).
-std::unique_ptr<core::Composer> make_composer(const std::string& name,
-                                              util::Xoshiro256 rng);
+/// shared by the runner and the shard control plane). `options` seeds the
+/// min-cost cost model (the "mincost-nosplit"/"mincost-nocpu" variants
+/// overlay their ablation switch on top); baselines ignore it.
+std::unique_ptr<core::Composer> make_composer(
+    const std::string& name, util::Xoshiro256 rng,
+    core::MinCostComposer::Options options = {});
 
 class ShardControlPlane {
  public:
@@ -41,6 +44,9 @@ class ShardControlPlane {
     int repair_attempts = 2;
     /// Composition algorithm every shard runs (its own instance).
     std::string algorithm = "mincost";
+    /// Cost-model knobs handed to every shard's composer (latency SLO
+    /// admission rides in here; defaults change nothing).
+    core::MinCostComposer::Options composer_options;
   };
 
   /// Wires granters and shards into `world`'s hosts. `rng` seeds the
@@ -79,6 +85,9 @@ class ShardControlPlane {
   World& world_;
   Config config_;
   std::vector<std::unique_ptr<core::CoordinatorShard>> shards_;
+  /// Submissions rerouted away from a dead shard (cell created lazily on
+  /// the first failover: healthy runs stay byte-identical).
+  obs::Counter* failovers_ = nullptr;
 };
 
 }  // namespace rasc::exp

@@ -145,6 +145,29 @@ sim::SimDuration GossipControlPlane::warmup() const {
   return config_.agent.interval * rounds + sim::sec(1);
 }
 
+void GossipControlPlane::feed_adapter(std::size_t node,
+                                      core::RateAdapter& adapter) {
+  gossip::Agent* agent = clients_[node].agent.get();
+  sim::Simulator* simulator = &world_.simulator();
+  adapter.set_stats_provider(
+      [agent, simulator](
+          const std::vector<sim::NodeIndex>& targets,
+          std::function<void(std::vector<monitor::NodeStats>)> done) {
+        const auto& view = agent->view();
+        const sim::SimTime now = simulator->now();
+        std::vector<monitor::NodeStats> stats;
+        stats.reserve(targets.size());
+        for (const sim::NodeIndex target : targets) {
+          const auto it = view.find(target);
+          if (it == view.end()) continue;
+          stats.push_back(stats_from_summary(it->second.summary, now));
+        }
+        // Synchronous on purpose: the whole point is zero control
+        // round-trips; the adapter tolerates re-entrant delivery.
+        done(std::move(stats));
+      });
+}
+
 void GossipControlPlane::submit(const core::ServiceRequest& request,
                                 sim::SimTime stream_start,
                                 sim::SimTime stream_stop,

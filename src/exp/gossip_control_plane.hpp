@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/gossip_composer.hpp"
+#include "core/rate_adapter.hpp"
 #include "exp/world.hpp"
 #include "gossip/agent.hpp"
 #include "overlay/registry.hpp"
@@ -61,6 +62,15 @@ class GossipControlPlane {
   /// partial view. Call from a simulation event.
   void submit(const core::ServiceRequest& request, sim::SimTime stream_start,
               sim::SimTime stream_stop, core::Coordinator::Callback done);
+
+  /// Points `adapter` (living on `node`) at the node-local gossip view
+  /// for its replanning snapshots, instead of the central StatsAgent
+  /// round-trip that would defeat the decentralized plane. Targets absent
+  /// from the view are simply omitted — the adapter already treats a
+  /// missing snapshot as an unusable candidate (and skips the round when
+  /// an endpoint is missing), mirroring composition's staleness
+  /// semantics.
+  void feed_adapter(std::size_t node, core::RateAdapter& adapter);
 
   gossip::Agent& agent(std::size_t node) { return *clients_[node].agent; }
 

@@ -5,6 +5,7 @@
 
 #include "chaos/injector.hpp"
 #include "chaos/scenario.hpp"
+#include "core/latency_model.hpp"
 #include "exp/control_plane.hpp"
 #include "exp/gossip_control_plane.hpp"
 #include "util/logging.hpp"
@@ -30,11 +31,33 @@ RunMetrics run_experiment(const RunConfig& config,
   auto& simulator = world.simulator();
 
   auto workload_rng = simulator.rng().split(0x776f726b /* "work" */);
-  const auto requests = generate_workload(
+  auto requests = generate_workload(
       config.workload, world.service_names(), world.size(), workload_rng);
 
+  // Predictive latency SLO: constructed only when a deadline is set —
+  // deadline-off runs build no model, stamp no requests and create no
+  // predict.*/slo.* cells (no RNG stream is involved either way).
+  const bool deadline_on = config.deadline_ms > 0;
+  std::unique_ptr<core::LatencyModel> latency_model;
+  core::MinCostComposer::Options composer_options;
+  if (deadline_on) {
+    for (auto& request : requests) request.deadline_ms = config.deadline_ms;
+    const sim::Topology& topo = world.network().topology();
+    core::LatencyModel::Options lm_options;
+    lm_options.link_latency_ms = [&topo](sim::NodeIndex a,
+                                         sim::NodeIndex b) {
+      if (a == b) return 0.0;
+      return double(topo.latency_us[std::size_t(a)][std::size_t(b)]) /
+             1000.0;
+    };
+    latency_model =
+        std::make_unique<core::LatencyModel>(world.catalog(), lm_options);
+    composer_options.latency_model = latency_model.get();
+  }
+
   auto composer = make_composer(config.algorithm,
-                                simulator.rng().split(0x636f6d70 /*comp*/));
+                                simulator.rng().split(0x636f6d70 /*comp*/),
+                                composer_options);
 
   // Sharded control plane (coordinators > 1 only): constructed strictly
   // after the splits above so the unsharded random streams are untouched.
@@ -47,6 +70,7 @@ RunMetrics run_experiment(const RunConfig& config,
     plane_config.lease_duration = config.lease_duration;
     plane_config.lease_renew = config.lease_renew;
     plane_config.algorithm = config.algorithm;
+    plane_config.composer_options = composer_options;
     plane_config.coordinators = std::max(plane_config.coordinators, 2);
     plane = std::make_unique<ShardControlPlane>(
         world, plane_config, simulator.rng().split(0x73686164 /*shad*/));
@@ -62,6 +86,7 @@ RunMetrics run_experiment(const RunConfig& config,
     plane_config.agent.interval = config.gossip_interval;
     plane_config.agent.budget_bytes = config.gossip_budget_bytes;
     plane_config.agent.stale_rounds = config.gossip_stale_rounds;
+    plane_config.composer.latency_model = composer_options.latency_model;
     gossip_plane = std::make_unique<GossipControlPlane>(
         world, plane_config, simulator.rng().split(0x676f7373 /*goss*/));
   }
@@ -89,6 +114,10 @@ RunMetrics run_experiment(const RunConfig& config,
     // Quiet period after a shipped round: long enough for the deltas to
     // land and the windowed statistics to reflect them.
     adapt_params.cooldown = 2 * config.adapt_interval;
+    if (config.adapt_predictive && deadline_on) {
+      adapt_params.predictive = true;
+      adapt_params.latency_model = latency_model.get();
+    }
   }
 
   const sim::SimTime t0 = simulator.now();
@@ -124,14 +153,15 @@ RunMetrics run_experiment(const RunConfig& config,
                              supervise, adapt, adapt_params, sharded, gossip,
                              ctl_node] {
       auto on_outcome = [&simulator, &world, &metrics, &request,
-                         stream_stop, supervise, adapt, adapt_params,
+                         &gossip_plane, stream_stop, supervise, adapt,
+                         adapt_params, gossip,
                          ctl_node](const core::SubmitOutcome& outcome) {
         // The outcome handler mutates run-wide metrics and arms the
         // adapter/supervisor (which read cross-node state); under a
         // parallel simulation it must run with the LPs parked.
-        simulator.exclusive([&world, &metrics, &request, stream_stop,
-                             supervise, adapt, adapt_params, ctl_node,
-                             outcome] {
+        simulator.exclusive([&world, &metrics, &request, &gossip_plane,
+                             stream_stop, supervise, adapt, adapt_params,
+                             gossip, ctl_node, outcome] {
           if (outcome.compose.admitted) {
             ++metrics.composed;
             metrics.components +=
@@ -139,13 +169,28 @@ RunMetrics run_experiment(const RunConfig& config,
             for (const auto& sub : outcome.compose.plan.substreams) {
               metrics.stages += std::int64_t(sub.stages.size());
             }
+            // Admission-time latency prediction, exported next to the
+            // observed sink.delay_ms for the same app (only composers
+            // running with a LatencyModel produce one).
+            if (outcome.compose.predicted_latency_ms >= 0) {
+              obs::Labels labels;
+              labels.app = request.app;
+              world.metrics()
+                  .gauge("predict.latency_ms", labels)
+                  .set(outcome.compose.predicted_latency_ms);
+            }
             auto& host = world.host(std::size_t(ctl_node));
             // Adapter before supervisor: watch() consults the adapter
             // as its first-line starvation response.
             if (adapt) {
-              host.enable_adapter(adapt_params)
-                  .track(request, outcome.compose.plan, outcome.providers,
-                         stream_stop);
+              auto& adapter = host.enable_adapter(adapt_params);
+              // Decentralized runs feed replanning snapshots from the
+              // node-local gossip view instead of central stats queries.
+              if (gossip) {
+                gossip_plane->feed_adapter(std::size_t(ctl_node), adapter);
+              }
+              adapter.track(request, outcome.compose.plan,
+                            outcome.providers, stream_stop);
             }
             if (supervise) {
               host.supervisor().watch(request, outcome.compose.plan,
@@ -170,6 +215,55 @@ RunMetrics run_experiment(const RunConfig& config,
                     std::move(on_outcome));
       }
     });
+  }
+
+  // Per-(app, window) SLO violation accounting: every slo_window, each
+  // app's windowed mean delivery delay — reconstructed from the
+  // sink.delay_ms histogram deltas, summed over that app's sinks — is
+  // scored against the deadline; a window with deliveries before it but
+  // none inside it counts as starved (violated). Scheduled only when a
+  // deadline is set; the probe reads the registry inside ordinary global
+  // events, which the parallel engine already runs exclusively.
+  struct SloAppState {
+    double sum_ms = 0;  // Σ mean·count over the app's delay cells
+    std::int64_t count = 0;
+  };
+  auto slo_state = std::make_shared<std::map<std::int64_t, SloAppState>>();
+  if (deadline_on && config.slo_window > 0) {
+    auto* windows_cell = &world.metrics().counter("slo.windows");
+    auto* violated_cell = &world.metrics().counter("slo.windows_violated");
+    const double deadline = config.deadline_ms;
+    auto probe = [&world, slo_state, windows_cell, violated_cell,
+                  deadline] {
+      std::map<std::int64_t, SloAppState> current;
+      for (const auto& row : world.metrics().snapshot()) {
+        if (row.name != "sink.delay_ms") continue;
+        SloAppState& s = current[row.labels.app];
+        s.sum_ms += row.mean * double(row.count);
+        s.count += row.count;
+      }
+      for (const auto& [app, s] : current) {
+        const auto last = slo_state->find(app);
+        const double last_sum =
+            last == slo_state->end() ? 0 : last->second.sum_ms;
+        const std::int64_t last_count =
+            last == slo_state->end() ? 0 : last->second.count;
+        // A sink whose cell exists but never delivered is not yet
+        // streaming — nothing to score.
+        if (s.count == 0 && last_count == 0) continue;
+        windows_cell->add();
+        const std::int64_t delta = s.count - last_count;
+        const bool violated =
+            delta > 0 ? (s.sum_ms - last_sum) / double(delta) > deadline
+                      : true;  // starved: delivered before, not now
+        if (violated) violated_cell->add();
+      }
+      *slo_state = std::move(current);
+    };
+    for (sim::SimTime at = submit0 + config.slo_window; at <= stream_stop;
+         at += config.slo_window) {
+      simulator.call_at(at, probe);
+    }
   }
 
   std::unique_ptr<chaos::SloChecker> slo_checker;
@@ -241,6 +335,11 @@ RunMetrics run_experiment(const RunConfig& config,
   metrics.deploy_retries = registry.counter_total("deploy.retries");
   metrics.deploy_rollbacks = registry.counter_total("deploy.rollbacks");
   metrics.orphans_reaped = registry.counter_total("orphan.reaped");
+  metrics.slo_windows = registry.counter_total("slo.windows");
+  metrics.slo_windows_violated =
+      registry.counter_total("slo.windows_violated");
+  metrics.predict_triggers = registry.counter_total("adapt.predict_triggers");
+  metrics.shard_failovers = registry.counter_total("shard.failovers");
   metrics.shard_submitted = registry.counter_total("shard.submitted");
   metrics.shard_admitted = registry.counter_total("shard.admitted");
   metrics.shard_rejected = registry.counter_total("shard.rejected");

@@ -59,6 +59,22 @@ struct RunConfig {
   /// Minimum relative cost improvement before deltas are shipped.
   double adapt_hysteresis = 0.05;
 
+  // --- Predictive latency SLO (off by default: with deadline_ms 0 no
+  // LatencyModel is constructed, requests carry no deadline, no
+  // predict.*/slo.* registry cell exists, and the run is event-for-event
+  // identical to a build without the subsystem) ---
+
+  /// End-to-end latency deadline stamped on every generated request (ms);
+  /// composers then reject placements whose predicted queueing latency
+  /// violates it. 0 = no deadline.
+  double deadline_ms = 0;
+  /// Let the RateAdapter re-solve when the *predicted* latency of the
+  /// deployed plan crosses the deadline, instead of waiting for observed
+  /// drops. Needs deadline_ms > 0 and adapt_interval > 0.
+  bool adapt_predictive = false;
+  /// Violation accounting window (per app, from sink delay deltas).
+  sim::SimDuration slo_window = sim::sec(1);
+
   // --- Sharded control plane (1 coordinator by default: requests submit
   // through their source node's coordinator exactly as before, no lease
   // subsystem is constructed, and the run is event-for-event identical
@@ -131,7 +147,13 @@ struct RunMetrics {
   std::int64_t deploy_rollbacks = 0;  // failed deployments rolled back
   std::int64_t orphans_reaped = 0;    // apps lease-reaped by runtimes
 
+  /// Predictive-SLO outcomes (all zero when deadline_ms is 0).
+  std::int64_t slo_windows = 0;           // (app, window) pairs scored
+  std::int64_t slo_windows_violated = 0;  // mean delay past the deadline
+  std::int64_t predict_triggers = 0;      // adapter predictive firings
+
   /// Sharded-control-plane outcomes (all zero with one coordinator).
+  std::int64_t shard_failovers = 0;  // submissions rerouted off dead shards
   std::int64_t shard_submitted = 0;
   std::int64_t shard_admitted = 0;
   std::int64_t shard_rejected = 0;

@@ -91,9 +91,15 @@ void NodeMonitor::on_unit_dropped() { outcomes_.record(true); }
 NodeStats NodeMonitor::snapshot() const {
   NodeStats s;
   s.node = node_;
+  // Effective capacity, not nominal: a degraded access link (chaos
+  // bandwidth fault) must show in the snapshot, or every stats-driven
+  // consumer — composition costs, adapter re-solves, latency prediction —
+  // plans against bandwidth that does not exist and only finds out
+  // through drops.
   const auto& cap = network_.topology().nodes[std::size_t(node_)];
-  s.capacity_in_kbps = cap.bw_in_kbps;
-  s.capacity_out_kbps = cap.bw_out_kbps;
+  const double scale = network_.bandwidth_scale(node_);
+  s.capacity_in_kbps = cap.bw_in_kbps * scale;
+  s.capacity_out_kbps = cap.bw_out_kbps * scale;
   s.used_in_kbps = in_kbps_window_.mean();
   s.used_out_kbps = out_kbps_window_.mean();
   s.cpu_used_fraction = cpu_window_.mean();

@@ -297,4 +297,9 @@ std::uint64_t LeaseGranter::epoch(std::int32_t shard) const {
   return it == grants_.end() ? 0 : it->second.epoch;
 }
 
+bool LeaseGranter::holder_suspect(std::int32_t shard) const {
+  const auto it = grants_.find(shard);
+  return it != grants_.end() && it->second.expired;
+}
+
 }  // namespace rasc::runtime

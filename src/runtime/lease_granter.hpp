@@ -89,6 +89,12 @@ class LeaseGranter {
   double remaining_in_kbps(std::int32_t shard) const;
   double remaining_out_kbps(std::int32_t shard) const;
   std::uint64_t epoch(std::int32_t shard) const;
+  /// True when shard's coordinator looks dead from this node: it held a
+  /// grant here but let it lapse unrenewed (healthy shards renew every
+  /// lease_renew << lease_duration, so an expired grant means several
+  /// consecutive renewals were missed). Nodes that never granted to the
+  /// shard report false — absence of evidence is not suspicion.
+  bool holder_suspect(std::int32_t shard) const;
   /// High-water mark of (sum of outstanding grants) - (grantable pool),
   /// in kbps; stays 0 when no grant ever over-promised capacity.
   double overgrant_high_water_kbps() const { return overgrant_high_water_; }

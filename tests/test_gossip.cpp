@@ -375,6 +375,40 @@ TEST(GossipRunner, ConvergesUnderChurnDeterministically) {
   EXPECT_EQ(m.delivered, replay.delivered);
 }
 
+TEST(GossipRunner, GossipFedAdapterAdaptsWithoutCentralStats) {
+  // In gossip mode the RateAdapter reads its stats from the node-local
+  // partial view instead of round-tripping StatsQueryMsg to a central
+  // StatsAgent: the adaptation loop must still run, and the run must
+  // replay byte-for-byte.
+  auto cfg = gossip_run();
+  cfg.world.net.bw_min_kbps = 300;
+  cfg.world.net.bw_max_kbps = 4000;
+  cfg.workload.avg_rate_kbps = 300;
+  cfg.steady_duration = sim::sec(20);
+  cfg.chaos_scenario = "load-drift:mag=0.2";
+  cfg.chaos_seed = 7;
+  cfg.adapt_interval = sim::msec(2000);
+  std::vector<obs::MetricRow> a, b;
+  const auto m = exp::run_experiment(cfg, &a);
+  EXPECT_GT(m.gossip_admitted, 0);
+  EXPECT_GT(m.adapt_attempts, 0)
+      << "the view-fed adapter never completed a round";
+  const auto replay = exp::run_experiment(cfg, &b);
+  // adapt.solve_us is wall-clock; strip it before comparing bytes.
+  auto strip = [](const std::string& csv) {
+    std::istringstream in(csv);
+    std::string line, out;
+    while (std::getline(in, line)) {
+      if (line.find("adapt.solve_us") != std::string::npos) continue;
+      out += line + '\n';
+    }
+    return out;
+  };
+  EXPECT_EQ(strip(snapshot_csv(a)), strip(snapshot_csv(b)));
+  EXPECT_EQ(m.adapt_attempts, replay.adapt_attempts);
+  EXPECT_EQ(m.adapt_deltas, replay.adapt_deltas);
+}
+
 TEST(GossipRunner, SurvivesMonitorBlackout) {
   auto cfg = gossip_run();
   cfg.chaos_scenario = "monitor-blackout";

@@ -1,0 +1,347 @@
+// The M/G/1 latency model: closed-form anchors (M/D/1 at zero jitter),
+// saturation semantics, plan walking, a discrete-event cross-check of the
+// Pollaczek-Khinchine formula, and deadline admission through the
+// composer (§2.1 latency bounds, DESIGN.md §16).
+#include "core/latency_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/mincost_composer.hpp"
+
+namespace rasc::core {
+namespace {
+
+constexpr std::int64_t kUnitBytes = 1250;
+
+runtime::ServiceCatalog catalog(double jitter = 0.0) {
+  runtime::ServiceCatalog c;
+  c.add({"a", sim::msec(2), 1.0, 1.0, jitter});
+  c.add({"b", sim::msec(1), 1.0, 1.0, jitter});
+  return c;
+}
+
+LatencyModel::Options flat_links(double ms) {
+  LatencyModel::Options options;
+  options.link_latency_ms = [ms](sim::NodeIndex a, sim::NodeIndex b) {
+    return a == b ? 0.0 : ms;
+  };
+  return options;
+}
+
+monitor::NodeStats idle_node(sim::NodeIndex idx, double cap_kbps = 100000.0) {
+  monitor::NodeStats s;
+  s.node = idx;
+  s.capacity_in_kbps = cap_kbps;
+  s.capacity_out_kbps = cap_kbps;
+  s.drop_samples = 1;
+  return s;
+}
+
+/// One substream, one placement per stage, all at `ups` units/sec.
+runtime::AppPlan chain_plan(const std::vector<std::string>& services,
+                            const std::vector<sim::NodeIndex>& nodes,
+                            double ups) {
+  runtime::AppPlan plan;
+  plan.app = 1;
+  plan.source = 100;
+  plan.destination = 101;
+  runtime::SubstreamPlan sub;
+  sub.rate_units_per_sec = ups;
+  sub.unit_bytes = kUnitBytes;
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    runtime::StagePlan stage;
+    stage.service = services[i];
+    stage.placements.push_back(runtime::Placement{nodes[i], ups});
+    sub.stages.push_back(std::move(stage));
+  }
+  plan.substreams.push_back(std::move(sub));
+  return plan;
+}
+
+TEST(LatencyModel, MD1ClosedFormAtZeroJitter) {
+  // With j = 0 the P-K wait must reduce *exactly* to the M/D/1 form
+  // W = rho m / (2 (1 - rho)) across the whole stable range.
+  for (const double m : {0.5, 2.0, 10.0}) {
+    for (double rho = 0.05; rho < 0.96; rho += 0.05) {
+      const double expected = rho * m / (2.0 * (1.0 - rho));
+      EXPECT_DOUBLE_EQ(LatencyModel::mg1_wait_ms(m, 0.0, rho, 0.98),
+                       expected)
+          << "m=" << m << " rho=" << rho;
+    }
+  }
+}
+
+TEST(LatencyModel, JitterInflatesWaitByUniformSecondMoment) {
+  // Uniform jitter j has E[S^2] = m^2 (1 + j^2/3): the wait scales by
+  // exactly (1 + j^2/3) relative to deterministic service.
+  const double m = 2.0, rho = 0.6;
+  const double base = LatencyModel::mg1_wait_ms(m, 0.0, rho, 0.98);
+  for (const double j : {0.1, 0.3, 0.5}) {
+    EXPECT_DOUBLE_EQ(LatencyModel::mg1_wait_ms(m, j, rho, 0.98),
+                     base * (1.0 + j * j / 3.0));
+  }
+  // More jitter, more wait — strictly monotone.
+  EXPECT_LT(LatencyModel::mg1_wait_ms(m, 0.1, rho, 0.98),
+            LatencyModel::mg1_wait_ms(m, 0.5, rho, 0.98));
+}
+
+TEST(LatencyModel, SaturationAndIdleEdges) {
+  EXPECT_EQ(LatencyModel::mg1_wait_ms(2.0, 0.0, 0.0, 0.98), 0.0);
+  EXPECT_EQ(LatencyModel::mg1_wait_ms(2.0, 0.0, -0.5, 0.98), 0.0);
+  EXPECT_TRUE(std::isinf(LatencyModel::mg1_wait_ms(2.0, 0.0, 0.98, 0.98)));
+  EXPECT_TRUE(std::isinf(LatencyModel::mg1_wait_ms(2.0, 0.0, 1.5, 0.98)));
+}
+
+TEST(LatencyModel, SaturatedUsesAggregateCpuAndTreatsUnknownAsIdle) {
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(1.0));
+  // Unknown node: idle base, only the added load counts.
+  EXPECT_FALSE(model.saturated(nullptr, 0.5));
+  EXPECT_TRUE(model.saturated(nullptr, 0.99));
+  // Base is max(measured, reserved) — reservation lag must not hide load.
+  monitor::NodeStats s = idle_node(1);
+  s.cpu_used_fraction = 0.3;
+  s.cpu_reserved_fraction = 0.7;
+  EXPECT_FALSE(model.saturated(&s, 0.2));
+  EXPECT_TRUE(model.saturated(&s, 0.3));
+}
+
+TEST(LatencyModel, RequiresLinkLatencyFunction) {
+  const auto cat = catalog();
+  EXPECT_THROW(LatencyModel(cat, LatencyModel::Options{}),
+               std::invalid_argument);
+}
+
+TEST(LatencyModel, PredictsChainOfLinksWaitsAndServiceTimes) {
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(5.0));
+  // 100 ups through "a" (2 ms/unit): rho = 0.2 on an idle node.
+  const auto plan = chain_plan({"a"}, {1}, 100.0);
+  const auto idle = idle_node(1);
+  const double got = model.predict_ms(
+      plan, [&idle](sim::NodeIndex n) -> const monitor::NodeStats* {
+        return n == 1 ? &idle : nullptr;
+      });
+  const double rho = 100.0 * 0.002;
+  // Each traversed port of a node with known capacity pays serialization
+  // plus the M/D/1 port wait at the plan's own wire rate (100 ups * 1250 B
+  // = 1000 kbps on a 100 Mbps access link). The source and destination
+  // have no stats here, so only node 1's ingress and egress count.
+  const double tx = double(kUnitBytes) * 8.0 / 100000.0;
+  const double port =
+      tx + LatencyModel::mg1_wait_ms(tx, 0.0, 1000.0 / 100000.0, 0.98);
+  const double expected = 5.0 + port +
+                          LatencyModel::mg1_wait_ms(2.0, 0.0, rho, 0.98) +
+                          2.0 + 5.0 + port;
+  EXPECT_NEAR(got, expected, 1e-9);
+}
+
+TEST(LatencyModel, SaggedAccessLinkShowsInPrediction) {
+  // A chaos bandwidth fault scales the monitored (effective) capacity;
+  // the plan's own 250 kbps on a 300 kbps link runs the port at rho 0.83
+  // and the predicted latency must spike long before drops appear. At or
+  // past capacity the queue has no steady state: prediction is infinite.
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(1.0));
+  const auto plan = chain_plan({"a"}, {1}, 25.0);  // 250 kbps of wire
+  const auto stats_for = [](const monitor::NodeStats* s) {
+    return [s](sim::NodeIndex n) -> const monitor::NodeStats* {
+      return n == 1 ? s : nullptr;
+    };
+  };
+  const auto healthy = idle_node(1, 4000.0);
+  const auto sagged = idle_node(1, 300.0);
+  const double fast = model.predict_ms(plan, stats_for(&healthy));
+  const double slow = model.predict_ms(plan, stats_for(&sagged));
+  EXPECT_GT(slow, fast + 50.0);  // tens of ms of port queueing
+  const auto saturated = idle_node(1, 250.0);  // rho 1.0 >= cap
+  EXPECT_TRUE(
+      std::isinf(model.predict_ms(plan, stats_for(&saturated))));
+}
+
+TEST(LatencyModel, BaseUtilizationFromStatsRaisesPrediction) {
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(5.0));
+  const auto plan = chain_plan({"a"}, {1}, 100.0);
+  auto busy = idle_node(1);
+  busy.cpu_used_fraction = 0.6;
+  const auto idle = idle_node(1);
+  const auto stats_for = [](const monitor::NodeStats* s) {
+    return [s](sim::NodeIndex n) -> const monitor::NodeStats* {
+      return n == 1 ? s : nullptr;
+    };
+  };
+  EXPECT_GT(model.predict_ms(plan, stats_for(&busy)),
+            model.predict_ms(plan, stats_for(&idle)));
+  // Past the cap the prediction is unbounded.
+  busy.cpu_used_fraction = 0.97;  // + 0.2 own load >= 0.98 cap
+  EXPECT_TRUE(std::isinf(model.predict_ms(plan, stats_for(&busy))));
+}
+
+TEST(LatencyModel, AppLatencyIsMaxOverSubstreams) {
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(5.0));
+  auto plan = chain_plan({"a"}, {1}, 100.0);
+  auto slow = chain_plan({"a", "b"}, {2, 3}, 200.0);
+  plan.substreams.push_back(slow.substreams[0]);
+  std::vector<double> per;
+  const double got = model.predict_ms(
+      plan, [](sim::NodeIndex) -> const monitor::NodeStats* { return nullptr; },
+      &per);
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_DOUBLE_EQ(got, std::max(per[0], per[1]));
+  EXPECT_GT(per[1], per[0]);  // extra hop + higher rho
+}
+
+TEST(LatencyModel, CoLocationSharesTheCpu) {
+  // Two stages of the same substream on one node: each queue sees the
+  // node's aggregate rho (0.2 + 0.1), not its own component's share.
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(0.0));
+  const auto colocated = chain_plan({"a", "b"}, {1, 1}, 100.0);
+  const auto spread = chain_plan({"a", "b"}, {1, 2}, 100.0);
+  const auto no_stats = [](sim::NodeIndex) -> const monitor::NodeStats* {
+    return nullptr;
+  };
+  EXPECT_GT(model.predict_ms(colocated, no_stats),
+            model.predict_ms(spread, no_stats));
+}
+
+// Discrete-event cross-check: a Poisson-arrival, deterministic-service
+// queue simulated directly must land on the P-K prediction. Fixed-seed
+// RNG, no wall clock — fully deterministic.
+TEST(LatencyModel, MD1SimulationMatchesPrediction) {
+  const double service_ms = 2.0;
+  const double rho = 0.7;
+  const double lambda_per_ms = rho / service_ms;
+  std::mt19937_64 rng(0x4d443149);  // "MD1I"
+  std::exponential_distribution<double> interarrival(lambda_per_ms);
+
+  double clock_ms = 0, server_free_ms = 0, wait_sum = 0;
+  const int kArrivals = 200000;
+  for (int i = 0; i < kArrivals; ++i) {
+    clock_ms += interarrival(rng);
+    const double start = std::max(clock_ms, server_free_ms);
+    wait_sum += start - clock_ms;
+    server_free_ms = start + service_ms;
+  }
+  const double simulated = wait_sum / kArrivals;
+  const double predicted =
+      LatencyModel::mg1_wait_ms(service_ms, 0.0, rho, 0.98);
+  EXPECT_NEAR(simulated, predicted, 0.10 * predicted);
+}
+
+// Tandem check: two deterministic-service queues in series, fed by
+// Poisson arrivals, against predict_ms over a two-stage plan. Departures
+// of an M/D/1 queue are not Poisson, so the model is an approximation at
+// the second stage — 15% is the accepted envelope.
+TEST(LatencyModel, TandemSimulationWithinModelEnvelope) {
+  const double ups = 350.0;  // rho = 0.7 at stage "a", 0.35 at "b"
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(0.0));
+  const auto plan = chain_plan({"a", "b"}, {1, 2}, ups);
+  const double predicted = model.predict_ms(
+      plan, [](sim::NodeIndex) -> const monitor::NodeStats* {
+        return nullptr;
+      });
+
+  const double m1 = 2.0, m2 = 1.0;  // ms, from the catalog
+  std::mt19937_64 rng(0x54414e44);  // "TAND"
+  std::exponential_distribution<double> interarrival(ups / 1000.0);
+  double clock_ms = 0, free1 = 0, free2 = 0, total = 0;
+  const int kArrivals = 200000;
+  for (int i = 0; i < kArrivals; ++i) {
+    clock_ms += interarrival(rng);
+    const double start1 = std::max(clock_ms, free1);
+    free1 = start1 + m1;
+    const double start2 = std::max(free1, free2);
+    free2 = start2 + m2;
+    total += free2 - clock_ms;
+  }
+  const double simulated = total / kArrivals;
+  EXPECT_NEAR(simulated, predicted, 0.15 * predicted);
+}
+
+// --- Deadline admission through the composer ---
+
+ComposeInput admission_input(const runtime::ServiceCatalog& cat) {
+  ComposeInput input;
+  input.catalog = &cat;
+  input.request.app = 1;
+  input.request.source = 100;
+  input.request.destination = 101;
+  input.request.unit_bytes = kUnitBytes;
+  input.request.substreams = {{{"a"}, 100.0}};  // 10 delivered ups
+  input.source_stats = idle_node(100);
+  input.destination_stats = idle_node(101);
+  input.providers["a"] = {idle_node(1)};
+  return input;
+}
+
+TEST(LatencyModel, ComposerAdmitsWithinDeadline) {
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(5.0));
+  MinCostComposer::Options options;
+  options.latency_model = &model;
+  MinCostComposer composer(options);
+  auto input = admission_input(cat);
+  input.request.deadline_ms = 100.0;
+  const auto r = composer.compose(input);
+  ASSERT_TRUE(r.admitted) << r.error;
+  EXPECT_GE(r.predicted_latency_ms, 10.0);  // at least the two hops
+  EXPECT_LE(r.predicted_latency_ms, input.request.deadline_ms);
+}
+
+TEST(LatencyModel, ComposerRejectsPastDeadline) {
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(5.0));
+  MinCostComposer::Options options;
+  options.latency_model = &model;
+  MinCostComposer composer(options);
+  auto input = admission_input(cat);
+  input.request.deadline_ms = 1.0;  // below even the link latency
+  const auto r = composer.compose(input);
+  EXPECT_FALSE(r.admitted);
+  EXPECT_NE(r.error.find("deadline"), std::string::npos) << r.error;
+  EXPECT_TRUE(r.plan.substreams.empty());
+}
+
+TEST(LatencyModel, ComposerRoutesAroundSaturatedNode) {
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(5.0));
+  MinCostComposer::Options options;
+  options.latency_model = &model;
+  MinCostComposer composer(options);
+  auto input = admission_input(cat);
+  input.request.deadline_ms = 100.0;
+  auto hot = idle_node(1);
+  hot.cpu_used_fraction = 0.99;  // past the utilization cap
+  input.providers["a"] = {hot, idle_node(2)};
+  const auto r = composer.compose(input);
+  ASSERT_TRUE(r.admitted) << r.error;
+  for (const auto& p : r.plan.substreams[0].stages[0].placements) {
+    EXPECT_EQ(p.node, 2);
+  }
+}
+
+TEST(LatencyModel, NoDeadlineIgnoresModel) {
+  // deadline_ms == 0: the model must not reject anything, even an
+  // obviously saturated placement — legacy behavior is untouched.
+  const auto cat = catalog();
+  const LatencyModel model(cat, flat_links(5.0));
+  MinCostComposer::Options options;
+  options.latency_model = &model;
+  MinCostComposer composer(options);
+  auto input = admission_input(cat);
+  const auto r = composer.compose(input);
+  ASSERT_TRUE(r.admitted) << r.error;
+  EXPECT_EQ(r.predicted_latency_ms, -1);
+}
+
+}  // namespace
+}  // namespace rasc::core

@@ -202,6 +202,47 @@ TEST(RateAdapterRunner, DisabledAdapterIsByteNeutral) {
   EXPECT_EQ(snapshot_csv(cfg), baseline);
 }
 
+TEST(RateAdapterRunner, PredictiveTriggersUnderDriftDeterministically) {
+  // A deadline close to the undisturbed end-to-end delay plus a capacity
+  // drift: predicted latency crosses the deadline on some rounds and the
+  // adapter must fire through the hysteresis gate, without escalating to
+  // teardowns.
+  auto cfg = drift_config();
+  cfg.adapt_interval = sim::msec(2000);
+  cfg.deadline_ms = 200;
+  cfg.adapt_predictive = true;
+  exp::RunMetrics a, b;
+  const auto snap_a = drop_wall_clock_rows(snapshot_csv(cfg, &a));
+  EXPECT_GT(a.composed, 0);
+  EXPECT_GT(a.adapt_attempts, 0);
+  EXPECT_GT(a.predict_triggers, 0)
+      << "drift never pushed a predicted latency past the deadline";
+  EXPECT_GT(a.slo_windows, 0);
+  const auto snap_b = drop_wall_clock_rows(snapshot_csv(cfg, &b));
+  EXPECT_EQ(snap_a, snap_b);
+  EXPECT_EQ(a.predict_triggers, b.predict_triggers);
+}
+
+TEST(RateAdapterRunner, PredictiveOffIsByteNeutralGivenSameDeadline) {
+  // Same deadline, adapt_predictive toggled off: the reactive run must
+  // not see a single predictive artifact (no adapt.predict_triggers
+  // cell), and the flag alone must not perturb the predictive-off bytes.
+  auto cfg = drift_config();
+  cfg.adapt_interval = sim::msec(2000);
+  cfg.deadline_ms = 200;
+  exp::RunMetrics m;
+  const auto reactive = drop_wall_clock_rows(snapshot_csv(cfg, &m));
+  EXPECT_EQ(m.predict_triggers, 0);
+  EXPECT_EQ(reactive.find("adapt.predict_triggers"), std::string::npos);
+  // predictive without an adapter interval is inert too.
+  auto inert = drift_config();
+  inert.deadline_ms = 120;
+  inert.adapt_predictive = true;
+  auto plain = drift_config();
+  plain.deadline_ms = 120;
+  EXPECT_EQ(snapshot_csv(inert), snapshot_csv(plain));
+}
+
 TEST(RateAdapterRunner, LoadDriftAcceptance) {
   // The PR's acceptance criterion. Baseline (teardown-only supervision):
   // the drift costs at least one recompose episode or the delivered-rate

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 namespace rasc::exp {
 namespace {
 
@@ -67,6 +69,63 @@ TEST(Runner, UnknownAlgorithmThrows) {
   auto cfg = small_config("mincost");
   cfg.algorithm = "quantum";
   EXPECT_THROW(run_experiment(cfg), std::invalid_argument);
+}
+
+std::string snapshot_csv(const RunConfig& cfg, RunMetrics* metrics_out) {
+  std::vector<obs::MetricRow> rows;
+  const auto m = run_experiment(cfg, &rows);
+  if (metrics_out != nullptr) *metrics_out = m;
+  std::ostringstream out;
+  obs::MetricRegistry::write_csv(rows, out);
+  return out.str();
+}
+
+TEST(Runner, NoDeadlineIsByteInert) {
+  // deadline_ms == 0: no LatencyModel, no predict.*/slo.* cell, and the
+  // other predictive knobs must not perturb a single byte.
+  auto cfg = small_config("mincost");
+  RunMetrics m;
+  const auto baseline = snapshot_csv(cfg, &m);
+  EXPECT_EQ(baseline.find("predict."), std::string::npos);
+  EXPECT_EQ(baseline.find("slo."), std::string::npos);
+  EXPECT_EQ(m.slo_windows, 0);
+  EXPECT_EQ(m.slo_windows_violated, 0);
+  EXPECT_EQ(m.predict_triggers, 0);
+
+  cfg.adapt_predictive = true;  // inert without a deadline
+  cfg.slo_window = sim::msec(137);
+  RunMetrics tweaked;
+  EXPECT_EQ(snapshot_csv(cfg, &tweaked), baseline);
+  EXPECT_EQ(tweaked.predict_triggers, 0);
+}
+
+TEST(Runner, DeadlineRunPredictsAndScoresWindows) {
+  auto cfg = small_config("mincost");
+  cfg.deadline_ms = 500;  // generous: the load fits comfortably
+  RunMetrics m;
+  const auto snap = snapshot_csv(cfg, &m);
+  EXPECT_GT(m.composed, 0) << "a generous deadline must not reject";
+  EXPECT_NE(snap.find("predict.latency_ms"), std::string::npos)
+      << "admitted apps must export their predicted latency";
+  EXPECT_NE(snap.find("slo.windows"), std::string::npos);
+  EXPECT_GT(m.slo_windows, 0);
+  EXPECT_LE(m.slo_windows_violated, m.slo_windows);
+  // The deadline sits far above the small scenario's actual delays.
+  EXPECT_LT(double(m.slo_windows_violated), 0.5 * double(m.slo_windows));
+
+  // Same config replays byte-for-byte (the SLO probe and model are
+  // deterministic).
+  RunMetrics replay;
+  EXPECT_EQ(snapshot_csv(cfg, &replay), snap);
+  EXPECT_EQ(replay.slo_windows_violated, m.slo_windows_violated);
+}
+
+TEST(Runner, ImpossibleDeadlineRejectsEverything) {
+  auto cfg = small_config("mincost");
+  cfg.deadline_ms = 0.001;  // below any link's one-way latency
+  const auto m = run_experiment(cfg);
+  EXPECT_EQ(m.composed, 0);
+  EXPECT_EQ(m.emitted, 0);
 }
 
 TEST(Runner, AccountingBalances) {

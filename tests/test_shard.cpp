@@ -246,6 +246,49 @@ TEST(ShardRunner, TwoShardsAdmitAndStream) {
   EXPECT_GT(m.lease_grants, 0);
   EXPECT_GT(m.shard_batches, 0);
   EXPECT_EQ(m.lease_overgrant_kbps, 0.0) << "double-reserved bandwidth";
+  EXPECT_EQ(m.shard_failovers, 0) << "healthy shards must never fail over";
+}
+
+TEST(LeaseGranter, HolderSuspectOnlyAfterExpiry) {
+  exp::World world(tiny_world());
+  const sim::SimTime t0 = world.simulator().now();
+  runtime::LeaseGranter::Params params;
+  params.lease_duration = sim::sec(2);
+  params.shards = 2;
+  auto& granter = world.host(0).enable_lease_granter(params);
+  // No grant yet: absence of evidence is not suspicion.
+  EXPECT_FALSE(granter.holder_suspect(0));
+  request_lease(world, sim::msec(10), 0, 1, /*shard=*/0, 1);
+  world.simulator().run_until(t0 + sim::msec(500));
+  EXPECT_FALSE(granter.holder_suspect(0)) << "a live grant is not suspect";
+  // The holder never renews: once the grant lapses it becomes suspect.
+  world.simulator().run_until(t0 + sim::sec(5));
+  EXPECT_TRUE(granter.holder_suspect(0));
+  EXPECT_FALSE(granter.holder_suspect(1)) << "other shards unaffected";
+}
+
+TEST(ShardRunner, DeadShardSubmissionsFailOverToLiveShard) {
+  // Crash shard 0's home (node 0 with 16 nodes / 2 shards) early. Once
+  // its grants lapse on the source nodes, later submissions hashed to the
+  // dead shard must reroute to shard 1 instead of timing out against a
+  // silent coordinator.
+  auto cfg = sharded_run(2);
+  cfg.workload.num_requests = 14;
+  cfg.submit_gap = sim::msec(800);
+  cfg.lease_duration = sim::sec(2);
+  cfg.lease_renew = sim::msec(800);
+  cfg.chaos_scenario = "single-crash:at=2s,node=0,duration=0s";
+  cfg.steady_duration = sim::sec(10);
+  std::vector<obs::MetricRow> a, b;
+  const auto m = exp::run_experiment(cfg, &a);
+  EXPECT_GT(m.faults_injected, 0);
+  EXPECT_GT(m.shard_failovers, 0)
+      << "submissions kept going to the dead shard";
+  EXPECT_GT(m.shard_admitted, 0) << "the live shard should still admit";
+  EXPECT_GT(m.delivered, 0);
+  exp::run_experiment(cfg, &b);
+  EXPECT_EQ(snapshot_csv(a), snapshot_csv(b))
+      << "failover rerouting must replay byte-for-byte";
 }
 
 TEST(ShardRunner, RepeatedShardedRunsAreByteIdentical) {
