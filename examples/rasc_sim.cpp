@@ -13,6 +13,7 @@
 //       [--deploy-retries 3] [--deploy-rollback] [--orphan-lease-ms 8000]
 //       [--coordinators 4] [--admission-policy smallest-demand]
 //       [--batch-window-ms 100] [--lease-ms 12000] [--lease-renew-ms 5000]
+//       [--shard-standby] [--standby-check-ms 500] [--submit-retry-ms 0]
 //       [--control-plane centralized|sharded|gossip] [--gossip-fanout 3]
 //       [--gossip-interval-ms 500] [--gossip-budget-bytes 3200]
 //       [--gossip-stale-rounds 30] [--sim-threads 8]
@@ -53,6 +54,15 @@
 // shard-side renewal period. With the default --coordinators 1 none of
 // this machinery is constructed and output is byte-identical to
 // pre-shard builds.
+//
+// --shard-standby gives every shard a dormant standby coordinator on a
+// second node: it detects the primary's death through its local lease
+// granter, fences the zombie with a takeover epoch, reconstructs the
+// shard state from the fleet and adopts the orphaned apps (DESIGN.md
+// §17). --standby-check-ms sets the watchdog period. --submit-retry-ms
+// > 0 journals submissions at the source and re-submits those whose
+// outcome never arrived (lost in a dead primary's batch window). Both
+// default off and leave output byte-identical.
 //
 // --deadline-ms stamps an end-to-end latency SLO on every request:
 // composers predict each plan's latency with the M/G/1 queueing model
@@ -151,6 +161,12 @@ int main(int argc, char** argv) {
   cfg.batch_window = sim::msec(flags.get_int("batch-window-ms", 100));
   cfg.lease_duration = sim::msec(flags.get_int("lease-ms", 12000));
   cfg.lease_renew = sim::msec(flags.get_int("lease-renew-ms", 5000));
+
+  // Shard re-homing (default off = no standby objects, byte-identical
+  // output).
+  cfg.shard_standby = flags.get_bool("shard-standby", false);
+  cfg.standby_check = sim::msec(flags.get_int("standby-check-ms", 500));
+  cfg.submit_retry = sim::msec(flags.get_int("submit-retry-ms", 0));
 
   // Control-plane selection and gossip knobs (empty = legacy behavior).
   cfg.control_plane = flags.get_string("control-plane", "");
@@ -257,6 +273,15 @@ int main(int argc, char** argv) {
       if (m.shard_failovers > 0) {
         std::printf("rep %d: shard failovers %lld\n", rep,
                     (long long)m.shard_failovers);
+      }
+      if (m.shard_rehomes > 0 || m.shard_fenced > 0 ||
+          m.shard_resubmits > 0) {
+        std::printf(
+            "rep %d: shard rehomes %lld | adopted %lld | reclaimed %lld | "
+            "fenced %lld | resubmits %lld\n",
+            rep, (long long)m.shard_rehomes, (long long)m.shard_adopted,
+            (long long)m.shard_reclaimed, (long long)m.shard_fenced,
+            (long long)m.shard_resubmits);
       }
     }
     if (m.gossip_submitted > 0) {

@@ -35,7 +35,7 @@ std::vector<std::string> scenario_names() {
   return {"none",          "single-crash", "multi-crash",
           "churn",         "flapping-link", "cascade",
           "monitor-blackout", "control-jitter", "load-drift",
-          "control-loss",  "coordinator-crash"};
+          "control-loss",  "coordinator-crash", "shard-takeover"};
 }
 
 Scenario make_scenario(const std::string& name) {
@@ -206,6 +206,19 @@ Scenario make_scenario(const std::string& name) {
     Fault crash;
     crash.kind = FaultKind::kCrash;
     crash.at = sim::sec(2);
+    s.faults.push_back(crash);
+    return s;
+  }
+  if (name == "shard-takeover") {
+    // Kill shard 0's home deterministically (node 0 under the plane's
+    // s*N/K placement) once streams are established: the standby
+    // re-homing drill. Override duration (e.g. duration=15s) to bring
+    // the node back as a fenced zombie; node= moves the victim.
+    Fault crash;
+    crash.kind = FaultKind::kCrash;
+    crash.target.kind = TargetKind::kExplicit;
+    crash.target.node = 0;
+    crash.at = sim::sec(8);
     s.faults.push_back(crash);
     return s;
   }

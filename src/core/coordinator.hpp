@@ -8,6 +8,7 @@
 // the simulation, so composition itself costs time and bandwidth.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <memory>
@@ -39,6 +40,11 @@ struct SubmitOutcome {
   /// or local failure). A sharded caller repairs its plan against these
   /// instead of treating the rejection as final.
   std::vector<sim::NodeIndex> nacked;
+  /// Home of the coordinator shard that admitted the app (kInvalidNode on
+  /// the unsharded path). After a standby takeover this is the standby's
+  /// node, not the hash home — the caller must attach the app's adapter
+  /// and supervisor here.
+  sim::NodeIndex admitted_by = sim::kInvalidNode;
 };
 
 class Coordinator {
@@ -120,6 +126,15 @@ class Coordinator {
 
   /// Consumes DeployAck packets addressed to this coordinator.
   bool handle_packet(const sim::Packet& packet);
+
+  /// Fast-forwards the deploy-epoch counter to at least `floor`. A
+  /// standby adopting a dead coordinator's apps calls this with the
+  /// highest epoch the fleet recorded for them, so this coordinator's
+  /// subsequent attempts supersede (rather than lose to) the dead
+  /// primary's stamps at the epoch gate.
+  void advance_epochs(std::uint64_t floor) {
+    epoch_counter_ = std::max(epoch_counter_, floor);
+  }
 
   /// The node this coordinator lives on.
   sim::NodeIndex node() const { return node_; }

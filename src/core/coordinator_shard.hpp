@@ -40,9 +40,14 @@
 #include "obs/metric_registry.hpp"
 #include "overlay/pastry_node.hpp"
 #include "overlay/registry.hpp"
+#include "runtime/rehome_messages.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+
+namespace rasc::runtime {
+class LeaseGranter;
+}
 
 namespace rasc::core {
 
@@ -100,7 +105,35 @@ class CoordinatorShard {
     /// enough for the renewal round-trip its retry depends on.
     sim::SimDuration retry_delay = sim::msec(600);
     LeaseManager::Params lease;
+
+    // --- Standby mode (shard re-homing) ---
+    /// This instance shadows `primary_home` from its own node: it stays
+    /// dormant (no leases, no batches) until its local granter reports
+    /// the primary's lease lapsed, then takes the shard over — fencing
+    /// the primary with a takeover epoch, reconstructing the shard's
+    /// state from the fleet, and adopting the orphaned apps.
+    bool standby = false;
+    sim::NodeIndex primary_home = sim::kInvalidNode;
+    /// Watchdog poll period of the local holder_suspect signal.
+    sim::SimDuration standby_check = sim::msec(500);
+    /// Reply-collection window of the reconstruction broadcast; replies
+    /// arriving later are ignored (deterministic adoption deadline).
+    sim::SimDuration reconstruct_timeout = sim::sec(1);
+    /// Deadline stamped on adopted requests: the original SLO is not
+    /// recoverable from runtime state, so the plane's configured default
+    /// applies.
+    double default_deadline_ms = 0;
   };
+
+  /// Adoption callout: the experiment runner re-attaches supervision and
+  /// rate adaptation for an app this shard adopted (mirrors what it does
+  /// for a freshly admitted submission). `home` is the adopting shard's
+  /// home node; `providers` the re-discovered service provider lists.
+  using AdoptHandler = std::function<void(
+      sim::NodeIndex home, const ServiceRequest& request,
+      const runtime::AppPlan& plan,
+      const std::map<std::string, std::vector<sim::NodeIndex>>& providers,
+      sim::SimTime stream_stop)>;
 
   /// `coordinator` is the home node's (phase-4 deployment) coordinator,
   /// `composer` this shard's private composition algorithm. `registry`
@@ -135,6 +168,17 @@ class CoordinatorShard {
   const LeaseManager& leases() const { return lease_; }
   LeaseManager& leases() { return lease_; }
 
+  /// Wires in the home node's granter — the standby's death detector
+  /// (its view of the primary's lease lapsing is the takeover trigger).
+  void set_local_granter(const runtime::LeaseGranter* granter) {
+    local_granter_ = granter;
+  }
+  void set_adopt_handler(AdoptHandler handler) {
+    adopt_handler_ = std::move(handler);
+  }
+  /// False only for a dormant standby.
+  bool active() const { return active_; }
+
  private:
   struct Job {
     ServiceRequest request;
@@ -154,10 +198,34 @@ class CoordinatorShard {
   };
   using JobPtr = std::shared_ptr<Job>;
 
+  /// Pending adoption: the rebuilt request/plan waiting on provider
+  /// re-discovery before the adopt handler fires.
+  struct AdoptDiscovery {
+    ServiceRequest request;
+    runtime::AppPlan plan;
+    std::map<std::string, std::vector<sim::NodeIndex>> providers;
+    sim::SimTime stream_stop = 0;
+    std::size_t outstanding = 0;
+  };
+
   void enqueue(const SubmitShardMsg& msg);
   void lookup_with_retry(const JobPtr& job, const std::string& service,
                          int attempts_left);
   void drain();
+  // --- Standby takeover state machine: suspect -> fence -> reconstruct
+  // -> adopt (DESIGN.md §17) ---
+  void standby_watch();
+  void takeover();
+  void adopt_collected();
+  void adopt_app(runtime::AppId app);
+  void adopt_discover(const ServiceRequest& request,
+                      const runtime::AppPlan& plan, sim::SimTime stream_stop);
+  /// Tears down the surviving fragments of an app whose reconstructed
+  /// state cannot be adopted (a component or endpoint died with the
+  /// primary): live sources of a broken chain keep emitting units that
+  /// can never be delivered, and stranded components hold reservations
+  /// nobody will release.
+  void reclaim_app(runtime::AppId app, const std::set<sim::NodeIndex>& holders);
   /// Re-queues a job whose composition failed against the current view
   /// (bounded; fires an off-cycle renewal first). False when the retry
   /// budget is exhausted and the failure is final.
@@ -181,6 +249,15 @@ class CoordinatorShard {
   std::vector<JobPtr> ready_;
   std::set<runtime::AppId> seen_apps_;
   std::uint64_t seq_counter_ = 0;
+
+  /// False while a standby is dormant; flipped by takeover().
+  bool active_ = true;
+  const runtime::LeaseGranter* local_granter_ = nullptr;
+  AdoptHandler adopt_handler_;
+  sim::SimTime takeover_at_ = 0;
+  std::uint64_t recover_request_id_ = 0;
+  std::vector<runtime::ShardRecoverReplyMsg> recover_replies_;
+  bool adopted_ = false;
   /// Source-rate demand submitted since the last renewal sweep, and its
   /// max-decayed value actually advertised (see the demand provider).
   double demand_window_kbps_ = 0;
@@ -196,6 +273,12 @@ class CoordinatorShard {
   obs::Counter* retries_;
   obs::Histogram* batch_size_;
   obs::Histogram* latency_ms_;
+  // Lazily-created re-homing cells: runs without standbys export
+  // byte-identical snapshots.
+  obs::Counter* rehomes_ = nullptr;
+  obs::Counter* adopted_apps_ = nullptr;
+  obs::Counter* reclaimed_apps_ = nullptr;
+  obs::Histogram* rehome_time_ = nullptr;
 };
 
 }  // namespace rasc::core

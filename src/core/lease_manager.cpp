@@ -54,6 +54,7 @@ void LeaseManager::request_all() {
           req->requester = home_;
           req->request_id = ++request_counter_;
           req->demand_kbps = demand;
+          req->takeover_epoch = takeover_epoch_;
           network_.send(home_, target, runtime::LeaseRequestMsg::kBytes,
                         std::move(req));
         });

@@ -69,6 +69,12 @@ class LeaseManager {
   /// shard's shares before the request retries. Must run on the home LP.
   void renew_now();
 
+  /// Takeover epoch stamped on every renewal request from now on. A
+  /// standby that takes over a dead primary sets a higher epoch before
+  /// its first sweep; the granters then fence off the old holder. The
+  /// default 0 keeps requests byte-identical to pre-rehoming runs.
+  void set_takeover_epoch(std::uint64_t epoch) { takeover_epoch_ = epoch; }
+
   /// Consumes LeaseGrantMsg / LeaseRevokeMsg packets; false otherwise.
   bool handle_packet(const sim::Packet& packet);
 
@@ -138,6 +144,7 @@ class LeaseManager {
   Params params_;
   std::vector<View> views_;
   std::uint64_t request_counter_ = 0;
+  std::uint64_t takeover_epoch_ = 0;
   std::function<double()> demand_provider_;
   sim::SimTime last_renew_ = -1;
 };

@@ -47,6 +47,28 @@ class ShardControlPlane {
     /// Cost-model knobs handed to every shard's composer (latency SLO
     /// admission rides in here; defaults change nothing).
     core::MinCostComposer::Options composer_options;
+
+    // --- Shard re-homing (all off by default: byte-inert) ---
+    /// Give every shard a dormant standby coordinator on another node
+    /// (requires nodes >= 2K; silently disabled otherwise). The standby
+    /// detects the primary's death through its local granter, fences it
+    /// with a takeover epoch, reconstructs the shard state from the
+    /// fleet and adopts the orphaned apps.
+    bool standby = false;
+    sim::SimDuration standby_check = sim::msec(500);
+    sim::SimDuration reconstruct_timeout = sim::sec(1);
+    /// Deadline stamped on adopted requests (the original SLO is not
+    /// recoverable from runtime state).
+    double default_deadline_ms = 0;
+    /// Source-side submission journal: when > 0, a submission whose
+    /// outcome has not arrived after this long is re-submitted (the
+    /// routing re-checks shard suspicion), up to submit_retries times —
+    /// covering requests that died in a crashed primary's batch window.
+    /// 0 (default) keeps the journal off and the plane byte-inert.
+    sim::SimDuration submit_retry = 0;
+    /// Bound on journal re-submissions and on the backoff retries of the
+    /// all-shards-suspect path.
+    int submit_retries = 2;
   };
 
   /// Wires granters and shards into `world`'s hosts. `rng` seeds the
@@ -74,6 +96,21 @@ class ShardControlPlane {
   core::CoordinatorShard& shard(std::int32_t s) {
     return *shards_[std::size_t(s)];
   }
+  /// Standby home of `shard`, or kInvalidNode when it has none.
+  sim::NodeIndex standby_home(std::int32_t shard) const {
+    return std::size_t(shard) < standby_homes_.size()
+               ? standby_homes_[std::size_t(shard)]
+               : sim::kInvalidNode;
+  }
+  /// The standby instance of `shard` (null when standbys are off).
+  core::CoordinatorShard* standby(std::int32_t s) {
+    return std::size_t(s) < standbys_.size() ? standbys_[std::size_t(s)].get()
+                                             : nullptr;
+  }
+
+  /// Installs the adoption callout on every standby (see
+  /// CoordinatorShard::AdoptHandler).
+  void set_adopt_handler(core::CoordinatorShard::AdoptHandler handler);
 
   /// Routes `request` from its source node to its owning shard's
   /// admission queue. Call from a simulation event (the routing message
@@ -82,12 +119,42 @@ class ShardControlPlane {
               sim::SimTime stream_stop, core::Coordinator::Callback done);
 
  private:
+  /// Journal entry of a submission whose outcome is still pending
+  /// (config.submit_retry > 0 only).
+  struct Pending {
+    core::ServiceRequest request;
+    sim::SimTime stream_start = 0;
+    sim::SimTime stream_stop = 0;
+    core::Coordinator::Callback done;
+    int attempts = 0;
+  };
+
+  /// One routing decision + send. Re-entered by the journal and by the
+  /// all-suspect backoff path.
+  void dispatch(const core::ServiceRequest& request,
+                sim::SimTime stream_start, sim::SimTime stream_stop,
+                core::Coordinator::Callback done);
+  /// Exactly-once resolution of a journaled submission: the original and
+  /// a re-submitted copy can both produce outcomes; the first one wins.
+  void resolve_pending(runtime::AppId app, core::SubmitOutcome outcome);
+  void retry_pending(runtime::AppId app);
+  obs::Counter& lazy_counter(const char* name, obs::Counter*& slot);
+
   World& world_;
   Config config_;
   std::vector<std::unique_ptr<core::CoordinatorShard>> shards_;
+  std::vector<std::unique_ptr<core::CoordinatorShard>> standbys_;
+  /// Standby home per shard (empty when standbys are off).
+  std::vector<sim::NodeIndex> standby_homes_;
+  /// Journaled submissions awaiting an outcome, by app.
+  std::map<runtime::AppId, Pending> pending_;
+  /// Backoff attempts of the all-shards-suspect path, by app.
+  std::map<runtime::AppId, int> unreachable_attempts_;
   /// Submissions rerouted away from a dead shard (cell created lazily on
   /// the first failover: healthy runs stay byte-identical).
   obs::Counter* failovers_ = nullptr;
+  obs::Counter* resubmits_ = nullptr;
+  obs::Counter* submit_retries_ = nullptr;
 };
 
 }  // namespace rasc::exp

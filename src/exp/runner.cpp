@@ -71,6 +71,12 @@ RunMetrics run_experiment(const RunConfig& config,
     plane_config.lease_renew = config.lease_renew;
     plane_config.algorithm = config.algorithm;
     plane_config.composer_options = composer_options;
+    plane_config.standby = config.shard_standby;
+    plane_config.standby_check = config.standby_check;
+    plane_config.submit_retry = config.submit_retry;
+    // Adopted apps get the run's deadline back (the original request's
+    // SLO is not recoverable from runtime state).
+    plane_config.default_deadline_ms = config.deadline_ms;
     plane_config.coordinators = std::max(plane_config.coordinators, 2);
     plane = std::make_unique<ShardControlPlane>(
         world, plane_config, simulator.rng().split(0x73686164 /*shad*/));
@@ -120,6 +126,33 @@ RunMetrics run_experiment(const RunConfig& config,
     }
   }
 
+  // Adoption callout: when a standby takes over a dead shard, re-attach
+  // the adapter and supervisor on the standby's home — the same wiring a
+  // fresh admission gets below, minus the metrics (the app was already
+  // counted when first admitted).
+  if (sharded && config.shard_standby) {
+    plane->set_adopt_handler(
+        [&simulator, &world, supervise, adapt, adapt_params](
+            sim::NodeIndex home, const core::ServiceRequest& request,
+            const runtime::AppPlan& plan,
+            const std::map<std::string, std::vector<sim::NodeIndex>>&
+                providers,
+            sim::SimTime stream_stop) {
+          simulator.exclusive([&world, supervise, adapt, adapt_params, home,
+                               request, plan, providers, stream_stop] {
+            auto& host = world.host(std::size_t(home));
+            if (adapt) {
+              host.enable_adapter(adapt_params)
+                  .track(request, plan, providers, stream_stop);
+            }
+            if (supervise) {
+              host.supervisor().watch(request, plan, stream_stop, {});
+            }
+          });
+        });
+  }
+
+  const bool rehome = sharded && config.shard_standby;
   const sim::SimTime t0 = simulator.now();
   // Sharded runs hold submissions until every node's first lease grant
   // landed; gossip runs until the views had a full dissemination sweep;
@@ -151,17 +184,17 @@ RunMetrics run_experiment(const RunConfig& config,
     simulator.call_at(when, [&simulator, &world, &metrics, &request,
                              &composer, &plane, &gossip_plane, stream_stop,
                              supervise, adapt, adapt_params, sharded, gossip,
-                             ctl_node] {
+                             rehome, ctl_node] {
       auto on_outcome = [&simulator, &world, &metrics, &request,
                          &gossip_plane, stream_stop, supervise, adapt,
-                         adapt_params, gossip,
+                         adapt_params, gossip, rehome,
                          ctl_node](const core::SubmitOutcome& outcome) {
         // The outcome handler mutates run-wide metrics and arms the
         // adapter/supervisor (which read cross-node state); under a
         // parallel simulation it must run with the LPs parked.
         simulator.exclusive([&world, &metrics, &request, &gossip_plane,
                              stream_stop, supervise, adapt, adapt_params,
-                             gossip, ctl_node, outcome] {
+                             gossip, rehome, ctl_node, outcome] {
           if (outcome.compose.admitted) {
             ++metrics.composed;
             metrics.components +=
@@ -179,7 +212,15 @@ RunMetrics run_experiment(const RunConfig& config,
                   .gauge("predict.latency_ms", labels)
                   .set(outcome.compose.predicted_latency_ms);
             }
-            auto& host = world.host(std::size_t(ctl_node));
+            // The shard that actually admitted may differ from the hash
+            // home computed at submission time (a standby takeover or a
+            // failover re-homed the app). Only honored with standbys on:
+            // plain runs keep the legacy static attachment byte-for-byte.
+            const sim::NodeIndex admitted_on =
+                rehome && outcome.admitted_by != sim::kInvalidNode
+                    ? outcome.admitted_by
+                    : ctl_node;
+            auto& host = world.host(std::size_t(admitted_on));
             // Adapter before supervisor: watch() consults the adapter
             // as its first-line starvation response.
             if (adapt) {
@@ -340,6 +381,11 @@ RunMetrics run_experiment(const RunConfig& config,
       registry.counter_total("slo.windows_violated");
   metrics.predict_triggers = registry.counter_total("adapt.predict_triggers");
   metrics.shard_failovers = registry.counter_total("shard.failovers");
+  metrics.shard_rehomes = registry.counter_total("shard.rehomes");
+  metrics.shard_fenced = registry.counter_total("shard.fenced_msgs");
+  metrics.shard_adopted = registry.counter_total("shard.adopted_apps");
+  metrics.shard_reclaimed = registry.counter_total("shard.reclaimed_apps");
+  metrics.shard_resubmits = registry.counter_total("shard.resubmits");
   metrics.shard_submitted = registry.counter_total("shard.submitted");
   metrics.shard_admitted = registry.counter_total("shard.admitted");
   metrics.shard_rejected = registry.counter_total("shard.rejected");

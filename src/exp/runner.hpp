@@ -92,6 +92,20 @@ struct RunConfig {
   sim::SimDuration lease_duration = sim::sec(12);
   sim::SimDuration lease_renew = sim::sec(5);
 
+  // --- Shard re-homing (off by default: no standby object exists and
+  // sharded runs stay event-for-event identical to pre-rehome builds) ---
+
+  /// Give every shard a dormant standby coordinator that takes the shard
+  /// over (fence, reconstruct, adopt) when the primary dies. Needs
+  /// coordinators > 1 and nodes >= 2 * coordinators.
+  bool shard_standby = false;
+  /// Standby watchdog poll period of the primary-death signal.
+  sim::SimDuration standby_check = sim::msec(500);
+  /// Source-side submission journal deadline: > 0 re-submits requests
+  /// whose outcome never arrived (lost in a dead primary's batch
+  /// window), up to the plane's retry budget. 0 = journal off.
+  sim::SimDuration submit_retry = 0;
+
   // --- Control-plane selection (empty by default: the legacy behavior —
   // centralized per-source coordinators, or the sharded plane when
   // coordinators > 1 — is untouched, and no gossip object is ever
@@ -154,6 +168,12 @@ struct RunMetrics {
 
   /// Sharded-control-plane outcomes (all zero with one coordinator).
   std::int64_t shard_failovers = 0;  // submissions rerouted off dead shards
+  /// Shard re-homing outcomes (all zero with standbys off).
+  std::int64_t shard_rehomes = 0;       // standby takeovers
+  std::int64_t shard_fenced = 0;        // zombie messages NACKed at granters
+  std::int64_t shard_adopted = 0;       // orphaned apps adopted
+  std::int64_t shard_reclaimed = 0;     // unadoptable apps torn down
+  std::int64_t shard_resubmits = 0;     // journal re-submissions
   std::int64_t shard_submitted = 0;
   std::int64_t shard_admitted = 0;
   std::int64_t shard_rejected = 0;

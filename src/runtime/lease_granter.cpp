@@ -29,6 +29,7 @@ LeaseGranter::LeaseGranter(sim::Simulator& simulator, sim::Network& network,
       owned_registry_(registry ? nullptr
                                : std::make_unique<obs::MetricRegistry>()) {
   obs::MetricRegistry* r = registry ? registry : owned_registry_.get();
+  registry_ = r;
   obs::Labels labels;
   labels.node = node_;
   granted_ = &r->counter("lease.granted", labels);
@@ -68,7 +69,8 @@ bool LeaseGranter::handle_packet(const sim::Packet& packet) {
   const auto* req =
       dynamic_cast<const LeaseRequestMsg*>(packet.payload.get());
   if (req == nullptr) return false;
-  grant(req->shard, req->requester, req->request_id, req->demand_kbps);
+  grant(req->shard, req->requester, req->request_id, req->demand_kbps,
+        req->takeover_epoch);
   return true;
 }
 
@@ -99,7 +101,29 @@ double LeaseGranter::target_share(std::int32_t shard, double pool,
 }
 
 void LeaseGranter::grant(std::int32_t shard, sim::NodeIndex requester,
-                         std::uint64_t request_id, double demand_kbps) {
+                         std::uint64_t request_id, double demand_kbps,
+                         std::uint64_t takeover_epoch) {
+  // Fencing (shard re-homing): once a standby has requested under a
+  // higher takeover epoch, requests from the replaced holder are refused
+  // outright and answered with a revoke of the *current* term, so a
+  // zombie primary zeroes its view instead of composing against capacity
+  // it no longer owns.
+  const auto fit = grants_.find(shard);
+  if (fit != grants_.end() && takeover_epoch < fit->second.fence) {
+    count_fenced();
+    RASC_LOG(kDebug) << "node " << node_ << ": fenced lease request for "
+                     << "shard " << shard << " from " << requester
+                     << " (takeover epoch " << takeover_epoch << " < "
+                     << fit->second.fence << ")";
+    auto revoke = std::make_shared<LeaseRevokeMsg>();
+    revoke->shard = shard;
+    revoke->node = node_;
+    revoke->lease_epoch = fit->second.epoch;
+    network_.send(node_, requester, LeaseRevokeMsg::kBytes,
+                  std::move(revoke));
+    return;
+  }
+
   double pool_in = 0, pool_out = 0;
   pool_kbps(pool_in, pool_out);
 
@@ -128,9 +152,18 @@ void LeaseGranter::grant(std::int32_t shard, sim::NodeIndex requester,
   // flight; they spend the *new* remainder (see debit), so honoring the
   // previous epoch of a live grant cannot over-book anything.
   g.prev_epoch = g.expired ? 0 : g.epoch;
+  const bool fence_bumped = takeover_epoch > g.fence;
+  if (fence_bumped) {
+    // A takeover replaces the holder wholesale: the fenced-out
+    // coordinator's in-flight deploys must NACK, so the previous term
+    // loses its usual honor window.
+    g.fence = takeover_epoch;
+    g.prev_epoch = 0;
+  }
   g.in_kbps = share_in;
   g.out_kbps = share_out;
   g.epoch = ++epoch_counter_;
+  if (fence_bumped) g.fence_floor_epoch = g.epoch;
   g.expires_at = simulator_.now() + params_.lease_duration;
   g.holder = requester;
   g.expired = false;
@@ -238,6 +271,13 @@ bool LeaseGranter::debit(std::int32_t shard, std::uint64_t lease_epoch,
   if (!current_term) {
     nacks_->add();
     nacks_epoch_->add();
+    // Debits stamped with a lease epoch older than the current fence
+    // term were composed by a fenced-out coordinator — count them so
+    // takeover tests can assert the zombie's deploy plane went dark.
+    if (it != grants_.end() && it->second.fence > 0 &&
+        lease_epoch < it->second.fence_floor_epoch) {
+      count_fenced();
+    }
     return false;
   }
   if (in_kbps > it->second.in_kbps + kDebitSlackKbps ||
@@ -300,6 +340,31 @@ std::uint64_t LeaseGranter::epoch(std::int32_t shard) const {
 bool LeaseGranter::holder_suspect(std::int32_t shard) const {
   const auto it = grants_.find(shard);
   return it != grants_.end() && it->second.expired;
+}
+
+sim::NodeIndex LeaseGranter::holder_of(std::int32_t shard) const {
+  const auto it = grants_.find(shard);
+  if (it == grants_.end() || it->second.expired) return sim::kInvalidNode;
+  return it->second.holder;
+}
+
+void LeaseGranter::count_fenced() {
+  if (fenced_ == nullptr) {
+    obs::Labels labels;
+    labels.node = node_;
+    fenced_ = &registry_->counter("shard.fenced_msgs", labels);
+  }
+  fenced_->add();
+}
+
+std::vector<std::tuple<AppId, double, double>> LeaseGranter::ledger_for_shard(
+    std::int32_t shard) const {
+  std::vector<std::tuple<AppId, double, double>> out;
+  for (const auto& [app, d] : ledger_) {
+    if (d.shard == shard) out.emplace_back(app, d.in_kbps, d.out_kbps);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace rasc::runtime

@@ -21,7 +21,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <tuple>
 #include <unordered_map>
+#include <vector>
 
 #include "monitor/node_monitor.hpp"
 #include "obs/metric_registry.hpp"
@@ -95,6 +97,16 @@ class LeaseGranter {
   /// consecutive renewals were missed). Nodes that never granted to the
   /// shard report false — absence of evidence is not suspicion.
   bool holder_suspect(std::int32_t shard) const;
+  /// Current holder (coordinator home node) of `shard`'s live grant
+  /// here, or kInvalidNode when the grant lapsed or never existed.
+  /// Tracks takeovers: once a standby renews, it is the holder — source
+  /// nodes route submissions to it instead of the dead hash home.
+  sim::NodeIndex holder_of(std::int32_t shard) const;
+  /// Live debits of `shard`'s lease on this node, sorted by app: the
+  /// authoritative record of which apps the shard deployed here, dumped
+  /// into ShardRecoverReplyMsg during standby reconstruction.
+  std::vector<std::tuple<AppId, double, double>> ledger_for_shard(
+      std::int32_t shard) const;
   /// High-water mark of (sum of outstanding grants) - (grantable pool),
   /// in kbps; stays 0 when no grant ever over-promised capacity.
   double overgrant_high_water_kbps() const { return overgrant_high_water_; }
@@ -111,6 +123,13 @@ class LeaseGranter {
     sim::NodeIndex holder = sim::kInvalidNode;  // shard home node
     bool expired = false;
     sim::EventId expiry = 0;
+    /// Highest takeover epoch a request for this shard has carried (0 =
+    /// the original primary term). Requests below it are fenced off.
+    std::uint64_t fence = 0;
+    /// First lease epoch issued under the current fence term: debits
+    /// stamped with an older lease epoch were composed by the fenced-out
+    /// holder, so the epoch NACK counts as a fenced message.
+    std::uint64_t fence_floor_epoch = 0;
   };
   struct AppDebit {
     std::int32_t shard = -1;
@@ -120,7 +139,8 @@ class LeaseGranter {
   };
 
   void grant(std::int32_t shard, sim::NodeIndex requester,
-             std::uint64_t request_id, double demand_kbps);
+             std::uint64_t request_id, double demand_kbps,
+             std::uint64_t takeover_epoch);
   void expire(std::int32_t shard, std::uint64_t epoch);
   /// Rebalanced share of `pool` for `shard` given its reported demand:
   /// pool/K when the hint is unknown (<0), the idle floor pool/2K at
@@ -130,6 +150,8 @@ class LeaseGranter {
   /// Headroomed availability per direction from the live monitor view
   /// (reservation-aware even when snapshots do not advertise them).
   void pool_kbps(double& in_kbps, double& out_kbps) const;
+  /// Bumps shard.fenced_msgs, creating the cell on first use.
+  void count_fenced();
 
   sim::Simulator& simulator_;
   sim::Network& network_;
@@ -152,12 +174,17 @@ class LeaseGranter {
   double lease_reserved_out_ = 0;
   double overgrant_high_water_ = 0;
 
+  obs::MetricRegistry* registry_;
   obs::Counter* granted_;
   obs::Counter* expired_count_;
   obs::Counter* debits_;
   obs::Counter* nacks_;
   obs::Counter* nacks_epoch_;    // stale/expired lease term
   obs::Counter* nacks_overdraw_; // live term, remainder too small
+  /// Messages refused because they carried a stale takeover epoch
+  /// (zombie primary after a standby takeover). Lazily created so runs
+  /// without standbys export byte-identical snapshots.
+  obs::Counter* fenced_ = nullptr;
   obs::Gauge* overgrant_gauge_;
 };
 

@@ -42,6 +42,13 @@ struct LeaseRequestMsg final : sim::Message {
   /// claim freed surplus up to its active-fair share. Negative = no hint;
   /// the node falls back to the static equal split (pool/K).
   double demand_kbps = -1;
+  /// Fencing term for shard re-homing: a standby that takes over a dead
+  /// primary requests with a higher takeover epoch, after which the
+  /// granter refuses (and revokes) any request carrying a lower one —
+  /// the zombie primary can "recover" but can never renew its way back
+  /// into the shard's capacity. 0 = the original primary term, so the
+  /// wire format is unchanged for runs without standbys.
+  std::uint64_t takeover_epoch = 0;
   static constexpr std::int64_t kBytes = 40;
 };
 

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "runtime/lease_granter.hpp"
+#include "runtime/rehome_messages.hpp"
 #include "util/logging.hpp"
 
 namespace rasc::runtime {
@@ -205,6 +206,11 @@ bool NodeRuntime::handle_packet(const sim::Packet& packet) {
     teardown_app(td->app);
     return true;
   }
+  if (const auto* rr =
+          dynamic_cast<const ShardRecoverRequestMsg*>(payload.get())) {
+    handle_recover_request(*rr);
+    return true;
+  }
   if (const auto* hq =
           dynamic_cast<const SinkHealthRequest*>(payload.get())) {
     if (params_.orphan_lease > 0) {
@@ -396,6 +402,8 @@ void NodeRuntime::deploy_sink(AppId app, std::int32_t substream,
                         endpoint_labels(app, substream, incarnation));
   const double in_kbps = reservation_kbps(rate_units_per_sec, unit_bytes);
   endpoint.sink_reserved_kbps = in_kbps;
+  endpoint.sink_rate_ups = rate_units_per_sec;
+  endpoint.sink_unit_bytes = unit_bytes;
   monitor_.add_reservation(in_kbps, 0);
 }
 
@@ -415,6 +423,8 @@ void NodeRuntime::deploy_source(AppId app, std::int32_t substream,
   Endpoint& endpoint = endpoints_[key];
   endpoint.source = std::move(source);
   endpoint.source_reserved_kbps = out_kbps;
+  endpoint.source_rate_ups = rate_units_per_sec;
+  endpoint.source_stop_at = stop_at;
   monitor_.add_reservation(0, out_kbps);
 }
 
@@ -484,6 +494,7 @@ void NodeRuntime::update_source_split(AppId app, std::int32_t substream,
                                            endpoint.source->unit_bytes());
   monitor_.add_reservation(0, out_kbps - endpoint.source_reserved_kbps);
   endpoint.source_reserved_kbps = out_kbps;
+  endpoint.source_rate_ups = rate_units_per_sec;
   endpoint.source->reconfigure(rate_units_per_sec, std::move(first_stage));
 }
 
@@ -703,6 +714,60 @@ void NodeRuntime::finish_unit(ScheduledUnit scheduled,
     network_.send(node_, out.target, size, std::move(msg));
   }
   maybe_dispatch();
+}
+
+void NodeRuntime::handle_recover_request(const ShardRecoverRequestMsg& req) {
+  auto reply = std::make_shared<ShardRecoverReplyMsg>();
+  reply->shard = req.shard;
+  reply->node = node_;
+  reply->request_id = req.request_id;
+
+  // Ledger slice: the apps this node's granter debited against the
+  // queried shard's lease — the membership proof the standby intersects
+  // the runtime dumps with.
+  if (granter_ != nullptr) {
+    for (const auto& [app, in_kbps, out_kbps] :
+         granter_->ledger_for_shard(req.shard)) {
+      reply->debits.push_back({app, in_kbps, out_kbps});
+    }
+  }
+
+  // Runtime dumps cover *every* app: adapter-shipped placements and
+  // source deploys never touch the ledger, so shard membership cannot be
+  // decided node-locally. Sorted iteration keeps replies deterministic.
+  std::vector<ComponentKey> keys;
+  keys.reserve(components_.size());
+  for (const auto& [key, component] : components_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  for (const ComponentKey& key : keys) {
+    const Component& c = *components_.at(key);
+    ShardRecoverReplyMsg::ComponentState state;
+    state.key = key;
+    state.service = c.spec().name;
+    state.rate_ups = c.planned_rate();
+    if (const auto ctl = app_control_.find(key.app);
+        ctl != app_control_.end()) {
+      state.app_epoch = ctl->second.epoch;
+    }
+    reply->components.push_back(std::move(state));
+  }
+  for (const std::uint64_t key : sorted_endpoint_keys()) {
+    const Endpoint& endpoint = endpoints_.at(key);
+    const auto app = AppId(key >> 32);
+    const auto substream = std::int32_t(std::uint32_t(key));
+    if (endpoint.sink.has_value()) {
+      reply->sinks.push_back({app, substream, endpoint.sink_rate_ups,
+                              endpoint.sink_unit_bytes});
+    }
+    if (endpoint.source != nullptr) {
+      reply->sources.push_back({app, substream, endpoint.source_rate_ups,
+                                endpoint.source->unit_bytes(),
+                                endpoint.source_stop_at});
+    }
+  }
+
+  const std::int64_t size = reply->wire_size();
+  network_.send(node_, req.requester, size, std::move(reply));
 }
 
 }  // namespace rasc::runtime

@@ -36,6 +36,7 @@
 namespace rasc::runtime {
 
 class LeaseGranter;
+struct ShardRecoverRequestMsg;
 
 class NodeRuntime {
  public:
@@ -170,6 +171,14 @@ class NodeRuntime {
     std::unique_ptr<StreamSource> source;
     double sink_reserved_kbps = 0;
     double source_reserved_kbps = 0;
+    /// Planned rates/sizes as deployed (the sink/source objects keep only
+    /// derived state — e.g. the source's truncated emission period — so
+    /// the exact figures are recorded here for shard-takeover
+    /// reconstruction).
+    double sink_rate_ups = 0;
+    std::int64_t sink_unit_bytes = 0;
+    double source_rate_ups = 0;
+    sim::SimTime source_stop_at = 0;
 
     bool empty() const { return !sink.has_value() && source == nullptr; }
   };
@@ -200,6 +209,9 @@ class NodeRuntime {
                     std::uint64_t request_id);
   void schedule_reap();
   void reap_orphans();
+  /// Answers a standby's shard-state reconstruction query with this
+  /// node's ledger slice and full runtime state (sorted, deterministic).
+  void handle_recover_request(const ShardRecoverRequestMsg& req);
   /// Lazily-created deploy.*/orphan.* cells: a run that never needs them
   /// leaves the registry snapshot byte-identical to older builds.
   obs::Counter& lazy_counter(const char* name, obs::Counter*& slot);
